@@ -1,0 +1,264 @@
+// Benchmarks regenerating the paper's evaluation (§6), one family per
+// figure, plus ablation benchmarks for the design choices listed in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The default table for Figures 4/5 is 20,000 rows to keep `go test
+// -bench` sessions short; cmd/coordbench uses the paper's full 82,168
+// rows. The trends are identical because every body grounds through one
+// index probe regardless of table size.
+package entangled_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"entangled/internal/consistent"
+	"entangled/internal/coord"
+	"entangled/internal/db"
+	"entangled/internal/netgen"
+	"entangled/internal/workload"
+)
+
+const benchTableRows = 20000
+
+// BenchmarkFigure4List measures the SCC Coordination Algorithm on the
+// list structure: n queries, each coordinating with the next (Figure 4
+// sweeps n = 10..100).
+func BenchmarkFigure4List(b *testing.B) {
+	inst := db.NewInstance()
+	workload.UserTable(inst, benchTableRows)
+	for _, n := range []int{10, 25, 50, 75, 100} {
+		qs := workload.ListQueries(n, benchTableRows)
+		b.Run(fmt.Sprintf("queries=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := coord.SCCCoordinate(qs, inst, coord.Options{SkipSafetyCheck: true})
+				if err != nil || res.Size() != n {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure5ScaleFree measures the SCC Coordination Algorithm on
+// Barabási–Albert coordination structures (Figure 5).
+func BenchmarkFigure5ScaleFree(b *testing.B) {
+	inst := db.NewInstance()
+	workload.UserTable(inst, benchTableRows)
+	for _, n := range []int{10, 25, 50, 75, 100} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		qs := workload.ScaleFreeQueries(n, 2, benchTableRows, rng)
+		b.Run(fmt.Sprintf("queries=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := coord.SCCCoordinate(qs, inst, coord.Options{SkipSafetyCheck: true})
+				if err != nil || res == nil {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure6GraphProcessing measures graph construction and
+// preprocessing alone on large scale-free structures (Figure 6 sweeps
+// 100..1000 queries; no database work is involved).
+func BenchmarkFigure6GraphProcessing(b *testing.B) {
+	for _, n := range []int{100, 250, 500, 750, 1000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		qs := workload.ScaleFreeQueries(n, 2, 100, rng)
+		b.Run(fmt.Sprintf("queries=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := coord.Preprocess(qs)
+				if st.Components == 0 {
+					b.Fatal("no components")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7Values measures the Consistent Coordination Algorithm
+// against a growing number of candidate coordination values: 50
+// all-wildcard queries, complete friendships, every flight unique
+// (Figure 7 sweeps 100..1000 flights).
+func BenchmarkFigure7Values(b *testing.B) {
+	const users = 50
+	sch := workload.FlightSchema()
+	for _, rows := range []int{100, 250, 500, 750, 1000} {
+		inst := db.NewInstance()
+		workload.FlightsTable(inst, rows, rows)
+		workload.CompleteFriends(inst, users)
+		qs := workload.FlightQueries(users)
+		b.Run(fmt.Sprintf("flights=%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := consistent.Coordinate(sch, qs, inst, consistent.Options{})
+				if err != nil || res == nil {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure8Queries measures the Consistent Coordination Algorithm
+// against a growing number of queries over a fixed 100-value table
+// (Figure 8 sweeps 10..100 users).
+func BenchmarkFigure8Queries(b *testing.B) {
+	sch := workload.FlightSchema()
+	for _, users := range []int{10, 25, 50, 75, 100} {
+		inst := db.NewInstance()
+		workload.FlightsTable(inst, 100, 100)
+		workload.CompleteFriends(inst, users)
+		qs := workload.FlightQueries(users)
+		b.Run(fmt.Sprintf("queries=%d", users), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := consistent.Coordinate(sch, qs, inst, consistent.Options{})
+				if err != nil || res == nil {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md "Design choices worth ablating") ---
+
+// BenchmarkAblationIndexes compares indexed against scan-only
+// conjunctive evaluation on the Figure 4 workload.
+func BenchmarkAblationIndexes(b *testing.B) {
+	const n = 25
+	const rows = 2000 // scans over the full table make big rows painful
+	for _, indexed := range []bool{true, false} {
+		inst := db.NewInstance()
+		workload.UserTable(inst, rows)
+		inst.UseIndexes = indexed
+		qs := workload.ListQueries(n, rows)
+		name := "indexed"
+		if !indexed {
+			name = "scan"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.SCCCoordinate(qs, inst, coord.Options{SkipSafetyCheck: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPruning compares the §6.1 pre-pruning step against
+// processing without it, on a workload where half the bodies are
+// unsatisfiable (pruning pays off by cutting whole dependency chains).
+func BenchmarkAblationPruning(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	inst := db.NewInstance()
+	workload.UserTable(inst, 2000)
+	qs := workload.RandomSafeQueries(60, 2000, 0.1, 0.5, rng)
+	for _, skip := range []bool{false, true} {
+		name := "prune"
+		if skip {
+			name = "noprune"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.SCCCoordinate(qs, inst, coord.Options{SkipPruning: skip, SkipSafetyCheck: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGuptaVsSCC compares the Gupta et al. combined-query
+// baseline against the SCC algorithm on inputs both can handle (safe and
+// unique cycles); the SCC algorithm pays a small graph overhead.
+func BenchmarkAblationGuptaVsSCC(b *testing.B) {
+	inst := db.NewInstance()
+	workload.UserTable(inst, benchTableRows)
+	const n = 40
+	// A single n-cycle: safe and unique.
+	g := netgen.Cycle(n)
+	qs := workload.GraphQueries(g, benchTableRows)
+	b.Run("gupta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := coord.GuptaCoordinate(qs, inst)
+			if err != nil || res.Size() != n {
+				b.Fatalf("res=%v err=%v", res, err)
+			}
+		}
+	})
+	b.Run("scc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := coord.SCCCoordinate(qs, inst, coord.Options{})
+			if err != nil || res.Size() != n {
+				b.Fatalf("res=%v err=%v", res, err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCleaning compares the queue-driven cleaning phase of
+// the Consistent Coordination Algorithm against repeated full sweeps.
+func BenchmarkAblationCleaning(b *testing.B) {
+	sch := workload.FlightSchema()
+	const users = 60
+	inst := db.NewInstance()
+	workload.FlightsTable(inst, 200, 200)
+	workload.CompleteFriends(inst, users)
+	qs := workload.FlightQueries(users)
+	for _, sweep := range []bool{false, true} {
+		name := "queue"
+		if sweep {
+			name = "sweep"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := consistent.Coordinate(sch, qs, inst, consistent.Options{SweepCleaning: sweep}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUnification isolates the MGU computation on a long chain —
+// the pure-unification cost of the combined query at the root of the
+// Figure 4 workload.
+func BenchmarkUnification(b *testing.B) {
+	qs := workload.ListQueries(100, 100)
+	b.Run("extended-graph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if edges := coord.ExtendedGraph(qs); len(edges) != 99 {
+				b.Fatalf("edges = %d", len(edges))
+			}
+		}
+	})
+}
+
+// BenchmarkAblationIncrementalUnify compares recomputing the combined
+// MGU per component against reusing the successors' MGUs (§6.1's
+// described implementation) on the worst-case chain, where reachable
+// sets grow linearly.
+func BenchmarkAblationIncrementalUnify(b *testing.B) {
+	inst := db.NewInstance()
+	workload.UserTable(inst, benchTableRows)
+	qs := workload.ListQueries(100, benchTableRows)
+	for _, inc := range []bool{false, true} {
+		name := "recompute"
+		if inc {
+			name = "incremental"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := coord.SCCCoordinate(qs, inst, coord.Options{SkipSafetyCheck: true, IncrementalUnify: inc})
+				if err != nil || res.Size() != 100 {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+		})
+	}
+}

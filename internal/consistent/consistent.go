@@ -1,0 +1,566 @@
+// Package consistent implements the Consistent Coordination Algorithm of
+// §5 of the paper, which finds coordinating sets for *unsafe* query sets
+// as long as every user coordinates on the same set of attributes A
+// (A-consistent queries, Definition 9).
+//
+// The model mirrors the paper's application-specific setting: a single
+// data relation S whose first-class citizen is a key column, a binary
+// friendship relation F(user, friend), and one query per user of the
+// general form of §5. A query constrains the coordination attributes
+// (shared by the user and all partners), its own non-coordination
+// attributes, and names its partners either by constant or as "any
+// friend of mine in F".
+package consistent
+
+import (
+	"fmt"
+	"sort"
+
+	"entangled/internal/db"
+	"entangled/internal/eq"
+)
+
+// Pref is a per-attribute preference: a required constant or "don't
+// care".
+type Pref struct {
+	Any bool
+	Val eq.Value
+}
+
+// Is builds a constant preference.
+func Is(v eq.Value) Pref { return Pref{Val: v} }
+
+// DontCare is the wildcard preference.
+var DontCare = Pref{Any: true}
+
+// String renders the preference.
+func (p Pref) String() string {
+	if p.Any {
+		return "*"
+	}
+	return string(p.Val)
+}
+
+// Partner is one coordination-partner slot of a query: either a named
+// user (constant) or any friend of the submitting user per the
+// friendship relation.
+type Partner struct {
+	AnyFriend bool
+	Name      eq.Value // used when !AnyFriend
+	// Rel optionally names the binary relation the friend slot draws
+	// from; empty means Schema.Friends. The paper's Discussion notes
+	// that partners may come from more than one relation ("colleagues",
+	// "family", ...) with extra conditions in the cleaning step.
+	Rel string
+}
+
+// Friend is the wildcard partner slot over the default friendship
+// relation.
+var Friend = Partner{AnyFriend: true}
+
+// FriendFrom builds a wildcard partner slot over a specific binary
+// relation.
+func FriendFrom(rel string) Partner { return Partner{AnyFriend: true, Rel: rel} }
+
+// With builds a constant partner slot.
+func With(name eq.Value) Partner { return Partner{Name: name} }
+
+// Query is one user's A-consistent coordination request.
+type Query struct {
+	// User is the submitting user's name (also the head's second
+	// component in the entangled-query form).
+	User eq.Value
+	// Coord holds one preference per coordination attribute, in the
+	// order of Schema.CoordCols. By A-consistency these constraints are
+	// shared between the user and every partner.
+	Coord []Pref
+	// Own holds one preference per non-coordination attribute, in the
+	// order of Schema.OwnCols; they constrain only the user's own tuple
+	// (A-non-coordination forbids constraining partners here).
+	Own []Pref
+	// Partners lists the coordination-partner slots. Each constant
+	// partner must be in the coordinating set; the AnyFriend slots
+	// require at least that many distinct friends in the set (the k=1
+	// case is the paper's f1; larger k is the "coordinate with k
+	// friends" generalization of §5's Discussion).
+	Partners []Partner
+}
+
+// Schema describes the application: which relation users coordinate
+// over, which of its columns form the coordination attribute set A, and
+// where friendships live.
+type Schema struct {
+	Table     string // data relation S
+	KeyCol    int    // key column of S
+	CoordCols []int  // the coordination attributes A (columns of S)
+	OwnCols   []int  // columns constrainable per-user (disjoint from CoordCols and KeyCol)
+	Friends   string // binary friendship relation F(user, friend)
+}
+
+// Validate performs structural checks of the schema against an instance.
+func (sch Schema) Validate(inst *db.Instance) error {
+	s, ok := inst.Relation(sch.Table)
+	if !ok {
+		return fmt.Errorf("consistent: relation %s not in instance", sch.Table)
+	}
+	check := func(col int) error {
+		if col < 0 || col >= s.Arity() {
+			return fmt.Errorf("consistent: column %d out of range for %s", col, sch.Table)
+		}
+		return nil
+	}
+	if err := check(sch.KeyCol); err != nil {
+		return err
+	}
+	for _, c := range append(append([]int{}, sch.CoordCols...), sch.OwnCols...) {
+		if err := check(c); err != nil {
+			return err
+		}
+	}
+	f, ok := inst.Relation(sch.Friends)
+	if !ok {
+		return fmt.Errorf("consistent: friendship relation %s not in instance", sch.Friends)
+	}
+	if f.Arity() != 2 {
+		return fmt.Errorf("consistent: friendship relation %s must be binary", sch.Friends)
+	}
+	return nil
+}
+
+// Candidate is one value of the coordination attributes together with
+// the queries that survive the cleaning phase for it.
+type Candidate struct {
+	Value   []eq.Value // one value per coordination attribute
+	Members []int      // surviving query indices, sorted
+}
+
+// Selector picks the winning candidate; default is max member count.
+type Selector func(cands []Candidate) int
+
+// MaxMembers selects the candidate with the most members (first wins
+// ties).
+func MaxMembers(cands []Candidate) int {
+	best := 0
+	for i, c := range cands {
+		if len(c.Members) > len(cands[best].Members) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Result is the algorithm's output.
+type Result struct {
+	// Value is the agreed value of the coordination attributes.
+	Value []eq.Value
+	// Members are the indices of the coordinating queries, sorted.
+	Members []int
+	// Keys maps each member to the key of its selected tuple of S (the
+	// paper's final output: user -> flight number).
+	Keys map[int]eq.Value
+	// Candidates holds every non-empty candidate discovered, for
+	// callers that want a different selection criterion post hoc.
+	Candidates []Candidate
+	// DBQueries is the number of database queries issued.
+	DBQueries int64
+}
+
+// Options configures Coordinate.
+type Options struct {
+	Select Selector // nil means MaxMembers
+	// SweepCleaning switches the cleaning phase from the queue-driven
+	// implementation to repeated full sweeps (the ablation benchmark
+	// compares the two; results are identical).
+	SweepCleaning bool
+	// Trace, when non-nil, records the algorithm's steps (option-list
+	// sizes and per-value cleaning outcomes).
+	Trace *Trace
+}
+
+// Trace records a Coordinate run for debugging and explanation.
+type Trace struct {
+	// OptionCounts[i] is |V(q_i)|, the number of candidate values for
+	// query i (0 means the query was pruned before the value loop).
+	OptionCounts []int
+	// Values holds one event per candidate value examined.
+	Values []ValueEvent
+}
+
+// ValueEvent is the outcome of the restrict+clean step for one value.
+type ValueEvent struct {
+	Value     []eq.Value
+	Initial   []int // queries whose option lists contain the value
+	Survivors []int // queries left after the cleaning phase
+}
+
+// Coordinate runs the Consistent Coordination Algorithm. It returns the
+// selected coordinating set or nil when none exists.
+func Coordinate(sch Schema, qs []Query, inst *db.Instance, opts Options) (*Result, error) {
+	if err := sch.Validate(inst); err != nil {
+		return nil, err
+	}
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	start := inst.QueriesIssued()
+
+	// Step 1: option lists V(q) — one database query per user.
+	options := make([][]db.Tuple, len(qs))
+	optKey := make([]map[string]bool, len(qs))
+	for i, q := range qs {
+		where, err := whereOf(sch, q)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := inst.Project(sch.Table, sch.CoordCols, where)
+		if err != nil {
+			return nil, err
+		}
+		options[i] = vals
+		optKey[i] = map[string]bool{}
+		for _, v := range vals {
+			optKey[i][tupleKey(v)] = true
+		}
+	}
+	if opts.Trace != nil {
+		opts.Trace.OptionCounts = make([]int, len(qs))
+		for i := range qs {
+			opts.Trace.OptionCounts[i] = len(options[i])
+		}
+	}
+
+	// Step 2: pruned coordination graph. Nodes are queries with a
+	// non-empty option list; edges follow constant partners and
+	// friendships (one friend-list query per user).
+	userIdx := map[eq.Value][]int{}
+	for i, q := range qs {
+		userIdx[q.User] = append(userIdx[q.User], i)
+	}
+	alive := make([]bool, len(qs))
+	for i := range qs {
+		alive[i] = len(options[i]) > 0
+	}
+	// friendsOf[i] maps each relation used by query i's friend slots to
+	// the indices of i's friends' queries under that relation — one
+	// database query per (user, relation) pair.
+	friendsOf := make([]map[string][]int, len(qs))
+	for i, q := range qs {
+		if !alive[i] {
+			continue
+		}
+		for _, rel := range friendRels(sch, q) {
+			if friendsOf[i] == nil {
+				friendsOf[i] = map[string][]int{}
+			}
+			if _, done := friendsOf[i][rel]; done {
+				continue
+			}
+			rows, err := inst.Project(rel, []int{1}, map[int]eq.Value{0: q.User})
+			if err != nil {
+				return nil, err
+			}
+			list := []int{}
+			for _, row := range rows {
+				for _, j := range userIdx[row[0]] {
+					if j != i && alive[j] {
+						list = append(list, j)
+					}
+				}
+			}
+			friendsOf[i][rel] = list
+		}
+	}
+
+	// Step 3: the global options list V(Q).
+	seen := map[string]bool{}
+	var vQ []db.Tuple
+	for i := range qs {
+		if !alive[i] {
+			continue
+		}
+		for _, v := range options[i] {
+			k := tupleKey(v)
+			if !seen[k] {
+				seen[k] = true
+				vQ = append(vQ, v)
+			}
+		}
+	}
+
+	// Step 4: per value, restrict and clean.
+	var cands []Candidate
+	for _, v := range vQ {
+		k := tupleKey(v)
+		in := make([]bool, len(qs))
+		var members []int
+		for i := range qs {
+			if alive[i] && optKey[i][k] {
+				in[i] = true
+				members = append(members, i)
+			}
+		}
+		var surviving []int
+		if opts.SweepCleaning {
+			surviving = cleanSweep(sch, qs, members, in, userIdx, friendsOf)
+		} else {
+			surviving = cleanQueue(sch, qs, members, in, userIdx, friendsOf)
+		}
+		if opts.Trace != nil {
+			opts.Trace.Values = append(opts.Trace.Values, ValueEvent{
+				Value:     append([]eq.Value(nil), v...),
+				Initial:   append([]int(nil), members...),
+				Survivors: append([]int(nil), surviving...),
+			})
+		}
+		if len(surviving) > 0 {
+			cands = append(cands, Candidate{Value: append(db.Tuple(nil), v...), Members: surviving})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+
+	sel := opts.Select
+	if sel == nil {
+		sel = MaxMembers
+	}
+	win := cands[sel(cands)]
+
+	// Step 5: ground each member to a concrete tuple key — one database
+	// query per member.
+	keys := map[int]eq.Value{}
+	for _, i := range win.Members {
+		where, err := whereOf(sch, qs[i])
+		if err != nil {
+			return nil, err
+		}
+		for j, c := range sch.CoordCols {
+			where[c] = win.Value[j]
+		}
+		t, ok, err := inst.SelectOne(sch.Table, where)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("consistent: internal error: member %d lost its tuple for value %v", i, win.Value)
+		}
+		keys[i] = t[sch.KeyCol]
+	}
+	return &Result{
+		Value:      win.Value,
+		Members:    win.Members,
+		Keys:       keys,
+		Candidates: cands,
+		DBQueries:  inst.QueriesIssued() - start,
+	}, nil
+}
+
+// whereOf converts a query's constant preferences into a column filter.
+func whereOf(sch Schema, q Query) (map[int]eq.Value, error) {
+	if len(q.Coord) != len(sch.CoordCols) {
+		return nil, fmt.Errorf("consistent: query by %s has %d coordination prefs, schema has %d attributes", q.User, len(q.Coord), len(sch.CoordCols))
+	}
+	if len(q.Own) != len(sch.OwnCols) {
+		return nil, fmt.Errorf("consistent: query by %s has %d own prefs, schema has %d attributes", q.User, len(q.Own), len(sch.OwnCols))
+	}
+	where := map[int]eq.Value{}
+	for j, p := range q.Coord {
+		if !p.Any {
+			where[sch.CoordCols[j]] = p.Val
+		}
+	}
+	for j, p := range q.Own {
+		if !p.Any {
+			where[sch.OwnCols[j]] = p.Val
+		}
+	}
+	return where, nil
+}
+
+// friendRels returns the distinct relations query q's friend slots draw
+// from.
+func friendRels(sch Schema, q Query) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range q.Partners {
+		if !p.AnyFriend {
+			continue
+		}
+		rel := p.Rel
+		if rel == "" {
+			rel = sch.Friends
+		}
+		if !seen[rel] {
+			seen[rel] = true
+			out = append(out, rel)
+		}
+	}
+	return out
+}
+
+// slotRel resolves a friend slot's relation against the schema default.
+func slotRel(sch Schema, p Partner) string {
+	if p.Rel != "" {
+		return p.Rel
+	}
+	return sch.Friends
+}
+
+// requirementsHold checks query i's coordination requirements against
+// the current membership: every constant partner must be present, and
+// the friend slots must be fillable by *distinct* present friends. With
+// a single friendship relation that is a counting argument; with slots
+// drawing from different relations it is a bipartite matching between
+// slots and candidate friends, solved with augmenting paths (slot
+// counts are tiny in practice).
+func requirementsHold(sch Schema, qs []Query, i int, in []bool, userIdx map[eq.Value][]int, friendsOf []map[string][]int) bool {
+	var slots [][]eq.Value // per friend slot: candidate partner users
+	for _, p := range qs[i].Partners {
+		if p.AnyFriend {
+			var cands []eq.Value
+			seen := map[eq.Value]bool{}
+			for _, j := range friendsOf[i][slotRel(sch, p)] {
+				if in[j] && !seen[qs[j].User] {
+					seen[qs[j].User] = true
+					cands = append(cands, qs[j].User)
+				}
+			}
+			if len(cands) == 0 {
+				return false
+			}
+			slots = append(slots, cands)
+			continue
+		}
+		found := false
+		for _, j := range userIdx[p.Name] {
+			if in[j] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return matchSlots(slots)
+}
+
+// matchSlots decides whether every slot can be assigned a distinct
+// candidate (a system of distinct representatives), via augmenting-path
+// bipartite matching.
+func matchSlots(slots [][]eq.Value) bool {
+	if len(slots) <= 1 {
+		return true // emptiness per slot was already checked
+	}
+	owner := map[eq.Value]int{} // candidate -> slot currently using it
+	var try func(s int, visited map[eq.Value]bool) bool
+	try = func(s int, visited map[eq.Value]bool) bool {
+		for _, c := range slots[s] {
+			if visited[c] {
+				continue
+			}
+			visited[c] = true
+			if o, taken := owner[c]; !taken {
+				owner[c] = s
+				return true
+			} else if try(o, visited) {
+				owner[c] = s
+				return true
+			}
+		}
+		return false
+	}
+	for s := range slots {
+		if !try(s, map[eq.Value]bool{}) {
+			return false
+		}
+	}
+	return true
+}
+
+// cleanQueue removes queries whose requirements fail, propagating
+// removals with a work queue (each removal re-examines only the nodes
+// that might depend on the removed one's user).
+func cleanQueue(sch Schema, qs []Query, members []int, in []bool, userIdx map[eq.Value][]int, friendsOf []map[string][]int) []int {
+	queue := append([]int(nil), members...)
+	inQueue := map[int]bool{}
+	for _, i := range queue {
+		inQueue[i] = true
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		inQueue[i] = false
+		if !in[i] {
+			continue
+		}
+		if requirementsHold(sch, qs, i, in, userIdx, friendsOf) {
+			continue
+		}
+		in[i] = false
+		// Anyone still in might have depended on i; only those that can
+		// reference i's user by constant or by friendship need requeueing.
+		for _, j := range members {
+			if in[j] && !inQueue[j] && dependsOn(qs, j, i, friendsOf) {
+				queue = append(queue, j)
+				inQueue[j] = true
+			}
+		}
+	}
+	return survivors(members, in)
+}
+
+func dependsOn(qs []Query, j, i int, friendsOf []map[string][]int) bool {
+	for _, p := range qs[j].Partners {
+		if !p.AnyFriend && p.Name == qs[i].User {
+			return true
+		}
+	}
+	for _, list := range friendsOf[j] {
+		for _, f := range list {
+			if f == i {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cleanSweep is the naive fixpoint: full passes until no removal.
+func cleanSweep(sch Schema, qs []Query, members []int, in []bool, userIdx map[eq.Value][]int, friendsOf []map[string][]int) []int {
+	for {
+		changed := false
+		for _, i := range members {
+			if !in[i] {
+				continue
+			}
+			if !requirementsHold(sch, qs, i, in, userIdx, friendsOf) {
+				in[i] = false
+				changed = true
+			}
+		}
+		if !changed {
+			return survivors(members, in)
+		}
+	}
+}
+
+func survivors(members []int, in []bool) []int {
+	var out []int
+	for _, i := range members {
+		if in[i] {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// tupleKey renders a tuple into a map key.
+func tupleKey(t db.Tuple) string {
+	k := ""
+	for _, v := range t {
+		k += string(v) + "\x00"
+	}
+	return k
+}

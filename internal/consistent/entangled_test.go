@@ -1,0 +1,307 @@
+// Tests in the external test package so they can use the workload
+// generators (which themselves import consistent) without a cycle.
+package consistent_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"entangled/internal/consistent"
+	"entangled/internal/coord"
+	"entangled/internal/db"
+	"entangled/internal/eq"
+	"entangled/internal/workload"
+)
+
+// smallInstance builds a compact flights world: rows flights over
+// distinctPairs (dest, day) pairs, plus a friendship graph.
+func smallInstance(rows, distinctPairs, users int, friendP float64, rng *rand.Rand) *db.Instance {
+	in := db.NewInstance()
+	workload.FlightsTable(in, rows, distinctPairs)
+	f := in.CreateRelation("Friends", "user", "friend")
+	for i := 0; i < users; i++ {
+		for j := 0; j < users; j++ {
+			if i != j && rng.Float64() < friendP {
+				f.Insert(workload.User(i), workload.User(j))
+			}
+		}
+	}
+	f.BuildIndex(0)
+	return in
+}
+
+func TestToEntangledShape(t *testing.T) {
+	sch := workload.FlightSchema()
+	rng := rand.New(rand.NewSource(61))
+	in := smallInstance(6, 3, 3, 1.0, rng)
+	q := consistent.Query{
+		User:     workload.User(0),
+		Coord:    []consistent.Pref{consistent.Is("dest1"), consistent.DontCare},
+		Own:      []consistent.Pref{consistent.Is("src0"), consistent.DontCare},
+		Partners: []consistent.Partner{consistent.Friend, consistent.With(workload.User(2))},
+	}
+	e, err := consistent.ToEntangled(sch, q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Post) != 2 || len(e.Head) != 1 {
+		t.Fatalf("shape: %v", e)
+	}
+	// Body: self atom + 2 partner atoms + 1 friendship atom.
+	if len(e.Body) != 4 {
+		t.Fatalf("body size = %d: %v", len(e.Body), e.Body)
+	}
+	if err := eq.Validate([]eq.Query{e}, in.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	// Coordination attributes are shared: the dest column of the self
+	// atom and both partner atoms carry the same term.
+	self := e.Body[0]
+	if self.Args[1] != eq.C("dest1") {
+		t.Fatalf("self dest = %v", self.Args[1])
+	}
+	var partnerAtoms []eq.Atom
+	for _, a := range e.Body[1:] {
+		if a.Rel == sch.Table {
+			partnerAtoms = append(partnerAtoms, a)
+		}
+	}
+	if len(partnerAtoms) != 2 {
+		t.Fatalf("want 2 partner atoms, got %v", partnerAtoms)
+	}
+	for _, pa := range partnerAtoms {
+		if pa.Args[1] != eq.C("dest1") {
+			t.Fatalf("partner dest = %v, want the shared constant", pa.Args[1])
+		}
+		if pa.Args[2] != self.Args[2] {
+			t.Fatalf("day must be the shared variable: %v vs %v", pa.Args[2], self.Args[2])
+		}
+		// Non-coordination attributes of partners are fresh variables.
+		if !pa.Args[3].IsVar() || !pa.Args[4].IsVar() {
+			t.Fatalf("partner own attrs must be variables: %v", pa)
+		}
+		if pa.Args[3] == self.Args[3] {
+			t.Fatal("partner src must be distinct from self src")
+		}
+	}
+}
+
+// Proposition 1: for A-consistent query sets, a coordinating set exists
+// iff one exists where all tuples agree on A. We check existence
+// equivalence between the Consistent Coordination Algorithm (which only
+// looks for same-value sets) and the exact brute-force solver on the
+// translated entangled queries.
+func TestQuickProposition1(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	sch := workload.FlightSchema()
+	for trial := 0; trial < 60; trial++ {
+		users := 2 + rng.Intn(4)
+		in := smallInstance(4+rng.Intn(4), 2+rng.Intn(2), users, 0.5, rng)
+		qs := workload.RandomFlightQueries(users, 2, 0.4, rng)
+		res, err := consistent.Coordinate(sch, qs, in, consistent.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eqs, err := consistent.ToEntangledSet(sch, qs, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exists, err := coord.BruteForceExists(eqs, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (res != nil) != exists {
+			t.Fatalf("trial %d: consistent=%v brute=%v\nqueries: %+v", trial, res != nil, exists, qs)
+		}
+	}
+}
+
+// Every coordinating set the algorithm returns is sound: each member's
+// selected tuple satisfies its constraints and the shared value, each
+// named partner is a member, and each friend slot is filled by a
+// distinct member friend.
+func TestQuickResultSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	sch := workload.FlightSchema()
+	for trial := 0; trial < 80; trial++ {
+		users := 2 + rng.Intn(6)
+		in := smallInstance(6+rng.Intn(6), 3, users, 0.4, rng)
+		qs := workload.RandomFlightQueries(users, 3, 0.3, rng)
+		res, err := consistent.Coordinate(sch, qs, in, consistent.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == nil {
+			continue
+		}
+		member := map[eq.Value]bool{}
+		for _, i := range res.Members {
+			member[qs[i].User] = true
+		}
+		fl, _ := in.Relation("Flights")
+		for _, i := range res.Members {
+			key := res.Keys[i]
+			// Find the selected tuple.
+			var tup db.Tuple
+			for r := 0; r < fl.Len(); r++ {
+				if fl.Tuple(r)[0] == key {
+					tup = fl.Tuple(r)
+					break
+				}
+			}
+			if tup == nil {
+				t.Fatalf("trial %d: key %v not in Flights", trial, key)
+			}
+			// Agrees with the chosen coordination value.
+			for j, c := range sch.CoordCols {
+				if tup[c] != res.Value[j] {
+					t.Fatalf("trial %d: member %d tuple %v disagrees with value %v", trial, i, tup, res.Value)
+				}
+			}
+			// Satisfies the member's own constants.
+			for j, p := range qs[i].Coord {
+				if !p.Any && tup[sch.CoordCols[j]] != p.Val {
+					t.Fatalf("trial %d: coord constraint violated", trial)
+				}
+			}
+			for j, p := range qs[i].Own {
+				if !p.Any && tup[sch.OwnCols[j]] != p.Val {
+					t.Fatalf("trial %d: own constraint violated", trial)
+				}
+			}
+			// Partner requirements.
+			friendSlots := 0
+			for _, p := range qs[i].Partners {
+				if p.AnyFriend {
+					friendSlots++
+					continue
+				}
+				if !member[p.Name] {
+					t.Fatalf("trial %d: named partner %v missing", trial, p.Name)
+				}
+			}
+			if friendSlots > 0 {
+				friends := map[eq.Value]bool{}
+				fr, _ := in.Relation("Friends")
+				for r := 0; r < fr.Len(); r++ {
+					tp := fr.Tuple(r)
+					if tp[0] == qs[i].User && member[tp[1]] && tp[1] != qs[i].User {
+						friends[tp[1]] = true
+					}
+				}
+				if len(friends) < friendSlots {
+					t.Fatalf("trial %d: %d friend slots, %d member friends", trial, friendSlots, len(friends))
+				}
+			}
+		}
+	}
+}
+
+// The queue-based and sweep-based cleaning phases always agree.
+func TestQuickCleaningAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	sch := workload.FlightSchema()
+	for trial := 0; trial < 60; trial++ {
+		users := 2 + rng.Intn(6)
+		in := smallInstance(5+rng.Intn(5), 3, users, 0.4, rng)
+		qs := workload.RandomFlightQueries(users, 3, 0.3, rng)
+		a, err := consistent.Coordinate(sch, qs, in, consistent.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := consistent.Coordinate(sch, qs, in, consistent.Options{SweepCleaning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (a == nil) != (b == nil) {
+			t.Fatalf("trial %d: cleaning strategies disagree on existence", trial)
+		}
+		if a == nil {
+			continue
+		}
+		if len(a.Members) != len(b.Members) {
+			t.Fatalf("trial %d: member counts differ: %v vs %v", trial, a.Members, b.Members)
+		}
+		for i := range a.Members {
+			if a.Members[i] != b.Members[i] {
+				t.Fatalf("trial %d: members differ: %v vs %v", trial, a.Members, b.Members)
+			}
+		}
+	}
+}
+
+// The worst-case workload of Figures 7/8 always coordinates everybody.
+func TestWorstCaseWorkloadAllCoordinate(t *testing.T) {
+	sch := workload.FlightSchema()
+	for _, users := range []int{2, 10, 25} {
+		in := db.NewInstance()
+		workload.FlightsTable(in, 50, 50)
+		workload.CompleteFriends(in, users)
+		qs := workload.FlightQueries(users)
+		res, err := consistent.Coordinate(sch, qs, in, consistent.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == nil || len(res.Members) != users {
+			t.Fatalf("users=%d: %v", users, res)
+		}
+		// Everyone flies to the same (dest, day).
+		for _, i := range res.Members {
+			key := res.Keys[i]
+			if key == "" {
+				t.Fatalf("missing key for member %d", i)
+			}
+		}
+		// DB queries: users option lists + users friend lists + users
+		// groundings — linear, as §6.2 claims.
+		if res.DBQueries != int64(3*users) {
+			t.Fatalf("users=%d: DBQueries=%d, want %d", users, res.DBQueries, 3*users)
+		}
+	}
+}
+
+// Selector ablation: a custom selector that prefers a specific user.
+func TestCustomSelector(t *testing.T) {
+	in := db.NewInstance()
+	fl := in.CreateRelation("Flights", "fid", "dest", "day", "src", "airline")
+	fl.Insert("f1", "A", "d1", "s", "a")
+	fl.Insert("f2", "B", "d2", "s", "a")
+	fr := in.CreateRelation("Friends", "user", "friend")
+	fr.Insert("U0", "U1")
+	fr.Insert("U1", "U0")
+	fr.Insert("U2", "U3")
+	fr.Insert("U3", "U2")
+	sch := workload.FlightSchema()
+	qs := []consistent.Query{
+		{User: "U0", Coord: []consistent.Pref{consistent.Is("A"), consistent.DontCare}, Own: []consistent.Pref{consistent.DontCare, consistent.DontCare}, Partners: []consistent.Partner{consistent.Friend}},
+		{User: "U1", Coord: []consistent.Pref{consistent.Is("A"), consistent.DontCare}, Own: []consistent.Pref{consistent.DontCare, consistent.DontCare}, Partners: []consistent.Partner{consistent.Friend}},
+		{User: "U2", Coord: []consistent.Pref{consistent.Is("B"), consistent.DontCare}, Own: []consistent.Pref{consistent.DontCare, consistent.DontCare}, Partners: []consistent.Partner{consistent.Friend}},
+		{User: "U3", Coord: []consistent.Pref{consistent.Is("B"), consistent.DontCare}, Own: []consistent.Pref{consistent.DontCare, consistent.DontCare}, Partners: []consistent.Partner{consistent.Friend}},
+	}
+	// Default: first maximal candidate (A-group, discovered first).
+	res, err := consistent.Coordinate(sch, qs, in, consistent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value[0] != "A" {
+		t.Fatalf("default selector: %v", res.Value)
+	}
+	// Prefer candidates containing query 2.
+	preferU2 := func(cands []consistent.Candidate) int {
+		for i, c := range cands {
+			for _, m := range c.Members {
+				if m == 2 {
+					return i
+				}
+			}
+		}
+		return 0
+	}
+	res2, err := consistent.Coordinate(sch, qs, in, consistent.Options{Select: preferU2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Value[0] != "B" {
+		t.Fatalf("custom selector: %v", res2.Value)
+	}
+}

@@ -1,0 +1,162 @@
+package coord
+
+import (
+	"entangled/internal/db"
+	"entangled/internal/eq"
+	"entangled/internal/unify"
+)
+
+// BruteForceExists decides Entangled(Q): does any non-empty coordinating
+// subset of qs exist over inst? Exponential; intended as a testing
+// oracle on small instances (the hardness reductions of §3).
+func BruteForceExists(qs []eq.Query, inst *db.Instance) (bool, error) {
+	r, err := bruteForce(qs, inst, true)
+	if err != nil {
+		return false, err
+	}
+	return r != nil, nil
+}
+
+// BruteForceMax solves EntangledMax(Q) exactly: it returns a coordinating
+// set of maximum size (with witnessing assignment), or nil when no
+// coordinating set exists. Exponential in |qs|; use only on small
+// instances.
+func BruteForceMax(qs []eq.Query, inst *db.Instance) (*Result, error) {
+	return bruteForce(qs, inst, false)
+}
+
+// bruteForce enumerates subsets grouped by size — descending for the
+// maximisation problem (first hit is a maximum set), ascending for the
+// existence problem (small sets are cheaper to refute or confirm).
+func bruteForce(qs []eq.Query, inst *db.Instance, smallestFirst bool) (*Result, error) {
+	n := len(qs)
+	if n == 0 {
+		return nil, nil
+	}
+	if n > 20 {
+		panic("coord: brute force limited to 20 queries")
+	}
+	start := inst.QueriesIssued()
+	renamed := renameAll(qs)
+	edges := ExtendedGraph(qs)
+
+	// Candidate providers per (query, post-atom): which heads unify.
+	providers := map[[2]int][]ExtendedEdge{}
+	for _, e := range edges {
+		k := [2]int{e.FromQ, e.PostIdx}
+		providers[k] = append(providers[k], e)
+	}
+
+	masks := make([][]uint32, n+1)
+	for m := uint32(1); m < 1<<n; m++ {
+		pc := popcount(m)
+		masks[pc] = append(masks[pc], m)
+	}
+	sizes := make([]int, 0, n)
+	if smallestFirst {
+		for s := 1; s <= n; s++ {
+			sizes = append(sizes, s)
+		}
+	} else {
+		for s := n; s >= 1; s-- {
+			sizes = append(sizes, s)
+		}
+	}
+	for _, size := range sizes {
+		for _, m := range masks[size] {
+			set := maskSet(m)
+			s, bind, ok, err := trySubset(renamed, set, providers, inst)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return finishResult(qs, set, s, bind, inst, start)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// trySubset decides whether the given subset coordinates: it searches
+// over the choice of provider head for every postcondition (all heads
+// must come from within the subset), accumulating the unifier, then
+// grounds the combined body.
+func trySubset(renamed []eq.Query, set []int, providers map[[2]int][]ExtendedEdge, inst *db.Instance) (*unify.Subst, db.Binding, bool, error) {
+	inSet := map[int]bool{}
+	for _, i := range set {
+		inSet[i] = true
+	}
+	// Collect the posts to satisfy and each one's in-subset providers.
+	type need struct {
+		q, p  int
+		cands []ExtendedEdge
+	}
+	var needs []need
+	for _, i := range set {
+		for pi := range renamed[i].Post {
+			var cs []ExtendedEdge
+			for _, e := range providers[[2]int{i, pi}] {
+				if inSet[e.ToQ] {
+					cs = append(cs, e)
+				}
+			}
+			if len(cs) == 0 {
+				return nil, nil, false, nil // unsatisfiable postcondition
+			}
+			needs = append(needs, need{i, pi, cs})
+		}
+	}
+	var body []eq.Atom
+	for _, i := range set {
+		body = append(body, renamed[i].Body...)
+	}
+
+	var solve func(k int, s *unify.Subst) (*unify.Subst, db.Binding, bool, error)
+	solve = func(k int, s *unify.Subst) (*unify.Subst, db.Binding, bool, error) {
+		if k == len(needs) {
+			bind, found, err := inst.SolveUnder(body, s)
+			if err != nil || !found {
+				return nil, nil, false, err
+			}
+			return s, bind, true, nil
+		}
+		nd := needs[k]
+		for _, e := range nd.cands {
+			s2 := s.Clone()
+			p := renamed[e.FromQ].Post[e.PostIdx]
+			h := renamed[e.ToQ].Head[e.HeadIdx]
+			if err := s2.UnifyAtoms(p, h); err != nil {
+				continue
+			}
+			rs, rb, ok, err := solve(k+1, s2)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			if ok {
+				return rs, rb, true, nil
+			}
+		}
+		return nil, nil, false, nil
+	}
+	return solve(0, unify.New())
+}
+
+func popcount(m uint32) int {
+	c := 0
+	for m != 0 {
+		m &= m - 1
+		c++
+	}
+	return c
+}
+
+func maskSet(m uint32) []int {
+	var out []int
+	for i := 0; m != 0; i++ {
+		if m&1 == 1 {
+			out = append(out, i)
+		}
+		m >>= 1
+	}
+	return out
+}

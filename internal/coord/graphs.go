@@ -1,0 +1,145 @@
+// Package coord implements the paper's coordination algorithms over
+// entangled queries: coordination-graph construction, the safety and
+// uniqueness properties (§2.3), the Gupta et al. baseline for safe and
+// unique sets, the SCC Coordination Algorithm (§4), a solver for
+// single-connected sets (Theorem 3), an exact brute-force solver used as
+// a testing oracle, and the Definition-1 verifier.
+package coord
+
+import (
+	"sort"
+	"strconv"
+
+	"entangled/internal/eq"
+	"entangled/internal/graph"
+	"entangled/internal/unify"
+)
+
+// ExtendedEdge is one edge of the extended coordination graph: the
+// PostIdx-th postcondition atom of query FromQ unifies with the
+// HeadIdx-th head atom of query ToQ (indices into the query slice).
+type ExtendedEdge struct {
+	FromQ, PostIdx int
+	ToQ, HeadIdx   int
+}
+
+// ExtendedGraph computes all edges of the extended coordination graph of
+// qs: one edge per unifiable (postcondition atom, head atom) pair,
+// including pairs within a single query.
+//
+// Head atoms are bucketed by relation and by the constant in their first
+// argument, so a postcondition with a constant first argument (the
+// common "R(User, x)" pattern) only probes the handful of heads that
+// could match instead of all of them; Figure 6's graph-construction
+// sweep relies on this being near-linear in practice.
+func ExtendedGraph(qs []eq.Query) []ExtendedEdge {
+	type headRef struct {
+		q, h int
+		atom eq.Atom
+	}
+	// Per relation: heads keyed by their first-argument constant, plus
+	// heads whose first argument is a variable (they match any post).
+	byConst := map[string]map[string][]headRef{}
+	varHead := map[string][]headRef{}
+	allHead := map[string][]headRef{}
+	for j, q := range qs {
+		for hi, h := range q.Head {
+			ref := headRef{j, hi, h}
+			allHead[h.Rel] = append(allHead[h.Rel], ref)
+			if len(h.Args) > 0 && !h.Args[0].IsVar() {
+				m := byConst[h.Rel]
+				if m == nil {
+					m = map[string][]headRef{}
+					byConst[h.Rel] = m
+				}
+				m[h.Args[0].Name] = append(m[h.Args[0].Name], ref)
+			} else {
+				varHead[h.Rel] = append(varHead[h.Rel], ref)
+			}
+		}
+	}
+	var edges []ExtendedEdge
+	probe := func(i, pi int, p eq.Atom, cands []headRef) {
+		for _, c := range cands {
+			if unify.Unifiable(p, c.atom) {
+				edges = append(edges, ExtendedEdge{i, pi, c.q, c.h})
+			}
+		}
+	}
+	for i, q := range qs {
+		for pi, p := range q.Post {
+			if len(p.Args) > 0 && !p.Args[0].IsVar() {
+				probe(i, pi, p, byConst[p.Rel][p.Args[0].Name])
+				probe(i, pi, p, varHead[p.Rel])
+			} else {
+				probe(i, pi, p, allHead[p.Rel])
+			}
+		}
+	}
+	return edges
+}
+
+// CoordinationGraph collapses the extended graph's parallel edges into
+// the coordination graph: node per query, edge i -> j when some
+// postcondition of query i unifies with some head of query j.
+func CoordinationGraph(qs []eq.Query) *graph.Digraph {
+	return coordinationGraph(len(qs), ExtendedGraph(qs))
+}
+
+func coordinationGraph(n int, edges []ExtendedEdge) *graph.Digraph {
+	g := graph.New(n)
+	for _, e := range edges {
+		g.AddEdge(e.FromQ, e.ToQ)
+	}
+	return g
+}
+
+// UnsafeQueries returns the indices of queries that are unsafe in qs: a
+// query is unsafe if one of its postcondition atoms unifies with more
+// than one head atom appearing in the set (Definition 2).
+func UnsafeQueries(qs []eq.Query) []int {
+	return unsafeIn(len(qs), ExtendedGraph(qs))
+}
+
+func unsafeIn(n int, edges []ExtendedEdge) []int {
+	fanout := map[[2]int]int{} // (query, post index) -> number of unifiable heads
+	for _, e := range edges {
+		fanout[[2]int{e.FromQ, e.PostIdx}]++
+	}
+	bad := map[int]bool{}
+	for k, c := range fanout {
+		if c > 1 {
+			bad[k[0]] = true
+		}
+	}
+	var out []int
+	for i := range bad {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsSafe reports whether the whole set is safe (no unsafe query).
+func IsSafe(qs []eq.Query) bool { return len(UnsafeQueries(qs)) == 0 }
+
+// IsUnique reports whether a safe set is unique: its coordination graph
+// has a directed path between every two vertices (Definition 3), i.e. it
+// is strongly connected.
+func IsUnique(qs []eq.Query) bool {
+	return CoordinationGraph(qs).StronglyConnected()
+}
+
+// renameAll returns copies of qs with disjoint variable namespaces:
+// query i's variables are prefixed "q<i>.".
+func renameAll(qs []eq.Query) []eq.Query {
+	out := make([]eq.Query, len(qs))
+	for i, q := range qs {
+		out[i] = q.Rename(varPrefix(i))
+	}
+	return out
+}
+
+func varPrefix(i int) string {
+	return "q" + strconv.Itoa(i) + "."
+}

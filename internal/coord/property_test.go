@@ -1,0 +1,187 @@
+package coord
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"entangled/internal/db"
+	"entangled/internal/graph"
+	"entangled/internal/workload"
+)
+
+// newWorkloadInstance builds the small table the randomized workloads
+// query.
+func newWorkloadInstance(rows int) *db.Instance {
+	in := db.NewInstance()
+	workload.UserTable(in, rows)
+	return in
+}
+
+// Property: on random safe query sets, the SCC algorithm finds a
+// coordinating set exactly when one exists (the paper's guarantee),
+// never exceeds the brute-force maximum, and every returned set passes
+// the Definition-1 verifier.
+func TestQuickSCCMatchesBruteForceExistence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func() bool {
+		n := 1 + rng.Intn(7)
+		qs := workload.RandomSafeQueries(n, 5, 0.3, 0.7, rng)
+		if !IsSafe(qs) {
+			return false // generator must produce safe sets
+		}
+		in := newWorkloadInstance(5)
+		res, err := SCCCoordinate(qs, in, Options{})
+		if err != nil {
+			return false
+		}
+		bf, err := BruteForceMax(qs, in)
+		if err != nil {
+			return false
+		}
+		if (res != nil) != (bf != nil) {
+			t.Logf("existence mismatch: scc=%v brute=%v", res, bf)
+			return false
+		}
+		if res == nil {
+			return true
+		}
+		if res.Size() > bf.Size() {
+			t.Logf("scc set larger than optimum: %d > %d", res.Size(), bf.Size())
+			return false
+		}
+		if err := Verify(qs, res.Set, res.Values, in); err != nil {
+			t.Logf("scc result fails verification: %v", err)
+			return false
+		}
+		if err := Verify(qs, bf.Set, bf.Values, in); err != nil {
+			t.Logf("brute-force result fails verification: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pruning is purely an optimisation — results agree with and
+// without it.
+func TestQuickPruningAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	f := func() bool {
+		n := 1 + rng.Intn(8)
+		qs := workload.RandomSafeQueries(n, 5, 0.3, 0.6, rng)
+		in := newWorkloadInstance(5)
+		a, err := SCCCoordinate(qs, in, Options{})
+		if err != nil {
+			return false
+		}
+		b, err := SCCCoordinate(qs, in, Options{SkipPruning: true})
+		if err != nil {
+			return false
+		}
+		if (a == nil) != (b == nil) {
+			return false
+		}
+		return a == nil || a.Size() == b.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on safe AND unique sets, the Gupta baseline and the SCC
+// algorithm agree on existence, and when a set exists both return the
+// whole input (uniqueness forces all-or-nothing coordination).
+func TestQuickGuptaAgreesOnUniqueSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	checked := 0
+	for checked < 60 {
+		n := 2 + rng.Intn(5)
+		// A random cycle permutation yields a safe, unique structure.
+		qs := workload.GraphQueries(cyclePerm(n, rng), 5)
+		if !IsSafe(qs) || !IsUnique(qs) {
+			t.Fatal("cycle workload must be safe and unique")
+		}
+		in := newWorkloadInstance(5)
+		g, err := GuptaCoordinate(qs, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SCCCoordinate(qs, in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (g == nil) != (s == nil) {
+			t.Fatalf("existence mismatch: gupta=%v scc=%v", g, s)
+		}
+		if g != nil {
+			if g.Size() != n || s.Size() != n {
+				t.Fatalf("unique sets coordinate all-or-nothing: gupta=%d scc=%d n=%d", g.Size(), s.Size(), n)
+			}
+			if err := Verify(qs, g.Set, g.Values, in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checked++
+	}
+}
+
+// cyclePerm builds a directed cycle over a random permutation of n
+// nodes.
+func cyclePerm(n int, rng *rand.Rand) *graph.Digraph {
+	perm := rng.Perm(n)
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(perm[i], perm[(i+1)%n])
+	}
+	return g
+}
+
+// Property: the chain workload of Figure 4 always coordinates in full
+// (bodies all satisfiable), and the candidate for query 0 covers the
+// whole chain.
+func TestListWorkloadCoordinatesFully(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 17} {
+		in := newWorkloadInstance(50)
+		qs := workload.ListQueries(n, 50)
+		res, err := SCCCoordinate(qs, in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Size() != n {
+			t.Fatalf("n=%d: size=%d", n, res.Size())
+		}
+		if err := Verify(qs, res.Set, res.Values, in); err != nil {
+			t.Fatal(err)
+		}
+		// One pruning query per query plus one grounding per SCC.
+		if res.DBQueries != int64(2*n) {
+			t.Fatalf("n=%d: DBQueries=%d, want %d", n, res.DBQueries, 2*n)
+		}
+	}
+}
+
+// Property: scale-free workloads always coordinate in full as well (all
+// bodies satisfiable, all postconditions providable).
+func TestScaleFreeWorkloadCoordinates(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, n := range []int{5, 20, 60} {
+		in := newWorkloadInstance(100)
+		qs := workload.ScaleFreeQueries(n, 2, 100, rng)
+		if !IsSafe(qs) {
+			t.Fatal("scale-free workload must be safe")
+		}
+		res, err := SCCCoordinate(qs, in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == nil {
+			t.Fatalf("n=%d: no coordinating set", n)
+		}
+		if err := Verify(qs, res.Set, res.Values, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package coord
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"entangled/internal/db"
+	"entangled/internal/eq"
+	"entangled/internal/unify"
+)
+
+// Result is a coordinating set together with the witnessing assignment.
+type Result struct {
+	// Set holds the indices (into the input query slice) of the queries
+	// in the coordinating set, sorted ascending.
+	Set []int
+	// Values maps each query index in Set to an assignment of that
+	// query's original variable names to database values. Every variable
+	// of every query in the set is assigned (Definition 1, condition 1).
+	Values map[int]map[string]eq.Value
+	// DBQueries is the number of conjunctive queries issued while
+	// computing this result (as reported by the algorithm).
+	DBQueries int64
+}
+
+// IDs returns the query identifiers of the coordinating set.
+func (r *Result) IDs(qs []eq.Query) []string {
+	out := make([]string, len(r.Set))
+	for i, qi := range r.Set {
+		out[i] = qs[qi].ID
+	}
+	return out
+}
+
+// String renders the result compactly for logs and examples.
+func (r *Result) String() string {
+	if r == nil {
+		return "<no coordinating set>"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "coordinating set of %d queries %v", len(r.Set), r.Set)
+	return sb.String()
+}
+
+// Size returns the number of queries in the set (0 for nil).
+func (r *Result) Size() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Set)
+}
+
+// Verify checks that (set, values) is a coordinating set for qs over
+// inst, per Definition 1 of the paper:
+//
+//  1. every variable of every query in the set is assigned;
+//  2. the grounded version of every body atom appears in the instance;
+//  3. the grounded postcondition atoms form a subset of the grounded
+//     head atoms of the set.
+//
+// It returns nil when all three conditions hold.
+func Verify(qs []eq.Query, set []int, values map[int]map[string]eq.Value, inst *db.Instance) error {
+	if len(set) == 0 {
+		return fmt.Errorf("coord: coordinating set must be non-empty")
+	}
+	inSet := map[int]bool{}
+	for _, i := range set {
+		if i < 0 || i >= len(qs) {
+			return fmt.Errorf("coord: set member %d out of range", i)
+		}
+		if inSet[i] {
+			return fmt.Errorf("coord: duplicate set member %d", i)
+		}
+		inSet[i] = true
+	}
+
+	ground := func(qi int, a eq.Atom) (eq.Atom, error) {
+		out := a.Clone()
+		for k, t := range out.Args {
+			if !t.IsVar() {
+				continue
+			}
+			v, ok := values[qi][t.Name]
+			if !ok {
+				return out, fmt.Errorf("coord: query %d variable %s unassigned", qi, t.Name)
+			}
+			out.Args[k] = eq.C(v)
+		}
+		return out, nil
+	}
+
+	headSet := map[string]bool{}
+	type postAtom struct {
+		qi int
+		a  eq.Atom
+	}
+	var posts []postAtom
+	for _, qi := range set {
+		q := qs[qi]
+		// Condition 1 for variables that appear anywhere in the query.
+		for _, v := range q.Vars() {
+			if _, ok := values[qi][v]; !ok {
+				return fmt.Errorf("coord: query %d (%s) variable %s unassigned", qi, q.ID, v)
+			}
+		}
+		// Condition 2: grounded bodies present in the instance.
+		for _, b := range q.Body {
+			g, err := ground(qi, b)
+			if err != nil {
+				return err
+			}
+			if !inst.Contains(g) {
+				return fmt.Errorf("coord: query %d (%s): grounded body atom %s not in database", qi, q.ID, g)
+			}
+		}
+		for _, h := range q.Head {
+			g, err := ground(qi, h)
+			if err != nil {
+				return err
+			}
+			headSet[g.String()] = true
+		}
+		for _, p := range q.Post {
+			g, err := ground(qi, p)
+			if err != nil {
+				return err
+			}
+			posts = append(posts, postAtom{qi, g})
+		}
+	}
+	// Condition 3: grounded posts ⊆ grounded heads.
+	for _, p := range posts {
+		if !headSet[p.a.String()] {
+			return fmt.Errorf("coord: query %d (%s): grounded postcondition %s not among grounded heads", p.qi, qs[p.qi].ID, p.a)
+		}
+	}
+	return nil
+}
+
+// extractValues converts the algorithm-internal state (renamed queries,
+// accumulated MGU, database binding) back into per-query assignments of
+// the original variable names. Variables left unconstrained by both the
+// unifier and the database are assigned fallback (Definition 1 only
+// requires that some value be assigned; any domain value works since
+// such variables occur in no body atom and their post/head occurrences
+// were equalised by unification).
+func extractValues(qs []eq.Query, set []int, s *unify.Subst, bind db.Binding, fallback eq.Value) map[int]map[string]eq.Value {
+	values := map[int]map[string]eq.Value{}
+	for _, qi := range set {
+		m := map[string]eq.Value{}
+		for _, v := range qs[qi].Vars() {
+			renamed := varPrefix(qi) + v
+			t := s.Resolve(eq.V(renamed))
+			if !t.IsVar() {
+				m[v] = t.Const()
+				continue
+			}
+			if val, ok := bind[t.Name]; ok {
+				m[v] = val
+				continue
+			}
+			m[v] = fallback
+		}
+		values[qi] = m
+	}
+	return values
+}
+
+// sortedCopy returns a sorted copy of xs.
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,294 @@
+package coord
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"entangled/internal/db"
+	"entangled/internal/eq"
+	"entangled/internal/graph"
+	"entangled/internal/unify"
+)
+
+// Trace records the steps the SCC Coordination Algorithm took, for
+// debugging and for coordctl's -explain flag. Populate it by passing a
+// non-nil Options.Trace to SCCCoordinate.
+type Trace struct {
+	// Pruned lists queries removed by the §6.1 preprocessing, with the
+	// reason ("body" or "postcondition").
+	Pruned []PruneEvent
+	// Components holds one event per strongly connected component, in
+	// the order processed (reverse topological).
+	Components []ComponentEvent
+}
+
+// PruneEvent is one preprocessing removal.
+type PruneEvent struct {
+	Query  int
+	Reason string // "unsatisfiable body" or "unsatisfiable postcondition"
+}
+
+// ComponentEvent is the outcome of processing one component.
+type ComponentEvent struct {
+	Members  []int  // queries in this component
+	Set      []int  // R(q): the full candidate set (members + reachable)
+	Status   string // "grounded", "unification failed", "no tuple", "successor failed", "pruned"
+	SetSize  int    // len(Set) when grounded
+	Combined string // the combined conjunctive query sent to the database (when any)
+}
+
+// WriteTo renders the trace as indented text, naming queries by ID.
+func (t *Trace) Render(w io.Writer, qs []eq.Query) error {
+	var sb strings.Builder
+	if len(t.Pruned) > 0 {
+		sb.WriteString("pruned during preprocessing:\n")
+		for _, p := range t.Pruned {
+			fmt.Fprintf(&sb, "  %s: %s\n", qs[p.Query].ID, p.Reason)
+		}
+	}
+	fmt.Fprintf(&sb, "components processed (reverse topological order):\n")
+	for i, c := range t.Components {
+		ids := make([]string, len(c.Members))
+		for j, m := range c.Members {
+			ids[j] = qs[m].ID
+		}
+		fmt.Fprintf(&sb, "  %d. {%s}: %s", i+1, strings.Join(ids, ", "), c.Status)
+		if c.Status == "grounded" {
+			fmt.Fprintf(&sb, " (candidate set of %d)", c.SetSize)
+		}
+		sb.WriteString("\n")
+		if c.Combined != "" {
+			fmt.Fprintf(&sb, "     query: %s\n", c.Combined)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// runSCC executes the SCC Coordination Algorithm and returns every
+// grounded candidate (the family {R(q)}), in processing order.
+// SCCCoordinate applies the selector to pick one; AllCandidates exposes
+// the whole family.
+func runSCC(qs []eq.Query, inst *db.Instance, opts Options) ([]Candidate, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	tr := opts.Trace
+	edges := ExtendedGraph(qs)
+	if !opts.SkipSafetyCheck {
+		if bad := unsafeIn(len(qs), edges); len(bad) > 0 {
+			return nil, fmt.Errorf("%w: unsafe queries %v", ErrUnsafe, bad)
+		}
+	}
+	renamed := renameAll(qs)
+
+	alive := make([]bool, len(qs))
+	for i := range alive {
+		alive[i] = true
+	}
+	if !opts.SkipPruning {
+		if err := pruneTraced(renamed, edges, inst, alive, tr); err != nil {
+			return nil, err
+		}
+	}
+
+	g := graph.New(len(qs))
+	for _, e := range edges {
+		if alive[e.FromQ] && alive[e.ToQ] {
+			g.AddEdge(e.FromQ, e.ToQ)
+		}
+	}
+	dag, _, members := g.Condense()
+
+	order, err := dag.TopoOrder()
+	if err != nil {
+		return nil, err // cannot happen: condensation is a DAG
+	}
+	reverse(order)
+
+	nc := dag.N()
+	reach := make([][]bool, nc)
+	failed := make([]bool, nc)
+	compSubst := make([]*unify.Subst, nc) // incremental mode: per-component MGU
+	var cands []Candidate
+
+	for _, c := range order {
+		ev := ComponentEvent{Members: append([]int(nil), members[c]...)}
+		if !alive[members[c][0]] {
+			failed[c] = true
+			if tr != nil {
+				ev.Status = "pruned"
+				tr.Components = append(tr.Components, ev)
+			}
+			continue
+		}
+		r := make([]bool, nc)
+		r[c] = true
+		ok := true
+		for _, succ := range dag.Succ(c) {
+			if failed[succ] {
+				ok = false
+				break
+			}
+			for i, b := range reach[succ] {
+				if b {
+					r[i] = true
+				}
+			}
+		}
+		reach[c] = r
+		if !ok {
+			failed[c] = true
+			if tr != nil {
+				ev.Status = "successor failed"
+				tr.Components = append(tr.Components, ev)
+			}
+			continue
+		}
+
+		var set []int
+		for cc := 0; cc < nc; cc++ {
+			if r[cc] {
+				set = append(set, members[cc]...)
+			}
+		}
+		inSet := make(map[int]bool, len(set))
+		for _, i := range set {
+			inSet[i] = true
+		}
+		s := unify.New()
+		unifyOK := true
+		if opts.IncrementalUnify {
+			// The paper's implementation: reuse each successor's combined
+			// MGU and only unify this component's own postconditions.
+			for _, succ := range dag.Succ(c) {
+				if err := s.MergeFrom(compSubst[succ]); err != nil {
+					unifyOK = false
+					break
+				}
+			}
+			if unifyOK {
+				inComp := make(map[int]bool, len(members[c]))
+				for _, i := range members[c] {
+					inComp[i] = true
+				}
+				for _, e := range edges {
+					if !inComp[e.FromQ] || !inSet[e.ToQ] {
+						continue
+					}
+					p := renamed[e.FromQ].Post[e.PostIdx]
+					h := renamed[e.ToQ].Head[e.HeadIdx]
+					if err := s.UnifyAtoms(p, h); err != nil {
+						unifyOK = false
+						break
+					}
+				}
+			}
+		} else {
+			// Recompute the MGU of the whole reachable set from scratch.
+			for _, e := range edges {
+				if !inSet[e.FromQ] || !inSet[e.ToQ] {
+					continue
+				}
+				p := renamed[e.FromQ].Post[e.PostIdx]
+				h := renamed[e.ToQ].Head[e.HeadIdx]
+				if err := s.UnifyAtoms(p, h); err != nil {
+					unifyOK = false
+					break
+				}
+			}
+		}
+		if !unifyOK {
+			failed[c] = true
+			if tr != nil {
+				ev.Status = "unification failed"
+				ev.Set = sortedCopy(set)
+				tr.Components = append(tr.Components, ev)
+			}
+			continue
+		}
+
+		compSubst[c] = s
+
+		var body []eq.Atom
+		for _, i := range set {
+			body = append(body, renamed[i].Body...)
+		}
+		bind, found, err := inst.SolveUnder(body, s)
+		if err != nil {
+			return nil, err
+		}
+		if tr != nil {
+			ev.Set = sortedCopy(set)
+			ev.Combined = renderCombined(s.ApplyAll(body))
+		}
+		if !found {
+			failed[c] = true
+			if tr != nil {
+				ev.Status = "no tuple"
+				tr.Components = append(tr.Components, ev)
+			}
+			continue
+		}
+		if tr != nil {
+			ev.Status = "grounded"
+			ev.SetSize = len(set)
+			tr.Components = append(tr.Components, ev)
+		}
+		cands = append(cands, Candidate{Set: sortedCopy(set), subst: s, binding: bind})
+	}
+
+	return cands, nil
+}
+
+// pruneTraced is prune with event recording.
+func pruneTraced(renamed []eq.Query, edges []ExtendedEdge, inst *db.Instance, alive []bool, tr *Trace) error {
+	for i, q := range renamed {
+		sat, err := inst.Satisfiable(q.Body)
+		if err != nil {
+			return err
+		}
+		if !sat {
+			alive[i] = false
+			if tr != nil {
+				tr.Pruned = append(tr.Pruned, PruneEvent{Query: i, Reason: "unsatisfiable body"})
+			}
+		}
+	}
+	for {
+		changed := false
+		providers := map[[2]int]int{}
+		for _, e := range edges {
+			if alive[e.FromQ] && alive[e.ToQ] {
+				providers[[2]int{e.FromQ, e.PostIdx}]++
+			}
+		}
+		for i, q := range renamed {
+			if !alive[i] {
+				continue
+			}
+			for pi := range q.Post {
+				if providers[[2]int{i, pi}] == 0 {
+					alive[i] = false
+					changed = true
+					if tr != nil {
+						tr.Pruned = append(tr.Pruned, PruneEvent{Query: i, Reason: "unsatisfiable postcondition"})
+					}
+					break
+				}
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+func renderCombined(body []eq.Atom) string {
+	parts := make([]string, len(body))
+	for i, a := range body {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}

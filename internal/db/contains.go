@@ -1,0 +1,46 @@
+package db
+
+import "entangled/internal/eq"
+
+// Contains reports whether the ground atom a denotes a tuple present in
+// the instance. Unlike Solve it does not increment the query counter; it
+// exists for verifiers and tests. Atoms over unknown relations or with
+// variables are simply not contained.
+func (in *Instance) Contains(a eq.Atom) bool {
+	r, ok := in.rels[a.Rel]
+	if !ok || r.Arity() != len(a.Args) {
+		return false
+	}
+	vals := make([]eq.Value, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+		vals[i] = t.Const()
+	}
+	// Use an index when one exists.
+	for col, idx := range r.indexes {
+		rows := idx[vals[col]]
+		for _, row := range rows {
+			if tupleEqual(r.tuples[row], vals) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, t := range r.tuples {
+		if tupleEqual(t, vals) {
+			return true
+		}
+	}
+	return false
+}
+
+func tupleEqual(t Tuple, vals []eq.Value) bool {
+	for i := range t {
+		if t[i] != vals[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,186 @@
+// Package db implements the in-memory relational database substrate.
+//
+// The paper's prototypes issue conjunctive queries to MySQL through JDBC;
+// the algorithms treat the database purely as an oracle that answers
+// conjunctive (select-project-join) queries under choose-1 semantics and
+// that can enumerate all answers. This package provides that oracle:
+// named relations with hash indexes, a backtracking join evaluator, and a
+// counter of issued queries so that experiments can report "number of
+// database queries" exactly as the paper does.
+package db
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"entangled/internal/eq"
+)
+
+// Tuple is a database row.
+type Tuple []eq.Value
+
+// Relation is a named table with a fixed arity and optional per-column
+// hash indexes.
+type Relation struct {
+	Name    string
+	Attrs   []string // attribute names; len(Attrs) is the arity
+	tuples  []Tuple
+	indexes map[int]map[eq.Value][]int // column -> value -> row numbers
+}
+
+// NewRelation creates an empty relation with the given attribute names.
+func NewRelation(name string, attrs ...string) *Relation {
+	return &Relation{
+		Name:    name,
+		Attrs:   attrs,
+		indexes: map[int]map[eq.Value][]int{},
+	}
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert appends a tuple; it must match the relation's arity.
+func (r *Relation) Insert(vals ...eq.Value) {
+	if len(vals) != len(r.Attrs) {
+		panic(fmt.Sprintf("db: %s expects %d columns, got %d", r.Name, len(r.Attrs), len(vals)))
+	}
+	t := make(Tuple, len(vals))
+	copy(t, vals)
+	row := len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	for col, idx := range r.indexes {
+		idx[t[col]] = append(idx[t[col]], row)
+	}
+}
+
+// BuildIndex creates (or rebuilds) a hash index on the given column.
+func (r *Relation) BuildIndex(col int) {
+	idx := map[eq.Value][]int{}
+	for row, t := range r.tuples {
+		idx[t[col]] = append(idx[t[col]], row)
+	}
+	r.indexes[col] = idx
+}
+
+// Tuple returns the i-th tuple (shared, do not mutate).
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Distinct returns the distinct value combinations over the given
+// columns, in first-appearance order.
+func (r *Relation) Distinct(cols []int) []Tuple {
+	seen := map[string]bool{}
+	var out []Tuple
+	for _, t := range r.tuples {
+		key := ""
+		proj := make(Tuple, len(cols))
+		for i, c := range cols {
+			proj[i] = t[c]
+			key += string(t[c]) + "\x00"
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, proj)
+		}
+	}
+	return out
+}
+
+// Instance is a database instance: a set of relations plus counters that
+// experiments read.
+type Instance struct {
+	rels map[string]*Relation
+
+	// UseIndexes controls whether the evaluator consults hash indexes;
+	// turning it off degrades lookups to scans (used by the ablation
+	// benchmarks).
+	UseIndexes bool
+
+	// SimulatedLatency, when non-zero, is added to every database query
+	// to model the per-round-trip cost of a networked SQL server (the
+	// paper's prototypes talk to MySQL over JDBC, where this cost
+	// dominates and makes the reported curves linear in the number of
+	// queries). Off by default; cmd/coordbench exposes it as -latency.
+	SimulatedLatency time.Duration
+
+	queries int64 // number of conjunctive queries answered (atomic)
+}
+
+// NewInstance returns an empty database instance with indexing enabled.
+func NewInstance() *Instance {
+	return &Instance{rels: map[string]*Relation{}, UseIndexes: true}
+}
+
+// AddRelation registers a relation; it replaces any previous relation of
+// the same name.
+func (in *Instance) AddRelation(r *Relation) { in.rels[r.Name] = r }
+
+// CreateRelation creates, registers and returns an empty relation.
+func (in *Instance) CreateRelation(name string, attrs ...string) *Relation {
+	r := NewRelation(name, attrs...)
+	in.AddRelation(r)
+	return r
+}
+
+// Relation looks up a relation by name.
+func (in *Instance) Relation(name string) (*Relation, bool) {
+	r, ok := in.rels[name]
+	return r, ok
+}
+
+// Schema returns relation name -> arity for every relation.
+func (in *Instance) Schema() map[string]int {
+	out := map[string]int{}
+	for n, r := range in.rels {
+		out[n] = r.Arity()
+	}
+	return out
+}
+
+// RelationNames returns the sorted relation names.
+func (in *Instance) RelationNames() []string {
+	var out []string
+	for n := range in.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QueriesIssued returns how many conjunctive queries have been answered
+// since the last ResetCounters.
+func (in *Instance) QueriesIssued() int64 { return atomic.LoadInt64(&in.queries) }
+
+// ResetCounters zeroes the query counter.
+func (in *Instance) ResetCounters() { atomic.StoreInt64(&in.queries, 0) }
+
+func (in *Instance) countQuery() {
+	atomic.AddInt64(&in.queries, 1)
+	if in.SimulatedLatency > 0 {
+		time.Sleep(in.SimulatedLatency)
+	}
+}
+
+// Domain returns every constant appearing anywhere in the instance,
+// sorted. Coordinating-set assignments draw values from this domain.
+func (in *Instance) Domain() []eq.Value {
+	seen := map[eq.Value]bool{}
+	for _, r := range in.rels {
+		for _, t := range r.tuples {
+			for _, v := range t {
+				seen[v] = true
+			}
+		}
+	}
+	out := make([]eq.Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,398 @@
+package db
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"entangled/internal/eq"
+	"entangled/internal/unify"
+)
+
+func flightsInstance() *Instance {
+	in := NewInstance()
+	f := in.CreateRelation("Flights", "fid", "dest")
+	f.Insert("101", "Zurich")
+	f.Insert("102", "Paris")
+	f.Insert("103", "Zurich")
+	f.BuildIndex(1)
+	h := in.CreateRelation("Hotels", "hid", "loc")
+	h.Insert("h1", "Zurich")
+	h.Insert("h2", "Paris")
+	return in
+}
+
+func TestSolveSingleAtom(t *testing.T) {
+	in := flightsInstance()
+	b, ok, err := in.Solve([]eq.Atom{eq.NewAtom("Flights", eq.V("x"), eq.C("Zurich"))})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if b["x"] != "101" && b["x"] != "103" {
+		t.Fatalf("x = %v", b["x"])
+	}
+}
+
+func TestSolveNoMatch(t *testing.T) {
+	in := flightsInstance()
+	_, ok, err := in.Solve([]eq.Atom{eq.NewAtom("Flights", eq.V("x"), eq.C("Oslo"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("no flight to Oslo")
+	}
+}
+
+func TestSolveJoin(t *testing.T) {
+	in := flightsInstance()
+	// A flight and a hotel in the same place.
+	body := []eq.Atom{
+		eq.NewAtom("Flights", eq.V("f"), eq.V("loc")),
+		eq.NewAtom("Hotels", eq.V("h"), eq.V("loc")),
+	}
+	b, ok, err := in.Solve(body)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// Cross-check the join condition.
+	fl, _ := in.Relation("Flights")
+	ho, _ := in.Relation("Hotels")
+	okF, okH := false, false
+	for i := 0; i < fl.Len(); i++ {
+		tp := fl.Tuple(i)
+		if tp[0] == b["f"] && tp[1] == b["loc"] {
+			okF = true
+		}
+	}
+	for i := 0; i < ho.Len(); i++ {
+		tp := ho.Tuple(i)
+		if tp[0] == b["h"] && tp[1] == b["loc"] {
+			okH = true
+		}
+	}
+	if !okF || !okH {
+		t.Fatalf("binding %v is not a join answer", b)
+	}
+}
+
+func TestSolveEmptyBody(t *testing.T) {
+	in := flightsInstance()
+	b, ok, err := in.Solve(nil)
+	if err != nil || !ok {
+		t.Fatalf("empty body must be satisfiable: ok=%v err=%v", ok, err)
+	}
+	if len(b) != 0 {
+		t.Fatalf("empty body binds nothing, got %v", b)
+	}
+}
+
+func TestSolveRepeatedVariable(t *testing.T) {
+	in := NewInstance()
+	r := in.CreateRelation("P", "a", "b")
+	r.Insert("1", "2")
+	r.Insert("3", "3")
+	b, ok, err := in.Solve([]eq.Atom{eq.NewAtom("P", eq.V("x"), eq.V("x"))})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if b["x"] != "3" {
+		t.Fatalf("x = %v, want 3", b["x"])
+	}
+}
+
+func TestSolveUnknownRelation(t *testing.T) {
+	in := NewInstance()
+	if _, _, err := in.Solve([]eq.Atom{eq.NewAtom("Nope", eq.V("x"))}); err == nil {
+		t.Fatal("unknown relation must error")
+	}
+}
+
+func TestSolveArityMismatch(t *testing.T) {
+	in := flightsInstance()
+	if _, _, err := in.Solve([]eq.Atom{eq.NewAtom("Flights", eq.V("x"))}); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+}
+
+func TestSolveAllLimit(t *testing.T) {
+	in := flightsInstance()
+	body := []eq.Atom{eq.NewAtom("Flights", eq.V("x"), eq.V("d"))}
+	all, err := in.SolveAll(body, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("want 3 answers, got %d", len(all))
+	}
+	two, err := in.SolveAll(body, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 {
+		t.Fatalf("limit 2 gave %d", len(two))
+	}
+}
+
+func TestSolveUnder(t *testing.T) {
+	in := flightsInstance()
+	s := unify.New()
+	if err := s.Bind("dest", "Paris"); err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := in.SolveUnder([]eq.Atom{eq.NewAtom("Flights", eq.V("x"), eq.V("dest"))}, s)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if b["x"] != "102" {
+		t.Fatalf("x = %v", b["x"])
+	}
+}
+
+func TestQueryCounter(t *testing.T) {
+	in := flightsInstance()
+	in.ResetCounters()
+	_, _, _ = in.Solve(nil)
+	_, _ = in.Satisfiable(nil)
+	if got := in.QueriesIssued(); got != 2 {
+		t.Fatalf("QueriesIssued = %d, want 2", got)
+	}
+	in.ResetCounters()
+	if got := in.QueriesIssued(); got != 0 {
+		t.Fatalf("after reset: %d", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	in := flightsInstance()
+	if !in.Contains(eq.NewAtom("Flights", eq.C("101"), eq.C("Zurich"))) {
+		t.Fatal("tuple should be present")
+	}
+	if in.Contains(eq.NewAtom("Flights", eq.C("101"), eq.C("Paris"))) {
+		t.Fatal("tuple should be absent")
+	}
+	if in.Contains(eq.NewAtom("Flights", eq.V("x"), eq.C("Paris"))) {
+		t.Fatal("non-ground atom is not contained")
+	}
+	if in.Contains(eq.NewAtom("Nope", eq.C("1"))) {
+		t.Fatal("unknown relation is not contained")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	in := flightsInstance()
+	f, _ := in.Relation("Flights")
+	d := f.Distinct([]int{1})
+	if len(d) != 2 {
+		t.Fatalf("distinct destinations = %v", d)
+	}
+}
+
+func TestProject(t *testing.T) {
+	in := flightsInstance()
+	rows, err := in.Project("Flights", []int{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 distinct destinations, got %v", rows)
+	}
+	rows, err = in.Project("Flights", []int{0}, map[int]eq.Value{1: "Zurich"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want flights 101 and 103, got %v", rows)
+	}
+	if _, err := in.Project("Nope", []int{0}, nil); err == nil {
+		t.Fatal("unknown relation must error")
+	}
+}
+
+func TestSelectOne(t *testing.T) {
+	in := flightsInstance()
+	tp, ok, err := in.SelectOne("Flights", map[int]eq.Value{1: "Paris"})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if tp[0] != "102" {
+		t.Fatalf("tuple = %v", tp)
+	}
+	_, ok, err = in.SelectOne("Flights", map[int]eq.Value{1: "Oslo"})
+	if err != nil || ok {
+		t.Fatal("no Oslo flight")
+	}
+}
+
+func TestInsertArityPanics(t *testing.T) {
+	in := NewInstance()
+	r := in.CreateRelation("R", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad arity insert must panic")
+		}
+	}()
+	r.Insert("only-one")
+}
+
+func TestDomain(t *testing.T) {
+	in := flightsInstance()
+	dom := in.Domain()
+	want := map[eq.Value]bool{"101": true, "Zurich": true, "Paris": true, "102": true, "103": true, "h1": true, "h2": true}
+	if len(dom) != len(want) {
+		t.Fatalf("domain = %v", dom)
+	}
+	for _, v := range dom {
+		if !want[v] {
+			t.Fatalf("unexpected domain value %v", v)
+		}
+	}
+}
+
+// naiveSolveAll enumerates all answers by plain nested loops, used as
+// the oracle for the property test.
+func naiveSolveAll(in *Instance, body []eq.Atom) []Binding {
+	var results []Binding
+	var rec func(i int, bound Binding)
+	rec = func(i int, bound Binding) {
+		if i == len(body) {
+			cp := Binding{}
+			for k, v := range bound {
+				cp[k] = v
+			}
+			results = append(results, cp)
+			return
+		}
+		a := body[i]
+		r, ok := in.Relation(a.Rel)
+		if !ok {
+			return
+		}
+		for ti := 0; ti < r.Len(); ti++ {
+			tp := r.Tuple(ti)
+			tmp := Binding{}
+			for k, v := range bound {
+				tmp[k] = v
+			}
+			match := true
+			for j, arg := range a.Args {
+				if !arg.IsVar() {
+					if arg.Const() != tp[j] {
+						match = false
+						break
+					}
+					continue
+				}
+				if v, ok := tmp[arg.Name]; ok {
+					if v != tp[j] {
+						match = false
+						break
+					}
+					continue
+				}
+				tmp[arg.Name] = tp[j]
+			}
+			if match {
+				rec(i+1, tmp)
+			}
+		}
+	}
+	rec(0, Binding{})
+	return results
+}
+
+// Property: the indexed backtracking evaluator agrees with the naive
+// nested-loop evaluator on answer sets, over random small instances and
+// random conjunctive bodies.
+func TestQuickEvalMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		in := NewInstance()
+		r := in.CreateRelation("A", "c0", "c1")
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			r.Insert(eq.Value(strconv.Itoa(rng.Intn(4))), eq.Value(strconv.Itoa(rng.Intn(4))))
+		}
+		if rng.Intn(2) == 0 {
+			r.BuildIndex(rng.Intn(2))
+		}
+		s := in.CreateRelation("B", "c0")
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			s.Insert(eq.Value(strconv.Itoa(rng.Intn(4))))
+		}
+		var body []eq.Atom
+		nAtoms := 1 + rng.Intn(3)
+		for i := 0; i < nAtoms; i++ {
+			term := func() eq.Term {
+				if rng.Intn(2) == 0 {
+					return eq.V(string(rune('x' + rng.Intn(3))))
+				}
+				return eq.C(eq.Value(strconv.Itoa(rng.Intn(4))))
+			}
+			if rng.Intn(2) == 0 {
+				body = append(body, eq.NewAtom("A", term(), term()))
+			} else {
+				body = append(body, eq.NewAtom("B", term()))
+			}
+		}
+		got, err := in.SolveAll(body, 0)
+		if err != nil {
+			return false
+		}
+		want := naiveSolveAll(in, body)
+		return sameBindingSet(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameBindingSet(a, b []Binding) bool {
+	key := func(x Binding) string {
+		// Deterministic rendering independent of map order.
+		names := []string{"x", "y", "z"}
+		out := ""
+		for _, n := range names {
+			if v, ok := x[n]; ok {
+				out += n + "=" + string(v) + ";"
+			}
+		}
+		return out
+	}
+	am := map[string]int{}
+	for _, x := range a {
+		am[key(x)]++
+	}
+	bm := map[string]int{}
+	for _, x := range b {
+		bm[key(x)]++
+	}
+	if len(am) != len(bm) {
+		return false
+	}
+	for k := range am {
+		// The two evaluators may enumerate duplicates differently when a
+		// binding arises from different tuples; compare as sets.
+		if bm[k] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUseIndexesOffSameAnswers(t *testing.T) {
+	in := flightsInstance()
+	body := []eq.Atom{eq.NewAtom("Flights", eq.V("x"), eq.C("Zurich"))}
+	withIdx, err := in.SolveAll(body, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.UseIndexes = false
+	withoutIdx, err := in.SolveAll(body, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withIdx) != len(withoutIdx) {
+		t.Fatalf("index on/off disagree: %d vs %d", len(withIdx), len(withoutIdx))
+	}
+}

@@ -1,0 +1,222 @@
+package db
+
+import (
+	"fmt"
+
+	"entangled/internal/eq"
+	"entangled/internal/unify"
+)
+
+// Binding maps variable names to database values; it is the result of
+// grounding a conjunctive query.
+type Binding map[string]eq.Value
+
+// Solve answers the conjunctive query given by body under choose-1
+// semantics: it returns one assignment of the body's variables to domain
+// values such that every grounded atom is in the instance, or ok=false
+// if none exists. An empty body is vacuously satisfiable.
+func (in *Instance) Solve(body []eq.Atom) (Binding, bool, error) {
+	res, err := in.solve(body, 1)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(res) == 0 {
+		return nil, false, nil
+	}
+	return res[0], true, nil
+}
+
+// SolveAll returns up to limit assignments satisfying the body (limit <=
+// 0 means no limit). Each assignment grounds every variable of the body.
+func (in *Instance) SolveAll(body []eq.Atom, limit int) ([]Binding, error) {
+	return in.solve(body, limit)
+}
+
+// Satisfiable reports whether the body has at least one answer.
+func (in *Instance) Satisfiable(body []eq.Atom) (bool, error) {
+	_, ok, err := in.Solve(body)
+	return ok, err
+}
+
+// SolveUnder answers the body under a pre-existing substitution (the MGU
+// accumulated by a coordination algorithm): the atoms are resolved under
+// s before evaluation, and the returned binding covers the resolved
+// variables.
+func (in *Instance) SolveUnder(body []eq.Atom, s *unify.Subst) (Binding, bool, error) {
+	return in.Solve(s.ApplyAll(body))
+}
+
+func (in *Instance) solve(body []eq.Atom, limit int) ([]Binding, error) {
+	in.countQuery()
+	for _, a := range body {
+		r, ok := in.rels[a.Rel]
+		if !ok {
+			return nil, fmt.Errorf("db: unknown relation %s", a.Rel)
+		}
+		if r.Arity() != len(a.Args) {
+			return nil, fmt.Errorf("db: atom %s has arity %d, relation has %d", a, len(a.Args), r.Arity())
+		}
+	}
+	e := &evaluator{in: in, body: body, limit: limit, bound: Binding{}}
+	e.run()
+	return e.results, nil
+}
+
+// evaluator performs a backtracking join over the body atoms. At every
+// step it picks the not-yet-joined atom with the most bound arguments
+// (a greedy selectivity heuristic) and iterates its matching tuples,
+// using a hash index on one bound column when available.
+type evaluator struct {
+	in      *Instance
+	body    []eq.Atom
+	limit   int
+	bound   Binding
+	used    []bool
+	results []Binding
+	// yield, when set, switches the evaluator to streaming mode: every
+	// answer goes to the callback (which may stop the run) and nothing
+	// is materialised.
+	yield   func(Binding) bool
+	stopped bool
+}
+
+func (e *evaluator) run() {
+	e.used = make([]bool, len(e.body))
+	e.step(0)
+}
+
+func (e *evaluator) done() bool {
+	if e.stopped {
+		return true
+	}
+	return e.yield == nil && e.limit > 0 && len(e.results) >= e.limit
+}
+
+func (e *evaluator) step(depth int) {
+	if e.done() {
+		return
+	}
+	if depth == len(e.body) {
+		if e.yield != nil {
+			if !e.yield(e.bound) {
+				e.stopped = true
+			}
+			return
+		}
+		out := make(Binding, len(e.bound))
+		for k, v := range e.bound {
+			out[k] = v
+		}
+		e.results = append(e.results, out)
+		return
+	}
+	ai := e.pickAtom()
+	e.used[ai] = true
+	defer func() { e.used[ai] = false }()
+
+	a := e.body[ai]
+	rel := e.in.rels[a.Rel]
+
+	rows := e.candidateRows(rel, a)
+	for _, row := range rows {
+		t := rel.tuples[row]
+		newVars := e.match(a, t)
+		if newVars == nil {
+			continue
+		}
+		e.step(depth + 1)
+		for _, v := range newVars {
+			delete(e.bound, v)
+		}
+		if e.done() {
+			return
+		}
+	}
+}
+
+// pickAtom selects the unused atom with the most arguments already bound
+// (constants count as bound).
+func (e *evaluator) pickAtom() int {
+	best, bestScore := -1, -1
+	for i, a := range e.body {
+		if e.used[i] {
+			continue
+		}
+		score := 0
+		for _, t := range a.Args {
+			if !t.IsVar() {
+				score++
+			} else if _, ok := e.bound[t.Name]; ok {
+				score++
+			}
+		}
+		// Prefer more-bound atoms, break ties toward smaller relations.
+		if score > bestScore || (score == bestScore && e.in.rels[a.Rel].Len() < e.in.rels[e.body[best].Rel].Len()) {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// candidateRows returns the rows of rel worth probing for atom a: if a
+// column of a is bound and indexed, only the matching rows; otherwise all
+// rows.
+func (e *evaluator) candidateRows(rel *Relation, a eq.Atom) []int {
+	if e.in.UseIndexes {
+		for col, t := range a.Args {
+			v, ok := e.termValue(t)
+			if !ok {
+				continue
+			}
+			if idx, has := rel.indexes[col]; has {
+				return idx[v]
+			}
+		}
+	}
+	rows := make([]int, rel.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func (e *evaluator) termValue(t eq.Term) (eq.Value, bool) {
+	if !t.IsVar() {
+		return t.Const(), true
+	}
+	v, ok := e.bound[t.Name]
+	return v, ok
+}
+
+// match tests tuple t against atom a under the current bindings. On
+// success it extends e.bound and returns the list of newly bound
+// variables (possibly empty but non-nil); on mismatch it returns nil and
+// leaves e.bound unchanged.
+func (e *evaluator) match(a eq.Atom, t Tuple) []string {
+	newVars := []string{}
+	for i, arg := range a.Args {
+		if !arg.IsVar() {
+			if arg.Const() != t[i] {
+				e.unbind(newVars)
+				return nil
+			}
+			continue
+		}
+		if v, ok := e.bound[arg.Name]; ok {
+			if v != t[i] {
+				e.unbind(newVars)
+				return nil
+			}
+			continue
+		}
+		e.bound[arg.Name] = t[i]
+		newVars = append(newVars, arg.Name)
+	}
+	return newVars
+}
+
+func (e *evaluator) unbind(vars []string) {
+	for _, v := range vars {
+		delete(e.bound, v)
+	}
+}

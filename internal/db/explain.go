@@ -1,0 +1,105 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+
+	"entangled/internal/eq"
+)
+
+// SolveFunc streams every answer of the conjunctive query to fn without
+// materialising the result set; fn returns false to stop early. The
+// binding passed to fn is reused between calls — copy it if it must
+// outlive the callback. Counts as one database query.
+func (in *Instance) SolveFunc(body []eq.Atom, fn func(Binding) bool) error {
+	in.countQuery()
+	for _, a := range body {
+		r, ok := in.rels[a.Rel]
+		if !ok {
+			return fmt.Errorf("db: unknown relation %s", a.Rel)
+		}
+		if r.Arity() != len(a.Args) {
+			return fmt.Errorf("db: atom %s has arity %d, relation has %d", a, len(a.Args), r.Arity())
+		}
+	}
+	e := &evaluator{in: in, body: body, bound: Binding{}, yield: fn}
+	e.run()
+	return nil
+}
+
+// PlanStep describes one join step of an evaluation plan.
+type PlanStep struct {
+	Atom eq.Atom
+	// Access is "index(col)" for an index probe or "scan".
+	Access string
+	// BoundArgs is how many of the atom's arguments are bound when the
+	// step runs (constants plus variables bound by earlier steps).
+	BoundArgs int
+	// Rows is the relation's size (the scan's worst case).
+	Rows int
+}
+
+// Explain returns the join order the evaluator would choose for the
+// body, without touching the data. It mirrors the greedy most-bound
+// heuristic of the executor, so the output is the true plan.
+func (in *Instance) Explain(body []eq.Atom) ([]PlanStep, error) {
+	for _, a := range body {
+		r, ok := in.rels[a.Rel]
+		if !ok {
+			return nil, fmt.Errorf("db: unknown relation %s", a.Rel)
+		}
+		if r.Arity() != len(a.Args) {
+			return nil, fmt.Errorf("db: atom %s has arity %d, relation has %d", a, len(a.Args), r.Arity())
+		}
+	}
+	used := make([]bool, len(body))
+	bound := map[string]bool{}
+	var plan []PlanStep
+	for range body {
+		best, bestScore := -1, -1
+		for i, a := range body {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, t := range a.Args {
+				if !t.IsVar() || bound[t.Name] {
+					score++
+				}
+			}
+			if score > bestScore || (score == bestScore && in.rels[a.Rel].Len() < in.rels[body[best].Rel].Len()) {
+				best, bestScore = i, score
+			}
+		}
+		a := body[best]
+		used[best] = true
+		rel := in.rels[a.Rel]
+		access := "scan"
+		if in.UseIndexes {
+			for col, t := range a.Args {
+				if !t.IsVar() || bound[t.Name] {
+					if _, has := rel.indexes[col]; has {
+						access = fmt.Sprintf("index(%s)", rel.Attrs[col])
+						break
+					}
+				}
+			}
+		}
+		plan = append(plan, PlanStep{Atom: a, Access: access, BoundArgs: bestScore, Rows: rel.Len()})
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bound[t.Name] = true
+			}
+		}
+	}
+	return plan, nil
+}
+
+// RenderPlan formats an Explain result as indented text.
+func RenderPlan(plan []PlanStep) string {
+	var sb strings.Builder
+	for i, s := range plan {
+		fmt.Fprintf(&sb, "%d. %s  [%s, %d bound, %d rows]\n", i+1, s.Atom, s.Access, s.BoundArgs, s.Rows)
+	}
+	return sb.String()
+}

@@ -1,0 +1,89 @@
+package db
+
+import (
+	"fmt"
+
+	"entangled/internal/eq"
+)
+
+// Project answers a select-distinct-project query against a single
+// relation: it returns the distinct combinations of the cols columns
+// over the rows whose columns match every (column -> constant) entry of
+// where. It counts as one database query; the Consistent Coordination
+// Algorithm uses it to compute the option lists V(q) and friend lists.
+func (in *Instance) Project(rel string, cols []int, where map[int]eq.Value) ([]Tuple, error) {
+	in.countQuery()
+	r, ok := in.rels[rel]
+	if !ok {
+		return nil, fmt.Errorf("db: unknown relation %s", rel)
+	}
+	rows := in.filterRows(r, where)
+	seen := map[string]bool{}
+	var out []Tuple
+	for _, row := range rows {
+		t := r.tuples[row]
+		match := true
+		for c, v := range where {
+			if t[c] != v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		proj := make(Tuple, len(cols))
+		key := ""
+		for i, c := range cols {
+			proj[i] = t[c]
+			key += string(t[c]) + "\x00"
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, proj)
+		}
+	}
+	return out, nil
+}
+
+// SelectOne returns one row of rel matching where, as a full tuple. It
+// counts as one database query.
+func (in *Instance) SelectOne(rel string, where map[int]eq.Value) (Tuple, bool, error) {
+	in.countQuery()
+	r, ok := in.rels[rel]
+	if !ok {
+		return nil, false, fmt.Errorf("db: unknown relation %s", rel)
+	}
+	for _, row := range in.filterRows(r, where) {
+		t := r.tuples[row]
+		match := true
+		for c, v := range where {
+			if t[c] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return t, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// filterRows returns candidate row numbers, using a hash index on one of
+// the where-columns when available; the caller re-checks the full
+// predicate.
+func (in *Instance) filterRows(r *Relation, where map[int]eq.Value) []int {
+	if in.UseIndexes {
+		for c, v := range where {
+			if idx, has := r.indexes[c]; has {
+				return idx[v]
+			}
+		}
+	}
+	rows := make([]int, r.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}

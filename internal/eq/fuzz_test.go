@@ -1,0 +1,45 @@
+package eq
+
+import "testing"
+
+// FuzzParseSet checks that the parser never panics and that whatever it
+// accepts survives a Format -> Parse round trip. Run with
+// `go test -fuzz=FuzzParseSet ./internal/eq` for continuous fuzzing; the
+// seed corpus runs under plain `go test`.
+func FuzzParseSet(f *testing.F) {
+	seeds := []string{
+		"",
+		"query q { head: R(x) }",
+		"query q { post: R(A, x) head: R(B, x) body: T(x, 'two words') }",
+		"query a { head: R(x) }\nquery b { head: R(y) }",
+		"query q { body: true head: R(x) }",
+		"# comment\nquery q { head: R(101, x) }",
+		"query q { head: R(x }",
+		"query q { weird: R(x) }",
+		"query { }",
+		"query q { head: R() }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		qs, err := ParseSet(src)
+		if err != nil {
+			return
+		}
+		// Accepted input: the canonical rendering must re-parse to the
+		// same queries.
+		back, err := ParseSet(FormatSet(qs))
+		if err != nil {
+			t.Fatalf("Format output rejected: %v", err)
+		}
+		if len(back) != len(qs) {
+			t.Fatalf("round trip changed query count: %d vs %d", len(back), len(qs))
+		}
+		for i := range qs {
+			if qs[i].String() != back[i].String() {
+				t.Fatalf("round trip changed query %d:\n%s\n%s", i, qs[i], back[i])
+			}
+		}
+	})
+}

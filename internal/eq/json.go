@@ -1,0 +1,107 @@
+package eq
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The JSON wire format renders terms as tagged strings — "?x" for the
+// variable x, "=v" for the constant v — so query files stay readable
+// and the decoder is unambiguous for constants that begin with '?'.
+
+// MarshalJSON encodes the term as "?name" (variable) or "=value"
+// (constant).
+func (t Term) MarshalJSON() ([]byte, error) {
+	if t.IsVar() {
+		return json.Marshal("?" + t.Name)
+	}
+	return json.Marshal("=" + t.Name)
+}
+
+// UnmarshalJSON decodes the tagged-string term encoding.
+func (t *Term) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if len(s) == 0 {
+		return fmt.Errorf("eq: empty term")
+	}
+	switch s[0] {
+	case '?':
+		if len(s) == 1 {
+			return fmt.Errorf("eq: variable term with empty name")
+		}
+		*t = V(s[1:])
+	case '=':
+		*t = C(Value(s[1:]))
+	default:
+		return fmt.Errorf("eq: term %q must start with '?' (variable) or '=' (constant)", s)
+	}
+	return nil
+}
+
+// atomJSON is the wire shape of an atom.
+type atomJSON struct {
+	Rel  string `json:"rel"`
+	Args []Term `json:"args"`
+}
+
+// MarshalJSON encodes the atom as {"rel": ..., "args": [...]}.
+func (a Atom) MarshalJSON() ([]byte, error) {
+	return json.Marshal(atomJSON{Rel: a.Rel, Args: a.Args})
+}
+
+// UnmarshalJSON decodes the atom wire shape.
+func (a *Atom) UnmarshalJSON(data []byte) error {
+	var w atomJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Rel == "" {
+		return fmt.Errorf("eq: atom without relation name")
+	}
+	a.Rel = w.Rel
+	a.Args = w.Args
+	return nil
+}
+
+// queryJSON is the wire shape of a query.
+type queryJSON struct {
+	ID   string `json:"id,omitempty"`
+	Post []Atom `json:"post,omitempty"`
+	Head []Atom `json:"head"`
+	Body []Atom `json:"body,omitempty"`
+}
+
+// MarshalJSON encodes the query with its four sections.
+func (q Query) MarshalJSON() ([]byte, error) {
+	return json.Marshal(queryJSON{ID: q.ID, Post: q.Post, Head: q.Head, Body: q.Body})
+}
+
+// UnmarshalJSON decodes the query wire shape.
+func (q *Query) UnmarshalJSON(data []byte) error {
+	var w queryJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	q.ID = w.ID
+	q.Post = w.Post
+	q.Head = w.Head
+	q.Body = w.Body
+	return nil
+}
+
+// EncodeSet renders a query set as indented JSON.
+func EncodeSet(qs []Query) ([]byte, error) {
+	return json.MarshalIndent(qs, "", "  ")
+}
+
+// DecodeSet parses a query set from JSON.
+func DecodeSet(data []byte) ([]Query, error) {
+	var qs []Query
+	if err := json.Unmarshal(data, &qs); err != nil {
+		return nil, err
+	}
+	return qs, nil
+}

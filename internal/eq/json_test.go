@@ -1,0 +1,141 @@
+package eq
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermJSONRoundTrip(t *testing.T) {
+	for _, tm := range []Term{V("x"), C("Zurich"), C("?odd"), C(""), C("=weird")} {
+		data, err := json.Marshal(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Term
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != tm {
+			t.Fatalf("round trip: %+v -> %s -> %+v", tm, data, back)
+		}
+	}
+}
+
+func TestTermJSONErrors(t *testing.T) {
+	for _, bad := range []string{`""`, `"?"`, `"x"`, `5`} {
+		var tm Term
+		if err := json.Unmarshal([]byte(bad), &tm); err == nil {
+			t.Errorf("decoding %s should fail", bad)
+		}
+	}
+}
+
+func TestAtomJSON(t *testing.T) {
+	a := NewAtom("R", C("Chris"), V("x"))
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"rel":"R","args":["=Chris","?x"]}`
+	if string(data) != want {
+		t.Fatalf("json = %s, want %s", data, want)
+	}
+	var back Atom
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(a) {
+		t.Fatalf("round trip: %v", back)
+	}
+	if err := json.Unmarshal([]byte(`{"args":[]}`), &back); err == nil {
+		t.Fatal("atom without relation must fail")
+	}
+}
+
+func TestQuerySetJSONRoundTrip(t *testing.T) {
+	qs := MustParseSet(`
+query gwyneth {
+  post: R(Chris, x)
+  head: R(Gwyneth, x)
+  body: Flights(x, Zurich)
+}
+query chris {
+  head: R(Chris, y)
+  body: Flights(y, Zurich)
+}`)
+	data, err := EncodeSet(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSet(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(qs) {
+		t.Fatalf("len = %d", len(back))
+	}
+	for i := range qs {
+		if qs[i].String() != back[i].String() || qs[i].ID != back[i].ID {
+			t.Fatalf("query %d round trip:\n%s\n%s", i, qs[i], back[i])
+		}
+	}
+	if !strings.Contains(string(data), `"=Chris"`) {
+		t.Fatalf("encoding: %s", data)
+	}
+}
+
+func TestDecodeSetErrors(t *testing.T) {
+	if _, err := DecodeSet([]byte(`{`)); err == nil {
+		t.Fatal("bad json must fail")
+	}
+}
+
+// Property: the text parser, String renderer and JSON codec all agree —
+// parse(text) == decode(encode(parse(text))).
+func TestQuickJSONAgreesWithText(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	f := func() bool {
+		q := randomQuery(rng)
+		data, err := json.Marshal(q)
+		if err != nil {
+			return false
+		}
+		var back Query
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back.String() == q.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomQuery(rng *rand.Rand) Query {
+	term := func() Term {
+		if rng.Intn(2) == 0 {
+			return V(string(rune('x' + rng.Intn(3))))
+		}
+		return C(Value(string(rune('A' + rng.Intn(3)))))
+	}
+	atom := func(rel string) Atom {
+		n := 1 + rng.Intn(3)
+		args := make([]Term, n)
+		for i := range args {
+			args[i] = term()
+		}
+		return Atom{Rel: rel, Args: args}
+	}
+	q := Query{ID: "q"}
+	for i := 0; i < rng.Intn(2); i++ {
+		q.Post = append(q.Post, atom("R"))
+	}
+	q.Head = append(q.Head, atom("R"))
+	for i := 0; i < rng.Intn(3); i++ {
+		q.Body = append(q.Body, atom("T"))
+	}
+	return q
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"entangled/internal/consistent"
+	"entangled/internal/coord"
+	"entangled/internal/db"
+	"entangled/internal/netgen"
+	"entangled/internal/workload"
+)
+
+// AblationIndexes compares indexed against scan-only conjunctive
+// evaluation on the list workload — the DESIGN.md ablation for the
+// hash-index substrate. The x-axis is the number of queries; two series
+// are returned (indexed, scan).
+func AblationIndexes(cfg Config) []Series {
+	cfg = cfg.withDefaults(seq(10, 50, 10))
+	if cfg.TableRows == netgen.SlashdotSize {
+		cfg.TableRows = 2000 // full scans over 82k rows take minutes
+	}
+	var out []Series
+	for _, indexed := range []bool{true, false} {
+		name := "Ablation: indexed evaluation"
+		if !indexed {
+			name = "Ablation: scan evaluation"
+		}
+		s := Series{Name: name, XLabel: "queries"}
+		inst := db.NewInstance()
+		inst.SimulatedLatency = cfg.Latency
+		workload.UserTable(inst, cfg.TableRows)
+		inst.UseIndexes = indexed
+		for _, n := range cfg.Sizes {
+			qs := workload.ListQueries(n, cfg.TableRows)
+			p := timeSCC(inst, qs, cfg.Repeats)
+			p.X = n
+			s.Points = append(s.Points, p)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// AblationPruning compares the §6.1 pre-pruning step against processing
+// without it on workloads where a fraction of bodies are unsatisfiable.
+func AblationPruning(cfg Config) []Series {
+	cfg = cfg.withDefaults(seq(10, 50, 10))
+	if cfg.TableRows == netgen.SlashdotSize {
+		cfg.TableRows = 2000
+	}
+	var out []Series
+	for _, skip := range []bool{false, true} {
+		name := "Ablation: with pruning"
+		if skip {
+			name = "Ablation: without pruning"
+		}
+		s := Series{Name: name, XLabel: "queries"}
+		inst := db.NewInstance()
+		inst.SimulatedLatency = cfg.Latency
+		workload.UserTable(inst, cfg.TableRows)
+		for _, n := range cfg.Sizes {
+			rng := rand.New(rand.NewSource(int64(n)))
+			qs := workload.RandomSafeQueries(n, cfg.TableRows, 0.1, 0.5, rng)
+			var p Point
+			for r := 0; r < cfg.Repeats; r++ {
+				inst.ResetCounters()
+				start := time.Now()
+				res, err := coord.SCCCoordinate(qs, inst, coord.Options{SkipPruning: skip, SkipSafetyCheck: true})
+				if err != nil {
+					panic(err)
+				}
+				p.Millis += float64(time.Since(start).Microseconds()) / 1000.0
+				p.DBQueries += float64(inst.QueriesIssued())
+				p.SetSize += float64(res.Size())
+			}
+			k := float64(cfg.Repeats)
+			s.Points = append(s.Points, Point{X: n, Millis: p.Millis / k, DBQueries: p.DBQueries / k, SetSize: p.SetSize / k})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// AblationCleaning compares the queue-driven and full-sweep cleaning
+// phases of the Consistent Coordination Algorithm on the Figure 8
+// workload.
+func AblationCleaning(cfg Config) []Series {
+	cfg = cfg.withDefaults(seq(10, 50, 10))
+	sch := workload.FlightSchema()
+	var out []Series
+	for _, sweep := range []bool{false, true} {
+		name := "Ablation: queue cleaning"
+		if sweep {
+			name = "Ablation: sweep cleaning"
+		}
+		s := Series{Name: name, XLabel: "queries"}
+		for _, users := range cfg.Sizes {
+			inst := db.NewInstance()
+			inst.SimulatedLatency = cfg.Latency
+			workload.FlightsTable(inst, 100, 100)
+			workload.CompleteFriends(inst, users)
+			qs := workload.FlightQueries(users)
+			var p Point
+			for r := 0; r < cfg.Repeats; r++ {
+				inst.ResetCounters()
+				start := time.Now()
+				res, err := consistent.Coordinate(sch, qs, inst, consistent.Options{SweepCleaning: sweep})
+				if err != nil {
+					panic(err)
+				}
+				p.Millis += float64(time.Since(start).Microseconds()) / 1000.0
+				p.DBQueries += float64(inst.QueriesIssued())
+				p.SetSize += float64(len(res.Members))
+			}
+			k := float64(cfg.Repeats)
+			s.Points = append(s.Points, Point{X: users, Millis: p.Millis / k, DBQueries: p.DBQueries / k, SetSize: p.SetSize / k})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Ablations runs every ablation sweep.
+func Ablations(cfg Config) []Series {
+	var out []Series
+	out = append(out, AblationIndexes(cfg)...)
+	out = append(out, AblationPruning(cfg)...)
+	out = append(out, AblationCleaning(cfg)...)
+	return out
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Markdown renders the series as a GitHub-style markdown table with a
+// fitted-trend footer, the format EXPERIMENTS.md uses.
+func (s Series) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s\n\n", s.Name)
+	fmt.Fprintf(&sb, "| %s | time (ms) | db queries | set size |\n", s.XLabel)
+	sb.WriteString("|---:|---:|---:|---:|\n")
+	for _, p := range s.Points {
+		fmt.Fprintf(&sb, "| %d | %.3f | %.1f | %.1f |\n", p.X, p.Millis, p.DBQueries, p.SetSize)
+	}
+	slope, r2 := s.LinearFit()
+	fmt.Fprintf(&sb, "\nLinear fit of time vs %s: slope %.4f ms/unit, r² = %.4f\n", s.XLabel, slope, r2)
+	return sb.String()
+}
+
+// LinearFit performs ordinary least squares of Millis against X and
+// returns the slope and the coefficient of determination r². It backs
+// the "growth is linear" claims of the paper's figures with a number.
+func (s Series) LinearFit() (slope, r2 float64) {
+	n := float64(len(s.Points))
+	if n < 2 {
+		return 0, 1
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for _, p := range s.Points {
+		x, y := float64(p.X), p.Millis
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 1
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// r² = 1 - SSres/SStot.
+	ssTot := syy - sy*sy/n
+	var ssRes float64
+	for _, p := range s.Points {
+		d := p.Millis - (slope*float64(p.X) + intercept)
+		ssRes += d * d
+	}
+	if ssTot == 0 {
+		return slope, 1
+	}
+	r2 = 1 - ssRes/ssTot
+	if math.IsNaN(r2) {
+		r2 = 0
+	}
+	return slope, r2
+}
+
+// MarkdownReport renders a list of series as one markdown document.
+func MarkdownReport(title string, series []Series) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n\n", title)
+	for _, s := range series {
+		sb.WriteString(s.Markdown())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

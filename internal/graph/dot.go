@@ -1,0 +1,32 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the digraph in Graphviz DOT syntax. labels maps node
+// ids to display labels; nil uses the node number. The output is
+// deterministic (nodes and edges in ascending order), so it is safe to
+// assert on in tests and diff across runs.
+func (g *Digraph) WriteDOT(w io.Writer, name string, labels []string) error {
+	if name == "" {
+		name = "G"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	for u := 0; u < g.n; u++ {
+		label := fmt.Sprintf("%d", u)
+		if labels != nil && u < len(labels) && labels[u] != "" {
+			label = labels[u]
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", u, label)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  n%d -> n%d;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

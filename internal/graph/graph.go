@@ -1,0 +1,307 @@
+// Package graph provides the directed-graph substrate the paper's
+// implementation takes from JGraphT: strongly connected components
+// (Tarjan), condensation into a component DAG, topological order and
+// reachability. Nodes are integers 0..n-1.
+package graph
+
+import (
+	"errors"
+	"sort"
+)
+
+// Digraph is a simple directed graph. Parallel edges are collapsed;
+// self-loops are allowed.
+type Digraph struct {
+	n   int
+	adj [][]int
+	has []map[int]bool
+	m   int
+}
+
+// New returns an empty digraph on n nodes.
+func New(n int) *Digraph {
+	return &Digraph{
+		n:   n,
+		adj: make([][]int, n),
+		has: make([]map[int]bool, n),
+	}
+}
+
+// N returns the number of nodes.
+func (g *Digraph) N() int { return g.n }
+
+// M returns the number of (distinct) edges.
+func (g *Digraph) M() int { return g.m }
+
+// AddEdge inserts the edge u -> v, collapsing duplicates.
+func (g *Digraph) AddEdge(u, v int) {
+	if g.has[u] == nil {
+		g.has[u] = map[int]bool{}
+	}
+	if g.has[u][v] {
+		return
+	}
+	g.has[u][v] = true
+	g.adj[u] = append(g.adj[u], v)
+	g.m++
+}
+
+// HasEdge reports whether u -> v is present.
+func (g *Digraph) HasEdge(u, v int) bool { return g.has[u] != nil && g.has[u][v] }
+
+// Succ returns u's successor list (shared; do not mutate).
+func (g *Digraph) Succ(u int) []int { return g.adj[u] }
+
+// OutDegree returns the number of distinct successors of u.
+func (g *Digraph) OutDegree(u int) int { return len(g.adj[u]) }
+
+// InDegrees returns the in-degree of every node.
+func (g *Digraph) InDegrees() []int {
+	deg := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			deg[v]++
+		}
+	}
+	return deg
+}
+
+// Reverse returns the graph with all edges flipped.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			r.AddEdge(v, u)
+		}
+	}
+	return r
+}
+
+// Subgraph returns the induced subgraph on the given nodes, along with
+// the mapping from new node ids to original ids.
+func (g *Digraph) Subgraph(nodes []int) (*Digraph, []int) {
+	idx := make(map[int]int, len(nodes))
+	orig := make([]int, len(nodes))
+	for i, u := range nodes {
+		idx[u] = i
+		orig[i] = u
+	}
+	s := New(len(nodes))
+	for _, u := range nodes {
+		for _, v := range g.adj[u] {
+			if j, ok := idx[v]; ok {
+				s.AddEdge(idx[u], j)
+			}
+		}
+	}
+	return s, orig
+}
+
+// SCC computes strongly connected components with an iterative Tarjan
+// algorithm. It returns comp (node -> component id) and the number of
+// components. Component ids are in reverse topological order of the
+// condensation: if there is an edge from component a to component b
+// (a != b) then a > b, i.e. component 0 is a sink.
+func (g *Digraph) SCC() (comp []int, ncomp int) {
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	comp = make([]int, g.n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v  int
+		ei int
+	}
+	for root := 0; root < g.n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		work := []frame{{root, 0}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ei < len(g.adj[v]) {
+				w := g.adj[v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					work = append(work, frame{w, 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && low[w] < low[v] {
+					low[v] = low[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// Condense returns the condensation DAG of g (one node per SCC, edges
+// between distinct components) plus the membership: comp maps original
+// nodes to component ids and members lists each component's nodes.
+// Component ids follow SCC's reverse-topological numbering.
+func (g *Digraph) Condense() (dag *Digraph, comp []int, members [][]int) {
+	comp, ncomp := g.SCC()
+	dag = New(ncomp)
+	members = make([][]int, ncomp)
+	for u := 0; u < g.n; u++ {
+		members[comp[u]] = append(members[comp[u]], u)
+		for _, v := range g.adj[u] {
+			if comp[u] != comp[v] {
+				dag.AddEdge(comp[u], comp[v])
+			}
+		}
+	}
+	return dag, comp, members
+}
+
+// ErrCycle is returned by TopoOrder on cyclic input.
+var ErrCycle = errors.New("graph: not a DAG")
+
+// TopoOrder returns a topological order (sources first) or ErrCycle.
+func (g *Digraph) TopoOrder() ([]int, error) {
+	deg := g.InDegrees()
+	var queue []int
+	for u := 0; u < g.n; u++ {
+		if deg[u] == 0 {
+			queue = append(queue, u)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.adj[u] {
+			deg[v]--
+			if deg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Reachable returns the set of nodes reachable from u (including u).
+func (g *Digraph) Reachable(u int) []bool {
+	seen := make([]bool, g.n)
+	stack := []int{u}
+	seen[u] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// StronglyConnected reports whether there is a directed path between
+// every ordered pair of nodes (the paper's uniqueness condition on the
+// coordination graph). The empty and single-node graphs count as
+// strongly connected.
+func (g *Digraph) StronglyConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	_, ncomp := g.SCC()
+	return ncomp == 1
+}
+
+// CountSimplePaths counts simple paths (no repeated edge) from u to v, up
+// to the given cap; it returns min(count, cap). When u == v only paths of
+// length >= 1 (cycles through u) are counted. Used to test the paper's
+// single-connectedness property, which requires at most one simple path
+// between every pair; callers pass cap=2.
+func (g *Digraph) CountSimplePaths(u, v, cap int) int {
+	type edge struct{ a, b int }
+	usedEdge := map[edge]bool{}
+	count := 0
+	var dfs func(x int, steps int)
+	dfs = func(x, steps int) {
+		if count >= cap {
+			return
+		}
+		if x == v && steps > 0 {
+			count++
+			return
+		}
+		for _, w := range g.adj[x] {
+			e := edge{x, w}
+			if usedEdge[e] {
+				continue
+			}
+			usedEdge[e] = true
+			dfs(w, steps+1)
+			delete(usedEdge, e)
+			if count >= cap {
+				return
+			}
+		}
+	}
+	dfs(u, 0)
+	return count
+}
+
+// Edges returns all edges sorted lexicographically; handy for tests.
+func (g *Digraph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

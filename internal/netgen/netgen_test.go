@@ -1,0 +1,189 @@
+package netgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"entangled/internal/graph"
+)
+
+func TestChain(t *testing.T) {
+	g := Chain(4)
+	if g.M() != 3 {
+		t.Fatalf("edges = %d", g.M())
+	}
+	for i := 0; i < 3; i++ {
+		if !g.HasEdge(i, i+1) {
+			t.Fatalf("missing edge %d->%d", i, i+1)
+		}
+	}
+	if g.OutDegree(3) != 0 {
+		t.Fatal("last node has no successor")
+	}
+	if Chain(0).N() != 0 || Chain(1).M() != 0 {
+		t.Fatal("degenerate chains")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(4)
+	if g.M() != 12 {
+		t.Fatalf("edges = %d, want n(n-1)", g.M())
+	}
+	for i := 0; i < 4; i++ {
+		if g.HasEdge(i, i) {
+			t.Fatal("no self loops")
+		}
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(5)
+	if g.M() != 5 {
+		t.Fatalf("edges = %d", g.M())
+	}
+	if !g.StronglyConnected() {
+		t.Fatal("cycle is strongly connected")
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	g := BarabasiAlbert(200, 2, rng)
+	if g.N() != 200 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Node v >= m attaches exactly m edges; earlier nodes fewer.
+	for v := 2; v < 200; v++ {
+		if g.OutDegree(v) != 2 {
+			t.Fatalf("node %d out-degree %d, want 2", v, g.OutDegree(v))
+		}
+	}
+	if g.OutDegree(0) != 0 || g.OutDegree(1) != 1 {
+		t.Fatalf("seed degrees: %d %d", g.OutDegree(0), g.OutDegree(1))
+	}
+}
+
+func TestBarabasiAlbertHeavyTail(t *testing.T) {
+	// Preferential attachment concentrates in-degree: the maximum
+	// in-degree must far exceed the mean (a loose heavy-tail check that
+	// holds for any seed at this size).
+	rng := rand.New(rand.NewSource(72))
+	g := BarabasiAlbert(2000, 3, rng)
+	deg := g.InDegrees()
+	max, sum := 0, 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	mean := float64(sum) / float64(len(deg))
+	if float64(max) < 8*mean {
+		t.Fatalf("max in-degree %d vs mean %.2f: no heavy tail", max, mean)
+	}
+}
+
+func TestBarabasiAlbertNoSelfLoopsNoDups(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	g := BarabasiAlbert(300, 3, rng)
+	for u := 0; u < g.N(); u++ {
+		if g.HasEdge(u, u) {
+			t.Fatalf("self loop at %d", u)
+		}
+		// New nodes only attach to earlier nodes.
+		for _, v := range g.Succ(u) {
+			if v >= u {
+				t.Fatalf("edge %d->%d goes forward", u, v)
+			}
+		}
+	}
+}
+
+func TestBarabasiAlbertPanicsOnBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("m=0 must panic")
+		}
+	}()
+	BarabasiAlbert(10, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	g0 := ErdosRenyi(20, 0, rng)
+	if g0.M() != 0 {
+		t.Fatal("p=0 gives no edges")
+	}
+	g1 := ErdosRenyi(20, 1, rng)
+	if g1.M() != 20*19 {
+		t.Fatalf("p=1 gives all edges, got %d", g1.M())
+	}
+}
+
+func TestSlashdotLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	g := SlashdotLike(500, rng)
+	if g.N() != 500 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if SlashdotSize != 82168 {
+		t.Fatal("the paper's table has 82168 rows")
+	}
+}
+
+// Property: BA graphs are always acyclic (edges point backward), so the
+// condensation equals the graph itself.
+func TestQuickBAAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	f := func() bool {
+		n := 2 + rng.Intn(60)
+		m := 1 + rng.Intn(3)
+		g := BarabasiAlbert(n, m, rng)
+		_, ncomp := g.SCC()
+		return ncomp == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInDegreeHistogram(t *testing.T) {
+	g := Chain(4) // in-degrees: 0,1,1,1
+	h := InDegreeHistogram(g)
+	if len(h) != 2 || h[0] != 1 || h[1] != 3 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestAnalyzeDegreesChainVsScaleFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ba := AnalyzeDegrees(BarabasiAlbert(3000, 3, rng), 2)
+	ch := AnalyzeDegrees(Chain(3000), 2)
+	if ba.N != 3000 || ba.Edges == 0 {
+		t.Fatalf("stats: %+v", ba)
+	}
+	// Preferential attachment is far more unequal than a chain.
+	if ba.GiniIn <= ch.GiniIn {
+		t.Fatalf("BA gini %.3f should exceed chain gini %.3f", ba.GiniIn, ch.GiniIn)
+	}
+	// The BA in-degree tail exponent is near the theoretical 3 — accept
+	// a generous band since the estimator is rough and n is modest.
+	if ba.TailAlpha < 1.7 || ba.TailAlpha > 4.5 {
+		t.Fatalf("BA tail alpha = %.2f, expected in [1.7, 4.5]", ba.TailAlpha)
+	}
+	if ba.MaxIn < 10*int(ba.MeanIn) {
+		t.Fatalf("BA max in-degree %d should dwarf the mean %.2f", ba.MaxIn, ba.MeanIn)
+	}
+}
+
+func TestAnalyzeDegreesEmpty(t *testing.T) {
+	st := AnalyzeDegrees(graphNew(0), 2)
+	if st.N != 0 || st.MeanIn != 0 {
+		t.Fatalf("empty graph stats: %+v", st)
+	}
+}
+
+// graphNew avoids an extra import alias collision in this file.
+func graphNew(n int) *graph.Digraph { return graph.New(n) }

@@ -1,0 +1,89 @@
+package netgen
+
+import (
+	"math"
+	"sort"
+
+	"entangled/internal/graph"
+)
+
+// DegreeStats summarises a graph's in-degree distribution; the paper
+// motivates the scale-free workload by the power-law in-degrees of real
+// social networks.
+type DegreeStats struct {
+	N         int
+	Edges     int
+	MaxIn     int
+	MeanIn    float64
+	GiniIn    float64 // inequality of the in-degree distribution (0 = uniform)
+	TailAlpha float64 // continuous MLE power-law exponent fit over in-degrees >= TailXMin
+	TailXMin  int
+}
+
+// InDegreeHistogram returns counts[d] = number of nodes with in-degree
+// d.
+func InDegreeHistogram(g *graph.Digraph) []int {
+	deg := g.InDegrees()
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	counts := make([]int, max+1)
+	for _, d := range deg {
+		counts[d]++
+	}
+	return counts
+}
+
+// AnalyzeDegrees computes summary statistics of the in-degree
+// distribution, including a maximum-likelihood power-law exponent over
+// the tail (in-degrees >= xmin, default 2). The estimator is the
+// standard continuous approximation alpha = 1 + n / sum(ln(x/xmin-0.5));
+// it is meant for sanity checks in tests and examples, not for rigorous
+// fitting.
+func AnalyzeDegrees(g *graph.Digraph, xmin int) DegreeStats {
+	if xmin < 1 {
+		xmin = 2
+	}
+	deg := g.InDegrees()
+	st := DegreeStats{N: g.N(), Edges: g.M(), TailXMin: xmin}
+	if g.N() == 0 {
+		return st
+	}
+	sum := 0
+	for _, d := range deg {
+		sum += d
+		if d > st.MaxIn {
+			st.MaxIn = d
+		}
+	}
+	st.MeanIn = float64(sum) / float64(len(deg))
+
+	// Gini coefficient over in-degrees.
+	sorted := append([]int(nil), deg...)
+	sort.Ints(sorted)
+	if sum > 0 {
+		var cum float64
+		for i, d := range sorted {
+			cum += float64(i+1) * float64(d)
+		}
+		n := float64(len(sorted))
+		st.GiniIn = (2*cum)/(n*float64(sum)) - (n+1)/n
+	}
+
+	// Tail exponent MLE.
+	var logSum float64
+	tail := 0
+	for _, d := range deg {
+		if d >= xmin {
+			logSum += math.Log(float64(d) / (float64(xmin) - 0.5))
+			tail++
+		}
+	}
+	if tail > 0 && logSum > 0 {
+		st.TailAlpha = 1 + float64(tail)/logSum
+	}
+	return st
+}

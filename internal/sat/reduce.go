@@ -1,0 +1,295 @@
+package sat
+
+import (
+	"fmt"
+	"strconv"
+
+	"entangled/internal/db"
+	"entangled/internal/eq"
+)
+
+// Instance1 is the output of the Theorem 1 reduction: a set of entangled
+// queries and a trivial database over which every conjunctive query is
+// answerable in polynomial time (a single unary relation D = {0, 1}).
+type Instance1 struct {
+	Queries []eq.Query
+	DB      *db.Instance
+}
+
+// ReduceTheorem1 encodes a 3SAT formula as an Entangled(Q_all) instance
+// following the proof of Theorem 1:
+//
+//	Clause-Query: {C1(1), ..., Ck(1)}  C(1)   :- ∅
+//	xi-Val:       {C(1)}               Ri(x)  :- D(x)
+//	xi-True:      {Ri(1)}  ∧_{j: xi∈Cj}  Cj(1) :- ∅
+//	xi-False:     {Ri(0)}  ∧_{j: ¬xi∈Cj} Cj(1) :- ∅
+//
+// The formula is satisfiable iff the instance has a coordinating set.
+func ReduceTheorem1(f Formula) (Instance1, error) {
+	if err := f.Validate(); err != nil {
+		return Instance1{}, err
+	}
+	inst := db.NewInstance()
+	d := inst.CreateRelation("D", "val")
+	d.Insert("1")
+	d.Insert("0")
+
+	one := eq.C("1")
+	zero := eq.C("0")
+	clauseAtom := func(j int) eq.Atom { return eq.NewAtom("C"+strconv.Itoa(j+1), one) }
+
+	var qs []eq.Query
+
+	// Clause-Query.
+	var posts []eq.Atom
+	for j := range f.Clauses {
+		posts = append(posts, clauseAtom(j))
+	}
+	qs = append(qs, eq.Query{
+		ID:   "clause-query",
+		Post: posts,
+		Head: []eq.Atom{eq.NewAtom("C", one)},
+	})
+
+	for v := 1; v <= f.NumVars; v++ {
+		ri := "R" + strconv.Itoa(v)
+		// xi-Val.
+		qs = append(qs, eq.Query{
+			ID:   fmt.Sprintf("x%d-val", v),
+			Post: []eq.Atom{eq.NewAtom("C", one)},
+			Head: []eq.Atom{eq.NewAtom(ri, eq.V("x"))},
+			Body: []eq.Atom{eq.NewAtom("D", eq.V("x"))},
+		})
+		// xi-True / xi-False heads: the clauses each polarity satisfies.
+		var trueHeads, falseHeads []eq.Atom
+		for j, c := range f.Clauses {
+			for _, l := range c {
+				if l.Var() != v {
+					continue
+				}
+				if l.Positive() {
+					trueHeads = append(trueHeads, clauseAtom(j))
+				} else {
+					falseHeads = append(falseHeads, clauseAtom(j))
+				}
+			}
+		}
+		qs = append(qs, eq.Query{
+			ID:   fmt.Sprintf("x%d-true", v),
+			Post: []eq.Atom{eq.NewAtom(ri, one)},
+			Head: dedupeAtoms(trueHeads),
+		})
+		qs = append(qs, eq.Query{
+			ID:   fmt.Sprintf("x%d-false", v),
+			Post: []eq.Atom{eq.NewAtom(ri, zero)},
+			Head: dedupeAtoms(falseHeads),
+		})
+	}
+	return Instance1{Queries: qs, DB: inst}, nil
+}
+
+// Instance2 is the output of the Theorem 2 reduction: a *safe* set of
+// entangled queries whose maximum coordinating set has size
+// k+m (clauses + variables) iff the formula is satisfiable.
+type Instance2 struct {
+	Queries []eq.Query
+	DB      *db.Instance
+	// Target is k+m, the maximum coordinating-set size achieved exactly
+	// when the formula is satisfiable.
+	Target int
+}
+
+// ReduceTheorem2 encodes 3SAT as EntangledMax(Q_safe) following the
+// proof of Theorem 2. Per clause C = x_{j1}^{v1} ∨ x_{j2}^{v2} ∨
+// x_{j3}^{v3} the "selection gadget" issues three queries whose
+// postconditions force at most one literal to witness the clause:
+//
+//	{R_{j1}(v1)}                          C(1) :- ∅
+//	{R_{j2}(v2), R_{j1}(¬v1)}             C(1) :- ∅
+//	{R_{j3}(v3), R_{j2}(¬v2), R_{j1}(¬v1)} C(1) :- ∅
+//
+// plus, per variable, the value-selection query {} Rj(xj) :- D(xj).
+func ReduceTheorem2(f Formula) (Instance2, error) {
+	if err := f.Validate(); err != nil {
+		return Instance2{}, err
+	}
+	for i, c := range f.Clauses {
+		if len(c) != 3 {
+			return Instance2{}, fmt.Errorf("sat: clause %d must have exactly 3 literals for Theorem 2", i)
+		}
+	}
+	inst := db.NewInstance()
+	d := inst.CreateRelation("D", "val")
+	d.Insert("1")
+	d.Insert("0")
+
+	valOf := func(l Literal) eq.Term {
+		if l.Positive() {
+			return eq.C("1")
+		}
+		return eq.C("0")
+	}
+	negValOf := func(l Literal) eq.Term {
+		if l.Positive() {
+			return eq.C("0")
+		}
+		return eq.C("1")
+	}
+	rel := func(l Literal) string { return "R" + strconv.Itoa(l.Var()) }
+
+	var qs []eq.Query
+	for i, c := range f.Clauses {
+		ci := eq.NewAtom("C"+strconv.Itoa(i+1), eq.C("1"))
+		for t := 0; t < 3; t++ {
+			// Literal t is "constrained" by the negations of literals
+			// 0..t-1: it may only witness the clause if they failed.
+			post := []eq.Atom{eq.NewAtom(rel(c[t]), valOf(c[t]))}
+			for u := t - 1; u >= 0; u-- {
+				post = append(post, eq.NewAtom(rel(c[u]), negValOf(c[u])))
+			}
+			qs = append(qs, eq.Query{
+				ID:   fmt.Sprintf("c%d-lit%d", i+1, t+1),
+				Post: post,
+				Head: []eq.Atom{ci},
+			})
+		}
+	}
+	for v := 1; v <= f.NumVars; v++ {
+		x := eq.V("x")
+		qs = append(qs, eq.Query{
+			ID:   fmt.Sprintf("x%d-val", v),
+			Head: []eq.Atom{eq.NewAtom("R"+strconv.Itoa(v), x)},
+			Body: []eq.Atom{eq.NewAtom("D", x)},
+		})
+	}
+	return Instance2{Queries: qs, DB: inst, Target: len(f.Clauses) + f.NumVars}, nil
+}
+
+// InstanceB is the output of the Appendix B reduction, which shows that
+// letting some queries coordinate on attribute A0 and others on {A0, A1}
+// re-introduces NP-hardness even in the consistent setting.
+type InstanceB struct {
+	Queries []eq.Query
+	DB      *db.Instance
+}
+
+// ReduceAppendixB encodes 3SAT using the mixed-coordination-attribute
+// construction of Appendix B: a global query qC requiring every clause,
+// clause queries that coordinate with a "friend" literal, positive and
+// negative literal queries pinned to the 1MAR and 2MAR flights, and a
+// per-variable selection gadget S_i that forces at most one literal
+// polarity to coordinate. The formula is satisfiable iff the query set
+// has a coordinating set.
+func ReduceAppendixB(f Formula) (InstanceB, error) {
+	if err := f.Validate(); err != nil {
+		return InstanceB{}, err
+	}
+	inst := db.NewInstance()
+	fl := inst.CreateRelation("Fl", "fid", "date")
+	fl.Insert("F1", "1MAR")
+	fl.Insert("F2", "2MAR")
+	fr := inst.CreateRelation("Fr", "clause", "friend")
+
+	mar1 := eq.C("1MAR")
+	mar2 := eq.C("2MAR")
+	litName := func(l Literal) eq.Value {
+		if l.Positive() {
+			return eq.Value("X" + strconv.Itoa(l.Var()))
+		}
+		return eq.Value("X" + strconv.Itoa(l.Var()) + "*")
+	}
+
+	var qs []eq.Query
+
+	// qC: all clauses must be witnessed.
+	var posts, body []eq.Atom
+	body = append(body, eq.NewAtom("Fl", eq.V("x"), mar1))
+	for j := range f.Clauses {
+		y := eq.V("y" + strconv.Itoa(j+1))
+		posts = append(posts, eq.NewAtom("R", y, eq.C(clauseName(j))))
+		body = append(body, eq.NewAtom("Fl", y, mar1))
+	}
+	qs = append(qs, eq.Query{
+		ID:   "qC",
+		Post: posts,
+		Head: []eq.Atom{eq.NewAtom("R", eq.V("x"), eq.C("C"))},
+		Body: body,
+	})
+
+	// Clause queries: coordinate with one friend (a satisfying literal).
+	for j, c := range f.Clauses {
+		name := clauseName(j)
+		qs = append(qs, eq.Query{
+			ID:   string(name),
+			Post: []eq.Atom{eq.NewAtom("R", eq.V("y"), eq.V("f"))},
+			Head: []eq.Atom{eq.NewAtom("R", eq.V("x"), eq.C(name))},
+			Body: []eq.Atom{
+				eq.NewAtom("Fr", eq.C(name), eq.V("f")),
+				eq.NewAtom("Fl", eq.V("x"), mar1),
+				eq.NewAtom("Fl", eq.V("y"), eq.V("d")),
+			},
+		})
+		for _, l := range c {
+			fr.Insert(eq.Value(name), litName(l))
+		}
+	}
+
+	// Literal and selection-gadget queries.
+	for v := 1; v <= f.NumVars; v++ {
+		si := eq.Value("S" + strconv.Itoa(v))
+		pos := litName(Literal(v))
+		neg := litName(Literal(-v))
+		qs = append(qs,
+			eq.Query{
+				ID:   string(pos),
+				Post: []eq.Atom{eq.NewAtom("R", eq.V("y"), eq.C(si))},
+				Head: []eq.Atom{eq.NewAtom("R", eq.V("x"), eq.C(pos))},
+				Body: []eq.Atom{
+					eq.NewAtom("Fl", eq.V("x"), mar1),
+					eq.NewAtom("Fl", eq.V("y"), mar1),
+				},
+			},
+			eq.Query{
+				ID:   string(neg),
+				Post: []eq.Atom{eq.NewAtom("R", eq.V("y"), eq.C(si))},
+				Head: []eq.Atom{eq.NewAtom("R", eq.V("x"), eq.C(neg))},
+				Body: []eq.Atom{
+					eq.NewAtom("Fl", eq.V("x"), mar2),
+					eq.NewAtom("Fl", eq.V("y"), mar2),
+				},
+			},
+			eq.Query{
+				ID:   string(si),
+				Post: []eq.Atom{eq.NewAtom("R", eq.V("y"), eq.C("C"))},
+				Head: []eq.Atom{eq.NewAtom("R", eq.V("x"), eq.C(si))},
+				Body: []eq.Atom{
+					eq.NewAtom("Fl", eq.V("x"), eq.V("d")),
+					eq.NewAtom("Fl", eq.V("y"), eq.V("d2")),
+				},
+			},
+		)
+	}
+	// Index the flight and friendship relations on their first columns.
+	fl.BuildIndex(0)
+	fr.BuildIndex(0)
+	return InstanceB{Queries: qs, DB: inst}, nil
+}
+
+func clauseName(j int) eq.Value { return eq.Value("QC" + strconv.Itoa(j+1)) }
+
+func dedupeAtoms(as []eq.Atom) []eq.Atom {
+	var out []eq.Atom
+	for _, a := range as {
+		dup := false
+		for _, b := range out {
+			if a.Equal(b) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, a)
+		}
+	}
+	return out
+}

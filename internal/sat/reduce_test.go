@@ -1,0 +1,221 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"entangled/internal/coord"
+	"entangled/internal/eq"
+)
+
+// The hardness-reduction tests verify the paper's Theorem 1, Theorem 2
+// and Appendix B constructions end to end: a 3SAT formula is
+// satisfiable (per the DPLL oracle) exactly when the reduced
+// entangled-query instance behaves as the theorem claims (per the
+// brute-force coordinating-set solver).
+
+func TestReduceTheorem1Shape(t *testing.T) {
+	f := Formula{NumVars: 2, Clauses: []Clause{{1, -2, 2}}}
+	inst, err := ReduceTheorem1(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 clause-query + per variable (val, true, false).
+	if len(inst.Queries) != 1+3*f.NumVars {
+		t.Fatalf("query count = %d", len(inst.Queries))
+	}
+	// The database is trivial: one unary relation with two values.
+	d, ok := inst.DB.Relation("D")
+	if !ok || d.Len() != 2 || d.Arity() != 1 {
+		t.Fatal("D must be the unary {0,1} relation")
+	}
+	// Entangled queries must be well formed over the schema.
+	if err := eq.Validate(inst.Queries, inst.DB.Schema()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceTheorem1Satisfiable(t *testing.T) {
+	// (x1 | x2 | x3) & (!x1 | !x2 | x3): satisfiable.
+	f := Formula{NumVars: 3, Clauses: []Clause{{1, 2, 3}, {-1, -2, 3}}}
+	if _, ok := f.Solve(); !ok {
+		t.Fatal("fixture must be satisfiable")
+	}
+	inst, err := ReduceTheorem1(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exists, err := coord.BruteForceExists(inst.Queries, inst.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exists {
+		t.Fatal("satisfiable formula must yield a coordinating set")
+	}
+}
+
+func TestReduceTheorem1Unsatisfiable(t *testing.T) {
+	// x1 must be both true and false through three-literal clauses:
+	// (x1|x1|x1) is not legal 3SAT with distinct vars, so use the
+	// classic unsat core over three variables.
+	var clauses []Clause
+	for s := 0; s < 8; s++ {
+		c := Clause{}
+		for v := 1; v <= 3; v++ {
+			l := Literal(v)
+			if s&(1<<(v-1)) != 0 {
+				l = -l
+			}
+			c = append(c, l)
+		}
+		clauses = append(clauses, c)
+	}
+	f := Formula{NumVars: 3, Clauses: clauses}
+	if _, ok := f.Solve(); ok {
+		t.Fatal("fixture must be unsatisfiable")
+	}
+	inst, err := ReduceTheorem1(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exists, err := coord.BruteForceExists(inst.Queries, inst.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exists {
+		t.Fatal("unsatisfiable formula must yield no coordinating set")
+	}
+}
+
+func TestQuickTheorem1Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 12; i++ {
+		f := Random3SAT(3, 2+rng.Intn(6), rng)
+		_, sat := f.Solve()
+		inst, err := ReduceTheorem1(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exists, err := coord.BruteForceExists(inst.Queries, inst.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sat != exists {
+			t.Fatalf("equivalence broken for %s: sat=%v exists=%v", f, sat, exists)
+		}
+	}
+}
+
+func TestReduceTheorem2Shape(t *testing.T) {
+	f := Formula{NumVars: 3, Clauses: []Clause{{1, -2, 3}}}
+	inst, err := ReduceTheorem2(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Queries) != 3*len(f.Clauses)+f.NumVars {
+		t.Fatalf("query count = %d", len(inst.Queries))
+	}
+	if inst.Target != len(f.Clauses)+f.NumVars {
+		t.Fatalf("target = %d", inst.Target)
+	}
+	// Theorem 2 is about *safe* sets: the construction must be safe.
+	if !coord.IsSafe(inst.Queries) {
+		t.Fatal("Theorem 2 construction must be safe")
+	}
+	if err := eq.Validate(inst.Queries, inst.DB.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	// Non-3-literal clauses are rejected.
+	if _, err := ReduceTheorem2(Formula{NumVars: 2, Clauses: []Clause{{1, 2}}}); err == nil {
+		t.Fatal("clause of size 2 must be rejected")
+	}
+}
+
+func TestQuickTheorem2MaxEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for i := 0; i < 10; i++ {
+		f := Random3SAT(3, 1+rng.Intn(3), rng)
+		_, sat := f.Solve()
+		inst, err := ReduceTheorem2(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max, err := coord.BruteForceMax(inst.Queries, inst.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if max == nil {
+			t.Fatal("variable queries alone always coordinate")
+		}
+		if max.Size() > inst.Target {
+			t.Fatalf("maximum %d exceeds k+m=%d", max.Size(), inst.Target)
+		}
+		if sat != (max.Size() == inst.Target) {
+			t.Fatalf("Theorem 2 equivalence broken for %s: sat=%v max=%d target=%d",
+				f, sat, max.Size(), inst.Target)
+		}
+	}
+}
+
+func TestTheorem2GadgetOneLiteralPerClause(t *testing.T) {
+	// For C = x1 | !x2 | x3 satisfied two ways, only one of the three
+	// clause queries may coordinate at a time.
+	f := Formula{NumVars: 3, Clauses: []Clause{{1, -2, 3}}}
+	inst, err := ReduceTheorem2(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max, err := coord.BruteForceMax(inst.Queries, inst.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clauseQueries := 0
+	for _, i := range max.Set {
+		if i < 3 { // first three queries are the clause gadget
+			clauseQueries++
+		}
+	}
+	if clauseQueries != 1 {
+		t.Fatalf("exactly one clause query may coordinate, got %d (set %v)", clauseQueries, max.Set)
+	}
+}
+
+func TestQuickAppendixBEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < 8; i++ {
+		f := Random3SAT(3, 1+rng.Intn(2), rng)
+		_, sat := f.Solve()
+		inst, err := ReduceAppendixB(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exists, err := coord.BruteForceExists(inst.Queries, inst.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sat != exists {
+			t.Fatalf("Appendix B equivalence broken for %s: sat=%v exists=%v", f, sat, exists)
+		}
+	}
+}
+
+func TestAppendixBShape(t *testing.T) {
+	f := Formula{NumVars: 3, Clauses: []Clause{{1, -2, 3}}}
+	inst, err := ReduceAppendixB(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// qC + per clause + per variable (pos, neg, S).
+	want := 1 + len(f.Clauses) + 3*f.NumVars
+	if len(inst.Queries) != want {
+		t.Fatalf("query count = %d, want %d", len(inst.Queries), want)
+	}
+	if err := eq.Validate(inst.Queries, inst.DB.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	// The clause queries are unsafe (their friend variable unifies with
+	// many heads) — that is the whole point of Appendix B.
+	if coord.IsSafe(inst.Queries) {
+		t.Fatal("Appendix B construction should be unsafe")
+	}
+}

@@ -1,0 +1,97 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+
+	"entangled/internal/netgen"
+)
+
+func TestRunRequiresNetwork(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("missing network must fail")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := netgen.BarabasiAlbert(40, 2, rand.New(rand.NewSource(1)))
+	cfg := Config{Network: g, Rounds: 30, Seed: 42}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed must give same stats:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	g := netgen.BarabasiAlbert(60, 2, rand.New(rand.NewSource(2)))
+	st, err := Run(Config{Network: g, Rounds: 60, ArrivalsPerRound: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservation: every submission is answered, expired, or pending.
+	if st.Submitted != st.Answered+st.Expired+st.PendingAtEnd {
+		t.Fatalf("accounting broken: %+v", st)
+	}
+	if st.Submitted == 0 || st.Answered == 0 {
+		t.Fatalf("simulation should make progress: %+v", st)
+	}
+	if st.AvgWaitRounds < 0 || st.MaxBatch < 1 {
+		t.Fatalf("stats out of range: %+v", st)
+	}
+	if st.AvgBatch < 1 || float64(st.MaxBatch) < st.AvgBatch {
+		t.Fatalf("batch stats inconsistent: %+v", st)
+	}
+}
+
+func TestFreeRidersAnswerImmediately(t *testing.T) {
+	// With CoordProb effectively zero every request coordinates alone on
+	// arrival: no waiting, no expiry, batch size 1.
+	g := netgen.Complete(10)
+	st, err := Run(Config{Network: g, Rounds: 20, CoordProb: 1e-12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Expired != 0 || st.PendingAtEnd != 0 {
+		t.Fatalf("free riders never wait: %+v", st)
+	}
+	if st.Answered != st.Submitted {
+		t.Fatalf("all answered: %+v", st)
+	}
+	if st.MaxBatch != 1 || st.AvgWaitRounds != 0 {
+		t.Fatalf("batches of one, no waiting: %+v", st)
+	}
+}
+
+func TestChainNetworkStarves(t *testing.T) {
+	// On a chain network with always-coordinate requests, many requests
+	// point at retired or absent partners and expire; the TTL machinery
+	// must reclaim them.
+	g := netgen.Chain(30)
+	st, err := Run(Config{Network: g, Rounds: 50, CoordProb: 0.99, TTL: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Expired == 0 {
+		t.Fatalf("expected expiries on a chain: %+v", st)
+	}
+	if st.Submitted != st.Answered+st.Expired+st.PendingAtEnd {
+		t.Fatalf("accounting broken: %+v", st)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg, err := Config{Network: netgen.Complete(3)}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Rounds != 50 || cfg.TTL != 10 || cfg.MaxPartners != 2 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}

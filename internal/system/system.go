@@ -1,0 +1,221 @@
+// Package system provides the online front end described in §6.1: a
+// Youtopia-style coordination module that accepts entangled queries one
+// at a time, maintains the coordination graph incrementally, evaluates
+// the connected component each new query joins, and retires coordinated
+// queries (choose-1 semantics: once a query is answered it leaves the
+// system).
+package system
+
+import (
+	"fmt"
+	"sync"
+
+	"entangled/internal/coord"
+	"entangled/internal/db"
+	"entangled/internal/eq"
+	"entangled/internal/unify"
+)
+
+// Outcome reports what a Submit call achieved.
+type Outcome struct {
+	// Coordinated lists the queries answered by this submission (empty
+	// when the new query is parked as pending).
+	Coordinated []eq.Query
+	// Values maps each coordinated query's ID to its variable
+	// assignment.
+	Values map[string]map[string]eq.Value
+	// Pending is the number of queries still waiting after this call.
+	Pending int
+}
+
+// Coordinator is the online coordination module. It is safe for
+// concurrent use.
+type Coordinator struct {
+	mu      sync.Mutex
+	inst    *db.Instance
+	opts    coord.Options
+	pending []eq.Query
+	seq     int
+}
+
+// New creates a coordinator over the given database instance.
+func New(inst *db.Instance, opts coord.Options) *Coordinator {
+	return &Coordinator{inst: inst, opts: opts}
+}
+
+// Pending returns a copy of the queries currently waiting for partners.
+func (c *Coordinator) Pending() []eq.Query {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]eq.Query, len(c.pending))
+	for i, q := range c.pending {
+		out[i] = q.Clone()
+	}
+	return out
+}
+
+// Submit adds a query, evaluates the connected component it belongs to,
+// and — when a coordinating set is found — answers and retires those
+// queries. Queries whose component is currently unsatisfiable stay
+// pending and may coordinate when a later arrival completes their
+// component.
+func (c *Coordinator) Submit(q eq.Query) (*Outcome, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q.ID == "" {
+		q.ID = fmt.Sprintf("anon-%d", c.seq)
+	}
+	c.seq++
+	for _, p := range c.pending {
+		if p.ID == q.ID {
+			return nil, fmt.Errorf("system: duplicate query id %q", q.ID)
+		}
+	}
+	c.pending = append(c.pending, q)
+	return c.evaluateComponentOf(len(c.pending) - 1)
+}
+
+// Flush evaluates every connected component of the pending set and
+// retires whatever coordinates; it returns one outcome per component
+// that produced an answer.
+func (c *Coordinator) Flush() ([]*Outcome, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var outs []*Outcome
+	for {
+		progressed := false
+		for i := range c.pending {
+			out, err := c.evaluateComponentOf(i)
+			if err != nil {
+				return outs, err
+			}
+			if len(out.Coordinated) > 0 {
+				outs = append(outs, out)
+				progressed = true
+				break // pending changed under us; restart the scan
+			}
+		}
+		if !progressed {
+			return outs, nil
+		}
+	}
+}
+
+// evaluateComponentOf evaluates the weakly connected component of the
+// coordination graph containing pending query idx. Caller holds mu.
+func (c *Coordinator) evaluateComponentOf(idx int) (*Outcome, error) {
+	comp := c.componentOf(idx)
+	sub := make([]eq.Query, len(comp))
+	for i, j := range comp {
+		sub[i] = c.pending[j]
+	}
+	res, err := coord.SCCCoordinate(sub, c.inst, c.opts)
+	if err != nil {
+		// Leave the offending query pending but surface the error (an
+		// unsafe component cannot be evaluated by this algorithm).
+		return nil, err
+	}
+	out := &Outcome{Values: map[string]map[string]eq.Value{}}
+	if res == nil {
+		out.Pending = len(c.pending)
+		return out, nil
+	}
+	retire := map[int]bool{}
+	for _, si := range res.Set {
+		orig := comp[si]
+		retire[orig] = true
+		out.Coordinated = append(out.Coordinated, c.pending[orig])
+		out.Values[c.pending[orig].ID] = res.Values[si]
+	}
+	var remaining []eq.Query
+	for i, q := range c.pending {
+		if !retire[i] {
+			remaining = append(remaining, q)
+		}
+	}
+	c.pending = remaining
+	out.Pending = len(c.pending)
+	return out, nil
+}
+
+// componentOf returns the indices of the pending queries weakly
+// connected to pending[idx] in the coordination graph (treating
+// unifiable post/head pairs as undirected adjacency), sorted ascending.
+func (c *Coordinator) componentOf(idx int) []int {
+	n := len(c.pending)
+	adj := make([][]int, n)
+	link := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if postsUnify(c.pending[i], c.pending[j]) {
+				link(i, j)
+			}
+		}
+	}
+	seen := make([]bool, n)
+	stack := []int{idx}
+	seen[idx] = true
+	var out []int
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, v)
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// postsUnify reports whether some postcondition of a unifies with some
+// head of b.
+func postsUnify(a, b eq.Query) bool {
+	for _, p := range a.Post {
+		for _, h := range b.Head {
+			if unify.Unifiable(p, h) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Cancel withdraws a pending query by ID before it coordinates; it
+// reports whether the query was found. Once a query has been answered
+// (retired by Submit or Flush) there is nothing left to cancel.
+func (c *Coordinator) Cancel(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, q := range c.pending {
+		if q.ID == id {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// PendingCount returns the number of queries currently waiting.
+func (c *Coordinator) PendingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}

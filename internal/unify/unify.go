@@ -1,0 +1,274 @@
+// Package unify implements unification of entangled-query atoms.
+//
+// The coordination algorithms of Mamouras et al. repeatedly unify
+// postcondition atoms with head atoms and maintain the most general
+// unifier (MGU) of a growing group of queries. A substitution is kept as
+// a union-find structure over variable names; every equivalence class may
+// carry at most one constant binding.
+package unify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"entangled/internal/eq"
+)
+
+// ErrClash is returned when unification would force two distinct
+// constants to be equal.
+var ErrClash = errors.New("unify: constant clash")
+
+// Subst is a substitution: a union-find forest over variable names, each
+// class optionally bound to a constant. The zero value is not usable;
+// call New.
+type Subst struct {
+	parent map[string]string
+	rank   map[string]int
+	bound  map[string]eq.Value // root -> constant binding
+}
+
+// New returns an empty substitution.
+func New() *Subst {
+	return &Subst{
+		parent: map[string]string{},
+		rank:   map[string]int{},
+		bound:  map[string]eq.Value{},
+	}
+}
+
+// Clone returns an independent deep copy of s.
+func (s *Subst) Clone() *Subst {
+	c := &Subst{
+		parent: make(map[string]string, len(s.parent)),
+		rank:   make(map[string]int, len(s.rank)),
+		bound:  make(map[string]eq.Value, len(s.bound)),
+	}
+	for k, v := range s.parent {
+		c.parent[k] = v
+	}
+	for k, v := range s.rank {
+		c.rank[k] = v
+	}
+	for k, v := range s.bound {
+		c.bound[k] = v
+	}
+	return c
+}
+
+func (s *Subst) find(v string) string {
+	p, ok := s.parent[v]
+	if !ok {
+		s.parent[v] = v
+		return v
+	}
+	if p == v {
+		return v
+	}
+	root := s.find(p)
+	s.parent[v] = root // path compression
+	return root
+}
+
+// union merges the classes of variables a and b, keeping constant
+// bindings consistent.
+func (s *Subst) union(a, b string) error {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return nil
+	}
+	ca, haveA := s.bound[ra]
+	cb, haveB := s.bound[rb]
+	if haveA && haveB && ca != cb {
+		return fmt.Errorf("%w: %s=%s vs %s=%s", ErrClash, a, ca, b, cb)
+	}
+	if s.rank[ra] < s.rank[rb] {
+		ra, rb = rb, ra
+		cb, haveB = ca, haveA
+	}
+	s.parent[rb] = ra
+	if s.rank[ra] == s.rank[rb] {
+		s.rank[ra]++
+	}
+	// The merged class keeps whichever constant either side had (they
+	// are equal when both exist); the binding must live on the new root.
+	if haveB {
+		s.bound[ra] = cb
+	}
+	delete(s.bound, rb)
+	return nil
+}
+
+// bindConst binds variable v's class to constant c.
+func (s *Subst) bindConst(v string, c eq.Value) error {
+	r := s.find(v)
+	if cur, ok := s.bound[r]; ok {
+		if cur != c {
+			return fmt.Errorf("%w: %s bound to %s, cannot bind %s", ErrClash, v, cur, c)
+		}
+		return nil
+	}
+	s.bound[r] = c
+	return nil
+}
+
+// Bind records that variable v must equal constant c.
+func (s *Subst) Bind(v string, c eq.Value) error { return s.bindConst(v, c) }
+
+// UnifyTerms makes terms a and b equal under s, or returns ErrClash.
+func (s *Subst) UnifyTerms(a, b eq.Term) error {
+	switch {
+	case a.IsVar() && b.IsVar():
+		return s.union(a.Name, b.Name)
+	case a.IsVar():
+		return s.bindConst(a.Name, b.Const())
+	case b.IsVar():
+		return s.bindConst(b.Name, a.Const())
+	default:
+		if a.Const() != b.Const() {
+			return fmt.Errorf("%w: %s vs %s", ErrClash, a.Const(), b.Const())
+		}
+		return nil
+	}
+}
+
+// UnifyAtoms makes atoms a and b equal under s. The atoms must be over
+// the same relation with the same arity; otherwise an error is returned
+// without modifying semantics (callers should treat it as failure).
+func (s *Subst) UnifyAtoms(a, b eq.Atom) error {
+	if a.Rel != b.Rel {
+		return fmt.Errorf("unify: relation mismatch %s vs %s", a.Rel, b.Rel)
+	}
+	if len(a.Args) != len(b.Args) {
+		return fmt.Errorf("unify: arity mismatch %s vs %s", a, b)
+	}
+	for i := range a.Args {
+		if err := s.UnifyTerms(a.Args[i], b.Args[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Resolve returns the canonical form of t under s: constants are
+// unchanged, variables are replaced by their class constant if bound,
+// otherwise by the class representative variable.
+func (s *Subst) Resolve(t eq.Term) eq.Term {
+	if !t.IsVar() {
+		return t
+	}
+	r := s.find(t.Name)
+	if c, ok := s.bound[r]; ok {
+		return eq.C(c)
+	}
+	return eq.V(r)
+}
+
+// Apply returns a copy of atom a with every term resolved under s.
+func (s *Subst) Apply(a eq.Atom) eq.Atom {
+	out := eq.Atom{Rel: a.Rel, Args: make([]eq.Term, len(a.Args))}
+	for i, t := range a.Args {
+		out.Args[i] = s.Resolve(t)
+	}
+	return out
+}
+
+// ApplyAll maps Apply over a list of atoms.
+func (s *Subst) ApplyAll(as []eq.Atom) []eq.Atom {
+	out := make([]eq.Atom, len(as))
+	for i, a := range as {
+		out[i] = s.Apply(a)
+	}
+	return out
+}
+
+// Value returns the constant bound to variable v, if any.
+func (s *Subst) Value(v string) (eq.Value, bool) {
+	c, ok := s.bound[s.find(v)]
+	return c, ok
+}
+
+// SameClass reports whether variables a and b have been unified.
+func (s *Subst) SameClass(a, b string) bool {
+	return s.find(a) == s.find(b)
+}
+
+// Bindings returns all variable -> constant bindings induced by s,
+// covering every variable s has seen whose class is bound.
+func (s *Subst) Bindings() map[string]eq.Value {
+	out := map[string]eq.Value{}
+	for v := range s.parent {
+		if c, ok := s.bound[s.find(v)]; ok {
+			out[v] = c
+		}
+	}
+	return out
+}
+
+// Vars returns every variable name recorded in s, sorted.
+func (s *Subst) Vars() []string {
+	out := make([]string, 0, len(s.parent))
+	for v := range s.parent {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Unifiable reports whether two atoms unify per the paper's §2.3
+// definition: they are over the same relation and do not contain
+// different constants in the same position. The two atoms come from
+// different queries, so their variables live in disjoint namespaces —
+// only constant clashes matter, and the check allocates nothing. (An
+// edge admitted here can still fail the full MGU computation later, e.g.
+// R(y, y) against R(A, B); the coordination algorithms re-check with
+// UnifyAtoms on alpha-renamed atoms.)
+func Unifiable(a, b eq.Atom) bool {
+	if a.Rel != b.Rel || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		ta, tb := a.Args[i], b.Args[i]
+		if !ta.IsVar() && !tb.IsVar() && ta.Name != tb.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// MGU computes the most general unifier of the given atom pairs: for
+// every pair, the two atoms are made equal. Returns nil and an error on
+// clash.
+func MGU(pairs [][2]eq.Atom) (*Subst, error) {
+	s := New()
+	for _, p := range pairs {
+		if err := s.UnifyAtoms(p[0], p[1]); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MergeFrom replays every equivalence and constant binding of other into
+// s. It fails with ErrClash when other's constraints contradict s's —
+// which happens when two independently consistent substitutions disagree
+// (e.g. each binds a shared variable to a different constant). other is
+// not modified logically (only its internal path compression advances).
+func (s *Subst) MergeFrom(other *Subst) error {
+	for v := range other.parent {
+		r := other.find(v)
+		if v != r {
+			if err := s.union(v, r); err != nil {
+				return err
+			}
+		} else {
+			s.find(v) // make sure lone variables are recorded
+		}
+		if c, ok := other.bound[r]; ok {
+			if err := s.bindConst(v, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,454 @@
+package unify
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"entangled/internal/eq"
+)
+
+func TestUnifyVarVar(t *testing.T) {
+	s := New()
+	if err := s.UnifyTerms(eq.V("x"), eq.V("y")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.SameClass("x", "y") {
+		t.Fatal("x and y must be in the same class")
+	}
+}
+
+func TestUnifyVarConst(t *testing.T) {
+	s := New()
+	if err := s.UnifyTerms(eq.V("x"), eq.C("Zurich")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Value("x")
+	if !ok || v != "Zurich" {
+		t.Fatalf("x = %v, %v", v, ok)
+	}
+	if got := s.Resolve(eq.V("x")); got != eq.C("Zurich") {
+		t.Fatalf("Resolve(x) = %v", got)
+	}
+}
+
+func TestUnifyConstClash(t *testing.T) {
+	s := New()
+	if err := s.UnifyTerms(eq.C("a"), eq.C("b")); !errors.Is(err, ErrClash) {
+		t.Fatalf("want ErrClash, got %v", err)
+	}
+}
+
+func TestBindingPropagatesThroughUnion(t *testing.T) {
+	s := New()
+	if err := s.UnifyTerms(eq.V("x"), eq.V("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("x", "c"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Value("y")
+	if !ok || v != "c" {
+		t.Fatalf("y should inherit x's binding, got %v %v", v, ok)
+	}
+	// Conflicting bind through the other class member fails.
+	if err := s.Bind("y", "d"); !errors.Is(err, ErrClash) {
+		t.Fatalf("want ErrClash, got %v", err)
+	}
+}
+
+func TestUnionOfTwoBoundClassesSameConst(t *testing.T) {
+	s := New()
+	if err := s.Bind("x", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("y", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UnifyTerms(eq.V("x"), eq.V("y")); err != nil {
+		t.Fatalf("same-constant classes must merge: %v", err)
+	}
+	if err := s.Bind("z", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UnifyTerms(eq.V("x"), eq.V("z")); !errors.Is(err, ErrClash) {
+		t.Fatalf("want ErrClash merging c-class with d-class, got %v", err)
+	}
+}
+
+func TestUnifyAtoms(t *testing.T) {
+	s := New()
+	a := eq.NewAtom("R", eq.C("G"), eq.V("x1"))
+	b := eq.NewAtom("R", eq.C("G"), eq.V("y1"))
+	if err := s.UnifyAtoms(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !s.SameClass("x1", "y1") {
+		t.Fatal("x1 and y1 must be unified")
+	}
+}
+
+func TestUnifyAtomsMismatch(t *testing.T) {
+	s := New()
+	if err := s.UnifyAtoms(eq.NewAtom("R", eq.V("x")), eq.NewAtom("Q", eq.V("x"))); err == nil {
+		t.Fatal("different relations must not unify")
+	}
+	if err := s.UnifyAtoms(eq.NewAtom("R", eq.V("x")), eq.NewAtom("R", eq.V("x"), eq.V("y"))); err == nil {
+		t.Fatal("different arities must not unify")
+	}
+}
+
+func TestUnifiablePaperExamples(t *testing.T) {
+	// From §2.3: R(C, x1) and R(C, y1) are unifiable whereas R(C, x1)
+	// and R(G, y1) are not.
+	if !Unifiable(eq.NewAtom("R", eq.C("C"), eq.V("x1")), eq.NewAtom("R", eq.C("C"), eq.V("y1"))) {
+		t.Fatal("R(C, x1) ~ R(C, y1) must unify")
+	}
+	if Unifiable(eq.NewAtom("R", eq.C("C"), eq.V("x1")), eq.NewAtom("R", eq.C("G"), eq.V("y1"))) {
+		t.Fatal("R(C, x1) ~ R(G, y1) must not unify")
+	}
+}
+
+func TestApply(t *testing.T) {
+	s := New()
+	if err := s.UnifyAtoms(eq.NewAtom("R", eq.V("x"), eq.V("y")), eq.NewAtom("R", eq.C("a"), eq.V("z"))); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Apply(eq.NewAtom("T", eq.V("x"), eq.V("y"), eq.V("w")))
+	if got.Args[0] != eq.C("a") {
+		t.Fatalf("x should resolve to a: %v", got)
+	}
+	if !got.Args[1].IsVar() {
+		t.Fatalf("y stays a variable: %v", got)
+	}
+	// y and z resolve to the same representative.
+	if s.Resolve(eq.V("y")) != s.Resolve(eq.V("z")) {
+		t.Fatal("y and z must share a representative")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New()
+	if err := s.Bind("x", "a"); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if err := c.Bind("y", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Value("y"); ok {
+		t.Fatal("binding in clone must not leak into original")
+	}
+	if v, ok := c.Value("x"); !ok || v != "a" {
+		t.Fatal("clone must keep original bindings")
+	}
+}
+
+func TestBindings(t *testing.T) {
+	s := New()
+	_ = s.UnifyTerms(eq.V("x"), eq.V("y"))
+	_ = s.Bind("x", "c")
+	_ = s.UnifyTerms(eq.V("free1"), eq.V("free2"))
+	b := s.Bindings()
+	if b["x"] != "c" || b["y"] != "c" {
+		t.Fatalf("Bindings = %v", b)
+	}
+	if _, ok := b["free1"]; ok {
+		t.Fatal("unbound variables must not appear in Bindings")
+	}
+}
+
+func TestMGU(t *testing.T) {
+	s, err := MGU([][2]eq.Atom{
+		{eq.NewAtom("R", eq.V("x"), eq.C("a")), eq.NewAtom("R", eq.V("y"), eq.V("z"))},
+		{eq.NewAtom("Q", eq.V("y")), eq.NewAtom("Q", eq.C("b"))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Value("x"); v != "b" {
+		t.Fatalf("x = %v, want b (via y)", v)
+	}
+	if v, _ := s.Value("z"); v != "a" {
+		t.Fatalf("z = %v, want a", v)
+	}
+	if _, err := MGU([][2]eq.Atom{
+		{eq.NewAtom("R", eq.C("a")), eq.NewAtom("R", eq.C("b"))},
+	}); err == nil {
+		t.Fatal("clash must surface")
+	}
+}
+
+// randomAtom builds an atom over a small pool of variables and constants
+// so collisions are common.
+func randomAtom(rng *rand.Rand, rel string, arity int) eq.Atom {
+	args := make([]eq.Term, arity)
+	for i := range args {
+		if rng.Intn(2) == 0 {
+			args[i] = eq.V(string(rune('u' + rng.Intn(6))))
+		} else {
+			args[i] = eq.C(eq.Value(string(rune('A' + rng.Intn(3)))))
+		}
+	}
+	return eq.Atom{Rel: rel, Args: args}
+}
+
+// Property: unification is symmetric — unify(a,b) succeeds iff
+// unify(b,a) succeeds, and the resolved atoms agree.
+func TestQuickUnifySymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a := randomAtom(rng, "R", 3)
+		b := randomAtom(rng, "R", 3)
+		s1, s2 := New(), New()
+		err1 := s1.UnifyAtoms(a, b)
+		err2 := s2.UnifyAtoms(b, a)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return s1.Apply(a).Equal(s1.Apply(b)) && s2.Apply(a).Equal(s2.Apply(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after a successful unification, applying the substitution
+// makes the two atoms syntactically equal (the defining property of a
+// unifier), and applying it twice changes nothing (idempotence).
+func TestQuickUnifierIsFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a := randomAtom(rng, "R", 4)
+		b := randomAtom(rng, "R", 4)
+		s := New()
+		if err := s.UnifyAtoms(a, b); err != nil {
+			return true // nothing to check
+		}
+		ra, rb := s.Apply(a), s.Apply(b)
+		if !ra.Equal(rb) {
+			return false
+		}
+		return s.Apply(ra).Equal(ra) && s.Apply(rb).Equal(rb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Unifiable follows the paper's positional definition — it
+// holds exactly when no position carries two distinct constants — and is
+// complete for groundability: whenever independent groundings of the two
+// atoms (variables in disjoint namespaces) can make them equal, the
+// atoms are Unifiable. The converse fails by design for repeated
+// variables (R(y, y) vs R(A, B)), which the MGU re-check catches later.
+func TestQuickUnifiablePositional(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	domain := []eq.Value{"A", "B", "C"}
+	f := func() bool {
+		a := randomAtom(rng, "R", 2) // arity 2 keeps brute force cheap
+		b := randomAtom(rng, "R", 2)
+		ok := Unifiable(a, b)
+		// Positional definition, computed independently.
+		positional := true
+		for i := range a.Args {
+			if !a.Args[i].IsVar() && !b.Args[i].IsVar() && a.Args[i].Name != b.Args[i].Name {
+				positional = false
+			}
+		}
+		if ok != positional {
+			return false
+		}
+		// Completeness: ground a and b independently (disjoint variable
+		// namespaces) and look for a common instance.
+		bRenamed := b.Clone()
+		for i, tm := range bRenamed.Args {
+			if tm.IsVar() {
+				bRenamed.Args[i] = eq.V("rhs." + tm.Name)
+			}
+		}
+		vars := map[string]bool{}
+		for _, at := range []eq.Atom{a, bRenamed} {
+			for _, tm := range at.Args {
+				if tm.IsVar() {
+					vars[tm.Name] = true
+				}
+			}
+		}
+		var names []string
+		for v := range vars {
+			names = append(names, v)
+		}
+		found := false
+		var rec func(i int, m map[string]eq.Value)
+		rec = func(i int, m map[string]eq.Value) {
+			if found {
+				return
+			}
+			if i == len(names) {
+				if groundWith(a, m).Equal(groundWith(bRenamed, m)) {
+					found = true
+				}
+				return
+			}
+			for _, d := range domain {
+				m[names[i]] = d
+				rec(i+1, m)
+			}
+		}
+		rec(0, map[string]eq.Value{})
+		if found && !ok {
+			return false // groundable but rejected: incompleteness
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func groundWith(a eq.Atom, m map[string]eq.Value) eq.Atom {
+	out := a.Clone()
+	for i, t := range out.Args {
+		if t.IsVar() {
+			out.Args[i] = eq.C(m[t.Name])
+		}
+	}
+	return out
+}
+
+// Property: Bindings and Resolve agree.
+func TestQuickBindingsMatchResolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		s := New()
+		for i := 0; i < 10; i++ {
+			a := randomAtom(rng, "R", 2)
+			b := randomAtom(rng, "R", 2)
+			if err := s.UnifyAtoms(a, b); err != nil {
+				s = New()
+			}
+		}
+		for v, c := range s.Bindings() {
+			r := s.Resolve(eq.V(v))
+			if r.IsVar() || r.Const() != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarsSorted(t *testing.T) {
+	s := New()
+	_ = s.UnifyTerms(eq.V("zeta"), eq.V("alpha"))
+	got := s.Vars()
+	want := []string{"alpha", "zeta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+}
+
+func TestMergeFrom(t *testing.T) {
+	a := New()
+	_ = a.UnifyTerms(eq.V("x"), eq.V("y"))
+	_ = a.Bind("x", "c")
+	b := New()
+	_ = b.UnifyTerms(eq.V("y"), eq.V("z"))
+	if err := b.MergeFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	// Transitivity across the merge: z inherits x's binding via y.
+	if v, ok := b.Value("z"); !ok || v != "c" {
+		t.Fatalf("z = %v %v, want c", v, ok)
+	}
+	// The source is logically unchanged.
+	if _, ok := a.Value("z"); ok {
+		t.Fatal("merge must not modify the source")
+	}
+}
+
+func TestMergeFromClash(t *testing.T) {
+	a := New()
+	_ = a.Bind("v", "1")
+	b := New()
+	_ = b.Bind("v", "2")
+	if err := b.MergeFrom(a); !errors.Is(err, ErrClash) {
+		t.Fatalf("want ErrClash, got %v", err)
+	}
+}
+
+// Property: merging two substitutions is equivalent to replaying both
+// construction traces into a fresh substitution.
+func TestQuickMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		type step struct{ a, b eq.Atom }
+		mk := func(n int) ([]step, *Subst, bool) {
+			s := New()
+			var steps []step
+			for i := 0; i < n; i++ {
+				x, y := randomAtom(rng, "R", 2), randomAtom(rng, "R", 2)
+				if err := s.UnifyAtoms(x, y); err != nil {
+					return nil, nil, false
+				}
+				steps = append(steps, step{x, y})
+			}
+			return steps, s, true
+		}
+		stepsA, sa, okA := mk(1 + rng.Intn(4))
+		stepsB, sb, okB := mk(1 + rng.Intn(4))
+		if !okA || !okB {
+			return true
+		}
+		merged := sa.Clone()
+		errMerge := merged.MergeFrom(sb)
+
+		replay := New()
+		var errReplay error
+		for _, st := range append(append([]step{}, stepsA...), stepsB...) {
+			if err := replay.UnifyAtoms(st.a, st.b); err != nil {
+				errReplay = err
+				break
+			}
+		}
+		if (errMerge == nil) != (errReplay == nil) {
+			return false
+		}
+		if errMerge != nil {
+			return true
+		}
+		// Same classes and bindings for every variable either saw.
+		for _, v := range replay.Vars() {
+			rm := merged.Resolve(eq.V(v))
+			rr := replay.Resolve(eq.V(v))
+			if rm.IsVar() != rr.IsVar() {
+				return false
+			}
+			if !rm.IsVar() && rm.Const() != rr.Const() {
+				return false
+			}
+		}
+		// Class structure agrees pairwise.
+		vars := replay.Vars()
+		for i := 0; i < len(vars); i++ {
+			for j := i + 1; j < len(vars); j++ {
+				if merged.SameClass(vars[i], vars[j]) != replay.SameClass(vars[i], vars[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

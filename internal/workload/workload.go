@@ -1,0 +1,222 @@
+// Package workload builds the query sets and database contents of the
+// paper's experimental evaluation (§6): the list-structure and
+// scale-free-network workloads driving the SCC Coordination Algorithm
+// (Figures 4-6) and the flight-coordination workloads driving the
+// Consistent Coordination Algorithm (Figures 7-8), plus randomized
+// workloads used by the test suite.
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+
+	"entangled/internal/consistent"
+	"entangled/internal/db"
+	"entangled/internal/eq"
+	"entangled/internal/graph"
+	"entangled/internal/netgen"
+)
+
+// UserTable creates the queried table of the §6.1 experiments: a
+// two-column relation T(key, val) with rows rows, indexed on val so each
+// query body grounds through an index probe, like the MySQL setup. Every
+// generated body matches at least one tuple (the paper's "most
+// demanding" setting: nothing is pruned).
+func UserTable(inst *db.Instance, rows int) *db.Relation {
+	t := inst.CreateRelation("T", "key", "val")
+	for i := 0; i < rows; i++ {
+		t.Insert(eq.Value("t"+strconv.Itoa(i)), eq.Value("c"+strconv.Itoa(i)))
+	}
+	t.BuildIndex(1)
+	return t
+}
+
+// user returns the constant naming query i's user.
+func user(i int) eq.Value { return eq.Value("U" + strconv.Itoa(i)) }
+
+// bodyFor builds the simple satisfiable body T(x, c_{i mod rows}).
+func bodyFor(i, rows int) []eq.Atom {
+	c := eq.C(eq.Value("c" + strconv.Itoa(i%rows)))
+	return []eq.Atom{eq.NewAtom("T", eq.V("x"), c)}
+}
+
+// ListQueries builds the Figure 4 workload: n queries in a list where
+// query i asks to coordinate with query i+1 and the last query has no
+// coordination partner. The set is safe but not unique, and there is a
+// different coordinating set suffix for every position — the worst case
+// for the SCC algorithm (one database query per query).
+func ListQueries(n, tableRows int) []eq.Query {
+	qs := make([]eq.Query, n)
+	for i := 0; i < n; i++ {
+		q := eq.Query{
+			ID:   "u" + strconv.Itoa(i),
+			Head: []eq.Atom{eq.NewAtom("R", eq.C(user(i)), eq.V("x"))},
+			Body: bodyFor(i, tableRows),
+		}
+		if i+1 < n {
+			q.Post = []eq.Atom{eq.NewAtom("R", eq.C(user(i+1)), eq.V("y"))}
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// GraphQueries builds a query set whose coordination structure follows
+// the given directed graph (the Figure 5/6 workload uses a
+// Barabási–Albert graph): query i's postconditions name the users of its
+// successors. One head per user keeps the set safe; bodies are simple
+// and always satisfiable.
+func GraphQueries(g *graph.Digraph, tableRows int) []eq.Query {
+	n := g.N()
+	qs := make([]eq.Query, n)
+	for i := 0; i < n; i++ {
+		q := eq.Query{
+			ID:   "u" + strconv.Itoa(i),
+			Head: []eq.Atom{eq.NewAtom("R", eq.C(user(i)), eq.V("x"))},
+			Body: bodyFor(i, tableRows),
+		}
+		for k, j := range g.Succ(i) {
+			q.Post = append(q.Post, eq.NewAtom("R", eq.C(user(j)), eq.V("y"+strconv.Itoa(k))))
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// ScaleFreeQueries builds the Figure 5 workload directly: a
+// Barabási–Albert network of n queries with attachment parameter m.
+func ScaleFreeQueries(n, m, tableRows int, rng *rand.Rand) []eq.Query {
+	return GraphQueries(netgen.BarabasiAlbert(n, m, rng), tableRows)
+}
+
+// FlightSchema is the §6.2 application schema: users coordinate on a
+// flight's destination and day; source and airline are personal
+// preferences; Friends(user, friend) holds the social relation.
+func FlightSchema() consistent.Schema {
+	return consistent.Schema{
+		Table:     "Flights",
+		KeyCol:    0,
+		CoordCols: []int{1, 2}, // destination, day
+		OwnCols:   []int{3, 4}, // source, airline
+		Friends:   "Friends",
+	}
+}
+
+// FlightsTable populates Flights(fid, dest, day, src, airline) with rows
+// tuples spread over distinctPairs distinct (dest, day) combinations.
+// Figure 7 uses distinctPairs == rows (every flight unique, so the
+// number of coordination options equals the table size); Figure 8 fixes
+// 100 distinct pairs.
+func FlightsTable(inst *db.Instance, rows, distinctPairs int) *db.Relation {
+	f := inst.CreateRelation("Flights", "fid", "dest", "day", "src", "airline")
+	for i := 0; i < rows; i++ {
+		pair := i % distinctPairs
+		f.Insert(
+			eq.Value("fl"+strconv.Itoa(i)),
+			eq.Value("dest"+strconv.Itoa(pair)),
+			eq.Value("day"+strconv.Itoa(pair)),
+			eq.Value("src"+strconv.Itoa(i%7)),
+			eq.Value("air"+strconv.Itoa(i%5)),
+		)
+	}
+	f.BuildIndex(1)
+	return f
+}
+
+// CompleteFriends encodes a complete friendship graph over the n users
+// named user(0..n-1) into Friends(user, friend), as in Figures 7 and 8.
+func CompleteFriends(inst *db.Instance, n int) *db.Relation {
+	f := inst.CreateRelation("Friends", "user", "friend")
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				f.Insert(user(i), user(j))
+			}
+		}
+	}
+	f.BuildIndex(0)
+	return f
+}
+
+// GraphFriends encodes an arbitrary friendship graph into
+// Friends(user, friend).
+func GraphFriends(inst *db.Instance, g *graph.Digraph) *db.Relation {
+	f := inst.CreateRelation("Friends", "user", "friend")
+	for i := 0; i < g.N(); i++ {
+		for _, j := range g.Succ(i) {
+			f.Insert(user(i), user(j))
+		}
+	}
+	f.BuildIndex(0)
+	return f
+}
+
+// FlightQueries builds the Figure 7/8 query load: n users, each wanting
+// to fly with any one friend, with no constraints on any attribute — the
+// paper's declared worst case, where every tuple in the database
+// satisfies every query and no pruning ever removes anything.
+func FlightQueries(n int) []consistent.Query {
+	qs := make([]consistent.Query, n)
+	for i := range qs {
+		qs[i] = consistent.Query{
+			User:     user(i),
+			Coord:    []consistent.Pref{consistent.DontCare, consistent.DontCare},
+			Own:      []consistent.Pref{consistent.DontCare, consistent.DontCare},
+			Partners: []consistent.Partner{consistent.Friend},
+		}
+	}
+	return qs
+}
+
+// RandomFlightQueries builds a randomized consistent workload for
+// testing: each user constrains each attribute with probability p and
+// coordinates either with a random named user or with any friend.
+func RandomFlightQueries(n, distinctPairs int, p float64, rng *rand.Rand) []consistent.Query {
+	pref := func(stem string, count int) consistent.Pref {
+		if rng.Float64() < p {
+			return consistent.Is(eq.Value(stem + strconv.Itoa(rng.Intn(count))))
+		}
+		return consistent.DontCare
+	}
+	qs := make([]consistent.Query, n)
+	for i := range qs {
+		var partner consistent.Partner
+		if rng.Float64() < 0.5 {
+			partner = consistent.Friend
+		} else {
+			j := rng.Intn(n)
+			for j == i {
+				j = rng.Intn(n)
+			}
+			partner = consistent.With(user(j))
+		}
+		qs[i] = consistent.Query{
+			User:     user(i),
+			Coord:    []consistent.Pref{pref("dest", distinctPairs), pref("day", distinctPairs)},
+			Own:      []consistent.Pref{pref("src", 7), pref("air", 5)},
+			Partners: []consistent.Partner{partner},
+		}
+	}
+	return qs
+}
+
+// RandomSafeQueries builds a randomized safe entangled query set for
+// testing the SCC algorithm against the brute-force oracle: the
+// coordination structure is a random graph, and each body targets a
+// value that exists with probability pSat (missing values exercise the
+// pruning cascade).
+func RandomSafeQueries(n, tableRows int, edgeP, pSat float64, rng *rand.Rand) []eq.Query {
+	g := netgen.ErdosRenyi(n, edgeP, rng)
+	qs := GraphQueries(g, tableRows)
+	for i := range qs {
+		if rng.Float64() >= pSat {
+			// Point the body at a value not present in T.
+			qs[i].Body = []eq.Atom{eq.NewAtom("T", eq.V("x"), eq.C(eq.Value("missing"+strconv.Itoa(i))))}
+		}
+	}
+	return qs
+}
+
+// User exposes the user-naming convention to other packages (examples,
+// experiment drivers).
+func User(i int) eq.Value { return user(i) }
