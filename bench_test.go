@@ -11,13 +11,16 @@
 package entangled_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"entangled/internal/consistent"
 	"entangled/internal/coord"
 	"entangled/internal/db"
+	"entangled/internal/engine"
 	"entangled/internal/netgen"
 	"entangled/internal/workload"
 )
@@ -219,6 +222,112 @@ func BenchmarkAblationCleaning(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := consistent.Coordinate(sch, qs, inst, consistent.Options{SweepCleaning: sweep}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Parallel-engine benchmarks (DESIGN.md "Concurrent engine") ---
+
+// benchWorkers is the worker-count axis of the parallel families: the
+// sequential baseline against the machine's parallelism.
+func benchWorkers() []int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1, 4}
+}
+
+// BenchmarkParallelFigure4List runs the engine's component-parallel
+// path on the Figure 4 list workload (n=100). The list condenses to a
+// pure chain — zero component-level parallelism — so this family pins
+// the acceptance floor: the engine path must not be slower than the
+// sequential walk it degrades to.
+func BenchmarkParallelFigure4List(b *testing.B) {
+	inst := db.NewInstance()
+	workload.UserTable(inst, benchTableRows)
+	const n = 100
+	qs := workload.ListQueries(n, benchTableRows)
+	for _, w := range benchWorkers() {
+		e := engine.New(inst, engine.Options{Workers: w, Coord: coord.Options{SkipSafetyCheck: true}})
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := e.Coordinate(context.Background(), qs)
+				if err != nil || res.Size() != n {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelFigure5ScaleFree runs the component-parallel path on
+// the scale-free structure, whose condensation branches and therefore
+// admits real component-level concurrency.
+func BenchmarkParallelFigure5ScaleFree(b *testing.B) {
+	inst := db.NewInstance()
+	workload.UserTable(inst, benchTableRows)
+	rng := rand.New(rand.NewSource(100))
+	qs := workload.ScaleFreeQueries(100, 2, benchTableRows, rng)
+	for _, w := range benchWorkers() {
+		e := engine.New(inst, engine.Options{Workers: w, Coord: coord.Options{SkipSafetyCheck: true}})
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := e.Coordinate(context.Background(), qs)
+				if err != nil || res == nil {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCoordinateMany serves a batch of independent Figure 4
+// requests over one shared instance — the heavy-traffic shape. With
+// GOMAXPROCS > 1 the pooled run should beat the single worker; on one
+// CPU it must stay comparable.
+func BenchmarkParallelCoordinateMany(b *testing.B) {
+	inst := db.NewInstance()
+	workload.UserTable(inst, benchTableRows)
+	const batch, n = 32, 25
+	reqs := make([]engine.Request, batch)
+	for i := range reqs {
+		reqs[i] = engine.Request{ID: fmt.Sprintf("r%d", i), Queries: workload.ListQueries(n, benchTableRows)}
+	}
+	for _, w := range benchWorkers() {
+		e := engine.New(inst, engine.Options{Workers: w, Coord: coord.Options{SkipSafetyCheck: true}})
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, resp := range e.CoordinateMany(context.Background(), reqs) {
+					if resp.Err != nil || resp.Result.Size() != n {
+						b.Fatalf("resp=%+v", resp)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelBruteForce shards the exponential subset enumeration
+// on a workload whose maximum coordinating set is small, so most of the
+// time goes into refuting large buckets — the shape sharding helps.
+func BenchmarkParallelBruteForce(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	inst := db.NewInstance()
+	workload.UserTable(inst, 2000)
+	qs := workload.RandomSafeQueries(14, 2000, 0.15, 0.4, rng)
+	want, err := coord.BruteForceMax(qs, inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkers() {
+		e := engine.New(inst, engine.Options{Workers: w})
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				got, err := e.BruteForceMax(context.Background(), qs)
+				if err != nil || got.Size() != want.Size() {
+					b.Fatalf("got=%v want=%v err=%v", got, want, err)
 				}
 			}
 		})

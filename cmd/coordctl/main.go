@@ -25,6 +25,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -103,6 +104,9 @@ func run() error {
 	var trace *coord.Trace
 	if *brute {
 		res, err = coord.BruteForceMax(qs, inst)
+		if errors.Is(err, coord.ErrTooManyQueries) {
+			return fmt.Errorf("%w; drop -brute to use the polynomial SCC algorithm (the query set must be safe)", err)
+		}
 	} else {
 		if *explain {
 			trace = &coord.Trace{}

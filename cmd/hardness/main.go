@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -72,6 +73,9 @@ func run() error {
 		return err
 	}
 	exists, err := coord.BruteForceExists(in1.Queries, in1.DB)
+	if errors.Is(err, coord.ErrTooManyQueries) {
+		return fmt.Errorf("%w; the reduction produced %d queries — shrink the formula (at most ~5 variables and ~4 clauses)", err, len(in1.Queries))
+	}
 	if err != nil {
 		return err
 	}
@@ -86,6 +90,9 @@ func run() error {
 		return nil
 	}
 	max, err := coord.BruteForceMax(in2.Queries, in2.DB)
+	if errors.Is(err, coord.ErrTooManyQueries) {
+		return fmt.Errorf("%w; the reduction produced %d queries — shrink the formula", err, len(in2.Queries))
+	}
 	if err != nil {
 		return err
 	}
@@ -99,6 +106,9 @@ func run() error {
 		return err
 	}
 	existsB, err := coord.BruteForceExists(inB.Queries, inB.DB)
+	if errors.Is(err, coord.ErrTooManyQueries) {
+		return fmt.Errorf("%w; the reduction produced %d queries — shrink the formula", err, len(inB.Queries))
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module entangled
+
+go 1.24

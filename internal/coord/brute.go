@@ -1,14 +1,29 @@
 package coord
 
 import (
+	"errors"
+	"fmt"
+
 	"entangled/internal/db"
 	"entangled/internal/eq"
 	"entangled/internal/unify"
 )
 
+// MaxBruteQueries bounds the brute-force oracles: subset enumeration is
+// exponential, and the 2^20 ceiling keeps a worst-case run within a
+// testing-oracle budget.
+const MaxBruteQueries = 20
+
+// ErrTooManyQueries is returned by the brute-force oracles when the
+// query set exceeds MaxBruteQueries. Callers should fall back to the
+// polynomial SCC algorithm (for safe sets) or shrink the input.
+var ErrTooManyQueries = errors.New("coord: brute force limited to " +
+	fmt.Sprint(MaxBruteQueries) + " queries")
+
 // BruteForceExists decides Entangled(Q): does any non-empty coordinating
 // subset of qs exist over inst? Exponential; intended as a testing
-// oracle on small instances (the hardness reductions of §3).
+// oracle on small instances (the hardness reductions of §3). Query sets
+// larger than MaxBruteQueries yield ErrTooManyQueries.
 func BruteForceExists(qs []eq.Query, inst *db.Instance) (bool, error) {
 	r, err := bruteForce(qs, inst, true)
 	if err != nil {
@@ -20,7 +35,8 @@ func BruteForceExists(qs []eq.Query, inst *db.Instance) (bool, error) {
 // BruteForceMax solves EntangledMax(Q) exactly: it returns a coordinating
 // set of maximum size (with witnessing assignment), or nil when no
 // coordinating set exists. Exponential in |qs|; use only on small
-// instances.
+// instances. Query sets larger than MaxBruteQueries yield
+// ErrTooManyQueries.
 func BruteForceMax(qs []eq.Query, inst *db.Instance) (*Result, error) {
 	return bruteForce(qs, inst, false)
 }
@@ -33,35 +49,15 @@ func bruteForce(qs []eq.Query, inst *db.Instance, smallestFirst bool) (*Result, 
 	if n == 0 {
 		return nil, nil
 	}
-	if n > 20 {
-		panic("coord: brute force limited to 20 queries")
+	if n > MaxBruteQueries {
+		return nil, fmt.Errorf("%w (got %d)", ErrTooManyQueries, n)
 	}
 	start := inst.QueriesIssued()
 	renamed := renameAll(qs)
-	edges := ExtendedGraph(qs)
+	providers := providerEdges(qs)
 
-	// Candidate providers per (query, post-atom): which heads unify.
-	providers := map[[2]int][]ExtendedEdge{}
-	for _, e := range edges {
-		k := [2]int{e.FromQ, e.PostIdx}
-		providers[k] = append(providers[k], e)
-	}
-
-	masks := make([][]uint32, n+1)
-	for m := uint32(1); m < 1<<n; m++ {
-		pc := popcount(m)
-		masks[pc] = append(masks[pc], m)
-	}
-	sizes := make([]int, 0, n)
-	if smallestFirst {
-		for s := 1; s <= n; s++ {
-			sizes = append(sizes, s)
-		}
-	} else {
-		for s := n; s >= 1; s-- {
-			sizes = append(sizes, s)
-		}
-	}
+	masks := masksBySize(n)
+	sizes := sizeOrder(n, smallestFirst)
 	for _, size := range sizes {
 		for _, m := range masks[size] {
 			set := maskSet(m)
@@ -139,6 +135,44 @@ func trySubset(renamed []eq.Query, set []int, providers map[[2]int][]ExtendedEdg
 		return nil, nil, false, nil
 	}
 	return solve(0, unify.New())
+}
+
+// providerEdges groups the extended graph's edges by (query, post-atom):
+// which heads can provide each postcondition.
+func providerEdges(qs []eq.Query) map[[2]int][]ExtendedEdge {
+	providers := map[[2]int][]ExtendedEdge{}
+	for _, e := range ExtendedGraph(qs) {
+		k := [2]int{e.FromQ, e.PostIdx}
+		providers[k] = append(providers[k], e)
+	}
+	return providers
+}
+
+// masksBySize buckets every non-empty subset mask of {0..n-1} by its
+// popcount.
+func masksBySize(n int) [][]uint32 {
+	masks := make([][]uint32, n+1)
+	for m := uint32(1); m < 1<<n; m++ {
+		pc := popcount(m)
+		masks[pc] = append(masks[pc], m)
+	}
+	return masks
+}
+
+// sizeOrder is the bucket visit order: ascending for existence checks,
+// descending for maximisation.
+func sizeOrder(n int, smallestFirst bool) []int {
+	sizes := make([]int, 0, n)
+	if smallestFirst {
+		for s := 1; s <= n; s++ {
+			sizes = append(sizes, s)
+		}
+	} else {
+		for s := n; s >= 1; s-- {
+			sizes = append(sizes, s)
+		}
+	}
+	return sizes
 }
 
 func popcount(m uint32) int {

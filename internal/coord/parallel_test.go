@@ -1,0 +1,149 @@
+package coord
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"entangled/internal/db"
+	"entangled/internal/eq"
+	"entangled/internal/netgen"
+)
+
+// parallelFixture builds a small instance plus a randomized safe query
+// set with both satisfiable and unsatisfiable bodies, so parallel runs
+// exercise pruning, failing components and grounded candidates alike.
+func parallelFixture(t *testing.T, seed int64, n int) ([]eq.Query, *db.Instance) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inst := db.NewInstance()
+	rel := inst.CreateRelation("T", "key", "val")
+	for i := 0; i < 50; i++ {
+		rel.Insert(eq.Value("t"+itoa(i)), eq.Value("c"+itoa(i)))
+	}
+	rel.BuildIndex(1)
+	g := netgen.ErdosRenyi(n, 0.2, rng)
+	qs := make([]eq.Query, n)
+	for i := 0; i < n; i++ {
+		body := eq.NewAtom("T", eq.V("x"), eq.C(eq.Value("c"+itoa(i%50))))
+		if rng.Float64() < 0.3 {
+			body = eq.NewAtom("T", eq.V("x"), eq.C(eq.Value("missing"+itoa(i))))
+		}
+		qs[i] = eq.Query{
+			ID:   "u" + itoa(i),
+			Head: []eq.Atom{eq.NewAtom("R", eq.C(eq.Value("U"+itoa(i))), eq.V("x"))},
+			Body: []eq.Atom{body},
+		}
+		for k, j := range g.Succ(i) {
+			qs[i].Post = append(qs[i].Post, eq.NewAtom("R", eq.C(eq.Value("U"+itoa(j))), eq.V("y"+itoa(k))))
+		}
+	}
+	return qs, inst
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+// TestParallelCandidatesMatchSequential checks that the parallel walk
+// produces the exact candidate family of the sequential walk — same
+// sets, same order, same assignments — across randomized workloads and
+// worker counts.
+func TestParallelCandidatesMatchSequential(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		qs, inst := parallelFixture(t, seed, 30)
+		seq, err := AllCandidates(qs, inst, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 16} {
+			par, err := AllCandidates(qs, inst, Options{Parallelism: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("seed=%d workers=%d: candidate families differ:\nseq %v\npar %v", seed, workers, seq, par)
+			}
+		}
+	}
+}
+
+// TestParallelTraceMatchesSequential checks that a parallel run records
+// the identical step-by-step trace.
+func TestParallelTraceMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		qs, inst := parallelFixture(t, seed, 25)
+		var seqTr Trace
+		if _, err := SCCCoordinate(qs, inst, Options{Trace: &seqTr}); err != nil {
+			t.Fatal(err)
+		}
+		var parTr Trace
+		if _, err := SCCCoordinate(qs, inst, Options{Trace: &parTr, Parallelism: 8}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seqTr, parTr) {
+			t.Fatalf("seed=%d: traces differ:\nseq %+v\npar %+v", seed, seqTr, parTr)
+		}
+	}
+}
+
+// TestParallelSelectorAndResult checks end-to-end SCCCoordinate
+// equality under Parallelism, including a non-default selector.
+func TestParallelSelectorAndResult(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		qs, inst := parallelFixture(t, seed, 20)
+		for _, sel := range []Selector{nil, PreferQuery(3)} {
+			seq, err := SCCCoordinate(qs, inst, Options{Select: sel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := SCCCoordinate(qs, inst, Options{Select: sel, Parallelism: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Size() != par.Size() {
+				t.Fatalf("seed=%d: results differ: seq %v par %v", seed, seq, par)
+			}
+			if seq != nil {
+				if !reflect.DeepEqual(seq.Set, par.Set) {
+					t.Fatalf("seed=%d: sets differ: seq %v par %v", seed, seq.Set, par.Set)
+				}
+				if err := Verify(qs, par.Set, par.Values, inst); err != nil {
+					t.Fatalf("seed=%d: parallel result does not verify: %v", seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelChain pins the degenerate case: a pure chain has zero
+// component-level parallelism, and the scheduler must degrade to
+// strictly sequential dispatch without deadlocking.
+func TestParallelChain(t *testing.T) {
+	inst := db.NewInstance()
+	rel := inst.CreateRelation("T", "key", "val")
+	rel.Insert(eq.Value("t0"), eq.Value("c0"))
+	rel.BuildIndex(1)
+	n := 40
+	qs := make([]eq.Query, n)
+	for i := 0; i < n; i++ {
+		qs[i] = eq.Query{
+			ID:   "u" + itoa(i),
+			Head: []eq.Atom{eq.NewAtom("R", eq.C(eq.Value("U"+itoa(i))), eq.V("x"))},
+			Body: []eq.Atom{eq.NewAtom("T", eq.V("x"), eq.C(eq.Value("c0")))},
+		}
+		if i+1 < n {
+			qs[i].Post = []eq.Atom{eq.NewAtom("R", eq.C(eq.Value("U"+itoa(i+1))), eq.V("y"))}
+		}
+	}
+	seq, err := SCCCoordinate(qs, inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SCCCoordinate(qs, inst, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Size() != n || par.Size() != n || !reflect.DeepEqual(seq.Set, par.Set) {
+		t.Fatalf("chain: seq %v par %v", seq, par)
+	}
+}

@@ -20,7 +20,12 @@ type Result struct {
 	// of every query in the set is assigned (Definition 1, condition 1).
 	Values map[int]map[string]eq.Value
 	// DBQueries is the number of conjunctive queries issued while
-	// computing this result (as reported by the algorithm).
+	// computing this result (as reported by the algorithm). It is the
+	// delta of the instance's global counter, so it is exact only when
+	// this run had the instance to itself: under concurrent serving
+	// (engine.CoordinateMany) it includes queries issued by overlapping
+	// requests. Use Instance.ResetCounters + QueriesIssued around a
+	// whole batch for concurrent workloads.
 	DBQueries int64
 }
 

@@ -90,6 +90,16 @@ type Options struct {
 	// Results are identical either way; the ablation benchmark compares
 	// cost.
 	IncrementalUnify bool
+	// Parallelism is the number of worker goroutines used to process
+	// independent strongly connected components concurrently (the
+	// component DAG bounds the available parallelism: a component runs
+	// once all its successors have). Values <= 1 select the sequential
+	// path. The candidate family, its order, and any Trace are identical
+	// to a sequential run. The parallel path always recomputes each
+	// component's MGU from scratch (substitutions are union-find
+	// structures that mutate on read, so successors' MGUs cannot be
+	// shared across goroutines); IncrementalUnify is ignored.
+	Parallelism int
 }
 
 // SCCCoordinate runs the SCC Coordination Algorithm of §4 on a safe (but

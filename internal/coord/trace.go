@@ -66,14 +66,22 @@ func (t *Trace) Render(w io.Writer, qs []eq.Query) error {
 	return err
 }
 
-// runSCC executes the SCC Coordination Algorithm and returns every
-// grounded candidate (the family {R(q)}), in processing order.
-// SCCCoordinate applies the selector to pick one; AllCandidates exposes
-// the whole family.
-func runSCC(qs []eq.Query, inst *db.Instance, opts Options) ([]Candidate, error) {
-	if len(qs) == 0 {
-		return nil, nil
-	}
+// sccSetup is the state shared by the sequential and parallel component
+// walks: the extended graph, alpha-renamed queries, pruning outcome and
+// the condensation of the coordination graph with its processing order.
+type sccSetup struct {
+	edges   []ExtendedEdge
+	renamed []eq.Query
+	alive   []bool
+	dag     *graph.Digraph
+	members [][]int
+	order   []int // component ids, reverse topological
+}
+
+// prepareSCC runs everything up to the per-component searches: safety
+// check, alpha renaming, §6.1 pruning, condensation and topological
+// ordering.
+func prepareSCC(qs []eq.Query, inst *db.Instance, opts Options) (*sccSetup, error) {
 	tr := opts.Trace
 	edges := ExtendedGraph(qs)
 	if !opts.SkipSafetyCheck {
@@ -106,6 +114,27 @@ func runSCC(qs []eq.Query, inst *db.Instance, opts Options) ([]Candidate, error)
 		return nil, err // cannot happen: condensation is a DAG
 	}
 	reverse(order)
+	return &sccSetup{edges: edges, renamed: renamed, alive: alive, dag: dag, members: members, order: order}, nil
+}
+
+// runSCC executes the SCC Coordination Algorithm and returns every
+// grounded candidate (the family {R(q)}), in processing order.
+// SCCCoordinate applies the selector to pick one; AllCandidates exposes
+// the whole family.
+func runSCC(qs []eq.Query, inst *db.Instance, opts Options) ([]Candidate, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	if opts.Parallelism > 1 {
+		return runSCCParallel(qs, inst, opts)
+	}
+	tr := opts.Trace
+	st, err := prepareSCC(qs, inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	edges, renamed, alive := st.edges, st.renamed, st.alive
+	dag, members, order := st.dag, st.members, st.order
 
 	nc := dag.N()
 	reach := make([][]bool, nc)

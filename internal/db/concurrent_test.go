@@ -1,0 +1,103 @@
+package db
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"entangled/internal/eq"
+)
+
+// TestConcurrentReaders hammers one instance with parallel Solve,
+// Project, Contains and Domain calls; run with -race to validate the
+// read-path locking.
+func TestConcurrentReaders(t *testing.T) {
+	in := NewInstance()
+	r := in.CreateRelation("T", "key", "val")
+	for i := 0; i < 200; i++ {
+		r.Insert(eq.Value(fmt.Sprintf("t%d", i)), eq.Value(fmt.Sprintf("c%d", i%50)))
+	}
+	r.BuildIndex(1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				body := []eq.Atom{eq.NewAtom("T", eq.V("x"), eq.C(eq.Value(fmt.Sprintf("c%d", (w+i)%50))))}
+				if _, ok, err := in.Solve(body); err != nil || !ok {
+					t.Errorf("solve: ok=%v err=%v", ok, err)
+					return
+				}
+				if _, err := in.Project("T", []int{1}, nil); err != nil {
+					t.Errorf("project: %v", err)
+					return
+				}
+				if !in.Contains(eq.NewAtom("T", eq.C(eq.Value("t0")), eq.C(eq.Value("c0")))) {
+					t.Error("contains: missing t0")
+					return
+				}
+				if len(in.Domain()) == 0 {
+					t.Error("domain: empty")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := in.QueriesIssued(); got != 8*50*2 {
+		t.Fatalf("QueriesIssued = %d, want %d", got, 8*50*2)
+	}
+}
+
+// TestConcurrentReadersAndWriters interleaves queries with inserts,
+// index rebuilds, deletes and relation registration on one instance.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	in := NewInstance()
+	r := in.CreateRelation("T", "key", "val")
+	for i := 0; i < 100; i++ {
+		r.Insert(eq.Value(fmt.Sprintf("t%d", i)), eq.Value(fmt.Sprintf("c%d", i%10)))
+	}
+	r.BuildIndex(1)
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Insert(eq.Value(fmt.Sprintf("x%d", i)), eq.Value(fmt.Sprintf("c%d", i%10)))
+			if i%25 == 0 {
+				r.BuildIndex(0)
+				r.DeleteWhere(map[int]eq.Value{0: eq.Value(fmt.Sprintf("x%d", i/2))})
+			}
+			side := in.CreateRelation(fmt.Sprintf("S%d", i), "a")
+			side.Insert(eq.Value("v"))
+		}
+	}()
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func(w int) {
+			defer readers.Done()
+			for i := 0; i < 100; i++ {
+				body := []eq.Atom{eq.NewAtom("T", eq.V("x"), eq.C(eq.Value(fmt.Sprintf("c%d", i%10))))}
+				if _, ok, err := in.Solve(body); err != nil || !ok {
+					t.Errorf("solve: ok=%v err=%v", ok, err)
+					return
+				}
+				in.RelationNames()
+				in.Schema()
+			}
+		}(w)
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

@@ -7,7 +7,7 @@ import "entangled/internal/eq"
 // exists for verifiers and tests. Atoms over unknown relations or with
 // variables are simply not contained.
 func (in *Instance) Contains(a eq.Atom) bool {
-	r, ok := in.rels[a.Rel]
+	r, ok := in.Relation(a.Rel)
 	if !ok || r.Arity() != len(a.Args) {
 		return false
 	}
@@ -18,6 +18,8 @@ func (in *Instance) Contains(a eq.Atom) bool {
 		}
 		vals[i] = t.Const()
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	// Use an index when one exists.
 	for col, idx := range r.indexes {
 		rows := idx[vals[col]]

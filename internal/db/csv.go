@@ -47,6 +47,8 @@ func (in *Instance) LoadCSV(name string, r io.Reader) (*Relation, error) {
 // DumpCSV writes the relation's tuples as headerless CSV in insertion
 // order.
 func (r *Relation) DumpCSV(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	cw := csv.NewWriter(w)
 	record := make([]string, r.Arity())
 	for _, t := range r.tuples {
@@ -65,6 +67,8 @@ func (r *Relation) DumpCSV(w io.Writer) error {
 // filter and rebuilds the relation's indexes; it returns the number of
 // tuples removed. An empty filter clears the relation.
 func (r *Relation) DeleteWhere(where map[int]eq.Value) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	kept := r.tuples[:0]
 	removed := 0
 	for _, t := range r.tuples {
@@ -83,7 +87,7 @@ func (r *Relation) DeleteWhere(where map[int]eq.Value) int {
 	}
 	r.tuples = kept
 	for col := range r.indexes {
-		r.BuildIndex(col)
+		r.buildIndexLocked(col)
 	}
 	return removed
 }

@@ -12,6 +12,7 @@ package db
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -22,10 +23,15 @@ import (
 type Tuple []eq.Value
 
 // Relation is a named table with a fixed arity and optional per-column
-// hash indexes.
+// hash indexes. A Relation is safe for concurrent use: readers share an
+// RWMutex, so any number of queries may scan it while mutations (Insert,
+// BuildIndex, DeleteWhere) are serialised. Name and Attrs must not be
+// changed once the relation is visible to other goroutines.
 type Relation struct {
-	Name    string
-	Attrs   []string // attribute names; len(Attrs) is the arity
+	Name  string
+	Attrs []string // attribute names; len(Attrs) is the arity
+
+	mu      sync.RWMutex
 	tuples  []Tuple
 	indexes map[int]map[eq.Value][]int // column -> value -> row numbers
 }
@@ -43,7 +49,11 @@ func NewRelation(name string, attrs ...string) *Relation {
 func (r *Relation) Arity() int { return len(r.Attrs) }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tuples)
+}
 
 // Insert appends a tuple; it must match the relation's arity.
 func (r *Relation) Insert(vals ...eq.Value) {
@@ -52,6 +62,8 @@ func (r *Relation) Insert(vals ...eq.Value) {
 	}
 	t := make(Tuple, len(vals))
 	copy(t, vals)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	row := len(r.tuples)
 	r.tuples = append(r.tuples, t)
 	for col, idx := range r.indexes {
@@ -61,6 +73,12 @@ func (r *Relation) Insert(vals ...eq.Value) {
 
 // BuildIndex creates (or rebuilds) a hash index on the given column.
 func (r *Relation) BuildIndex(col int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buildIndexLocked(col)
+}
+
+func (r *Relation) buildIndexLocked(col int) {
 	idx := map[eq.Value][]int{}
 	for row, t := range r.tuples {
 		idx[t[col]] = append(idx[t[col]], row)
@@ -69,11 +87,17 @@ func (r *Relation) BuildIndex(col int) {
 }
 
 // Tuple returns the i-th tuple (shared, do not mutate).
-func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+func (r *Relation) Tuple(i int) Tuple {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tuples[i]
+}
 
 // Distinct returns the distinct value combinations over the given
 // columns, in first-appearance order.
 func (r *Relation) Distinct(cols []int) []Tuple {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	seen := map[string]bool{}
 	var out []Tuple
 	for _, t := range r.tuples {
@@ -93,7 +117,16 @@ func (r *Relation) Distinct(cols []int) []Tuple {
 
 // Instance is a database instance: a set of relations plus counters that
 // experiments read.
+//
+// An Instance is safe for concurrent use: the relation registry is
+// guarded by an RWMutex, every relation carries its own RWMutex, and the
+// query counter is atomic, so many goroutines may issue queries against
+// one shared instance (the concurrent-engine serving path) while
+// mutations are serialised. The UseIndexes and SimulatedLatency knobs
+// are configuration: set them before sharing the instance across
+// goroutines.
 type Instance struct {
+	mu   sync.RWMutex
 	rels map[string]*Relation
 
 	// UseIndexes controls whether the evaluator consults hash indexes;
@@ -118,7 +151,11 @@ func NewInstance() *Instance {
 
 // AddRelation registers a relation; it replaces any previous relation of
 // the same name.
-func (in *Instance) AddRelation(r *Relation) { in.rels[r.Name] = r }
+func (in *Instance) AddRelation(r *Relation) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rels[r.Name] = r
+}
 
 // CreateRelation creates, registers and returns an empty relation.
 func (in *Instance) CreateRelation(name string, attrs ...string) *Relation {
@@ -129,12 +166,16 @@ func (in *Instance) CreateRelation(name string, attrs ...string) *Relation {
 
 // Relation looks up a relation by name.
 func (in *Instance) Relation(name string) (*Relation, bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	r, ok := in.rels[name]
 	return r, ok
 }
 
 // Schema returns relation name -> arity for every relation.
 func (in *Instance) Schema() map[string]int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	out := map[string]int{}
 	for n, r := range in.rels {
 		out[n] = r.Arity()
@@ -144,6 +185,8 @@ func (in *Instance) Schema() map[string]int {
 
 // RelationNames returns the sorted relation names.
 func (in *Instance) RelationNames() []string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	var out []string
 	for n := range in.rels {
 		out = append(out, n)
@@ -169,13 +212,21 @@ func (in *Instance) countQuery() {
 // Domain returns every constant appearing anywhere in the instance,
 // sorted. Coordinating-set assignments draw values from this domain.
 func (in *Instance) Domain() []eq.Value {
-	seen := map[eq.Value]bool{}
+	in.mu.RLock()
+	rels := make([]*Relation, 0, len(in.rels))
 	for _, r := range in.rels {
+		rels = append(rels, r)
+	}
+	in.mu.RUnlock()
+	seen := map[eq.Value]bool{}
+	for _, r := range rels {
+		r.mu.RLock()
 		for _, t := range r.tuples {
 			for _, v := range t {
 				seen[v] = true
 			}
 		}
+		r.mu.RUnlock()
 	}
 	out := make([]eq.Value, 0, len(seen))
 	for v := range seen {

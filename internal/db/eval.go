@@ -2,6 +2,7 @@ package db
 
 import (
 	"fmt"
+	"sort"
 
 	"entangled/internal/eq"
 	"entangled/internal/unify"
@@ -48,6 +49,23 @@ func (in *Instance) SolveUnder(body []eq.Atom, s *unify.Subst) (Binding, bool, e
 
 func (in *Instance) solve(body []eq.Atom, limit int) ([]Binding, error) {
 	in.countQuery()
+	rels, err := in.relsFor(body)
+	if err != nil {
+		return nil, err
+	}
+	defer readLockAll(rels)()
+	e := &evaluator{in: in, rels: rels, body: body, limit: limit, bound: Binding{}}
+	e.run()
+	return e.results, nil
+}
+
+// relsFor resolves and validates every relation the body mentions,
+// returning a name -> relation snapshot so the evaluator never touches
+// the registry map mid-run.
+func (in *Instance) relsFor(body []eq.Atom) (map[string]*Relation, error) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	rels := make(map[string]*Relation, len(body))
 	for _, a := range body {
 		r, ok := in.rels[a.Rel]
 		if !ok {
@@ -56,10 +74,31 @@ func (in *Instance) solve(body []eq.Atom, limit int) ([]Binding, error) {
 		if r.Arity() != len(a.Args) {
 			return nil, fmt.Errorf("db: atom %s has arity %d, relation has %d", a, len(a.Args), r.Arity())
 		}
+		rels[a.Rel] = r
 	}
-	e := &evaluator{in: in, body: body, limit: limit, bound: Binding{}}
-	e.run()
-	return e.results, nil
+	return rels, nil
+}
+
+// readLockAll read-locks every relation in the snapshot for the duration
+// of an evaluation (in sorted name order, so lock acquisition is
+// deterministic) and returns the matching unlock function. Holding the
+// read locks across the whole backtracking join lets the evaluator access
+// tuples and indexes directly while concurrent readers proceed and
+// writers wait.
+func readLockAll(rels map[string]*Relation) func() {
+	names := make([]string, 0, len(rels))
+	for n := range rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rels[n].mu.RLock()
+	}
+	return func() {
+		for _, n := range names {
+			rels[n].mu.RUnlock()
+		}
+	}
 }
 
 // evaluator performs a backtracking join over the body atoms. At every
@@ -68,6 +107,7 @@ func (in *Instance) solve(body []eq.Atom, limit int) ([]Binding, error) {
 // using a hash index on one bound column when available.
 type evaluator struct {
 	in      *Instance
+	rels    map[string]*Relation // snapshot from relsFor, read-locked by the caller
 	body    []eq.Atom
 	limit   int
 	bound   Binding
@@ -115,7 +155,7 @@ func (e *evaluator) step(depth int) {
 	defer func() { e.used[ai] = false }()
 
 	a := e.body[ai]
-	rel := e.in.rels[a.Rel]
+	rel := e.rels[a.Rel]
 
 	rows := e.candidateRows(rel, a)
 	for _, row := range rows {
@@ -151,7 +191,7 @@ func (e *evaluator) pickAtom() int {
 			}
 		}
 		// Prefer more-bound atoms, break ties toward smaller relations.
-		if score > bestScore || (score == bestScore && e.in.rels[a.Rel].Len() < e.in.rels[e.body[best].Rel].Len()) {
+		if score > bestScore || (score == bestScore && len(e.rels[a.Rel].tuples) < len(e.rels[e.body[best].Rel].tuples)) {
 			best, bestScore = i, score
 		}
 	}
@@ -173,7 +213,7 @@ func (e *evaluator) candidateRows(rel *Relation, a eq.Atom) []int {
 			}
 		}
 	}
-	rows := make([]int, rel.Len())
+	rows := make([]int, len(rel.tuples))
 	for i := range rows {
 		rows[i] = i
 	}

@@ -11,18 +11,20 @@ import (
 // materialising the result set; fn returns false to stop early. The
 // binding passed to fn is reused between calls — copy it if it must
 // outlive the callback. Counts as one database query.
+//
+// fn runs while the body's relations are read-locked, so it must not
+// mutate the instance or re-query it (Insert/BuildIndex/DeleteWhere on
+// a body relation self-deadlocks, and even a read can block behind a
+// queued writer). Collect during the stream; act after SolveFunc
+// returns.
 func (in *Instance) SolveFunc(body []eq.Atom, fn func(Binding) bool) error {
 	in.countQuery()
-	for _, a := range body {
-		r, ok := in.rels[a.Rel]
-		if !ok {
-			return fmt.Errorf("db: unknown relation %s", a.Rel)
-		}
-		if r.Arity() != len(a.Args) {
-			return fmt.Errorf("db: atom %s has arity %d, relation has %d", a, len(a.Args), r.Arity())
-		}
+	rels, err := in.relsFor(body)
+	if err != nil {
+		return err
 	}
-	e := &evaluator{in: in, body: body, bound: Binding{}, yield: fn}
+	defer readLockAll(rels)()
+	e := &evaluator{in: in, rels: rels, body: body, bound: Binding{}, yield: fn}
 	e.run()
 	return nil
 }
@@ -43,15 +45,11 @@ type PlanStep struct {
 // body, without touching the data. It mirrors the greedy most-bound
 // heuristic of the executor, so the output is the true plan.
 func (in *Instance) Explain(body []eq.Atom) ([]PlanStep, error) {
-	for _, a := range body {
-		r, ok := in.rels[a.Rel]
-		if !ok {
-			return nil, fmt.Errorf("db: unknown relation %s", a.Rel)
-		}
-		if r.Arity() != len(a.Args) {
-			return nil, fmt.Errorf("db: atom %s has arity %d, relation has %d", a, len(a.Args), r.Arity())
-		}
+	rels, err := in.relsFor(body)
+	if err != nil {
+		return nil, err
 	}
+	defer readLockAll(rels)()
 	used := make([]bool, len(body))
 	bound := map[string]bool{}
 	var plan []PlanStep
@@ -67,13 +65,13 @@ func (in *Instance) Explain(body []eq.Atom) ([]PlanStep, error) {
 					score++
 				}
 			}
-			if score > bestScore || (score == bestScore && in.rels[a.Rel].Len() < in.rels[body[best].Rel].Len()) {
+			if score > bestScore || (score == bestScore && len(rels[a.Rel].tuples) < len(rels[body[best].Rel].tuples)) {
 				best, bestScore = i, score
 			}
 		}
 		a := body[best]
 		used[best] = true
-		rel := in.rels[a.Rel]
+		rel := rels[a.Rel]
 		access := "scan"
 		if in.UseIndexes {
 			for col, t := range a.Args {
@@ -85,7 +83,7 @@ func (in *Instance) Explain(body []eq.Atom) ([]PlanStep, error) {
 				}
 			}
 		}
-		plan = append(plan, PlanStep{Atom: a, Access: access, BoundArgs: bestScore, Rows: rel.Len()})
+		plan = append(plan, PlanStep{Atom: a, Access: access, BoundArgs: bestScore, Rows: len(rel.tuples)})
 		for _, t := range a.Args {
 			if t.IsVar() {
 				bound[t.Name] = true

@@ -13,10 +13,12 @@ import (
 // Algorithm uses it to compute the option lists V(q) and friend lists.
 func (in *Instance) Project(rel string, cols []int, where map[int]eq.Value) ([]Tuple, error) {
 	in.countQuery()
-	r, ok := in.rels[rel]
+	r, ok := in.Relation(rel)
 	if !ok {
 		return nil, fmt.Errorf("db: unknown relation %s", rel)
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	rows := in.filterRows(r, where)
 	seen := map[string]bool{}
 	var out []Tuple
@@ -50,10 +52,12 @@ func (in *Instance) Project(rel string, cols []int, where map[int]eq.Value) ([]T
 // counts as one database query.
 func (in *Instance) SelectOne(rel string, where map[int]eq.Value) (Tuple, bool, error) {
 	in.countQuery()
-	r, ok := in.rels[rel]
+	r, ok := in.Relation(rel)
 	if !ok {
 		return nil, false, fmt.Errorf("db: unknown relation %s", rel)
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, row := range in.filterRows(r, where) {
 		t := r.tuples[row]
 		match := true
@@ -72,7 +76,7 @@ func (in *Instance) SelectOne(rel string, where map[int]eq.Value) (Tuple, bool, 
 
 // filterRows returns candidate row numbers, using a hash index on one of
 // the where-columns when available; the caller re-checks the full
-// predicate.
+// predicate. The caller must hold r's read lock.
 func (in *Instance) filterRows(r *Relation, where map[int]eq.Value) []int {
 	if in.UseIndexes {
 		for c, v := range where {
@@ -81,7 +85,7 @@ func (in *Instance) filterRows(r *Relation, where map[int]eq.Value) []int {
 			}
 		}
 	}
-	rows := make([]int, r.Len())
+	rows := make([]int, len(r.tuples))
 	for i := range rows {
 		rows[i] = i
 	}

@@ -33,7 +33,7 @@ func (in *Instance) Save(dir string) error {
 	var man snapshotManifest
 	names := in.RelationNames()
 	for _, name := range names {
-		r := in.rels[name]
+		r, _ := in.Relation(name)
 		file := name + ".csv"
 		f, err := os.Create(filepath.Join(dir, file))
 		if err != nil {
@@ -47,9 +47,11 @@ func (in *Instance) Save(dir string) error {
 			return err
 		}
 		var idx []int
+		r.mu.RLock()
 		for col := range r.indexes {
 			idx = append(idx, col)
 		}
+		r.mu.RUnlock()
 		sort.Ints(idx)
 		man.Relations = append(man.Relations, relationManifest{
 			Name:    name,
@@ -96,7 +98,9 @@ func Load(dir string) (*Instance, error) {
 			return nil, fmt.Errorf("db: %s: manifest declares %d attrs, CSV has %d", rm.Name, len(rm.Attrs), rel.Arity())
 		}
 		rel.Attrs = append([]string(nil), rm.Attrs...)
+		rel.mu.Lock()
 		rel.indexes = map[int]map[eq.Value][]int{}
+		rel.mu.Unlock()
 		for _, col := range rm.Indexes {
 			if col < 0 || col >= rel.Arity() {
 				return nil, fmt.Errorf("db: %s: index column %d out of range", rm.Name, col)

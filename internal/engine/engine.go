@@ -1,0 +1,160 @@
+// Package engine serves coordination requests concurrently over one
+// shared database instance.
+//
+// The paper's tractable case — the SCC Coordination Algorithm of §5 —
+// decomposes a safe query set into the DAG of its strongly connected
+// components, and each component's provider search is an independent
+// unification-plus-one-database-query unit of work. The engine exploits
+// that structure at two levels: inside a single request it runs
+// independent components on a worker pool (coord.Options.Parallelism),
+// and across requests it drains a batch of distinct query sets through
+// the pool concurrently (CoordinateMany) — the heavy-traffic serving
+// shape, where many independent scenarios query one shared instance.
+// The db layer's RWMutex-guarded relations and atomic query counter
+// make the shared instance safe under this concurrency.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"entangled/internal/coord"
+	"entangled/internal/db"
+	"entangled/internal/eq"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the size of the worker pool used both for
+	// per-component parallelism inside a single request and for
+	// draining request batches. Zero means GOMAXPROCS.
+	Workers int
+	// Coord is the base coordination configuration applied to every
+	// request (selector, pruning and safety-check toggles). Its
+	// Parallelism field is managed by the engine and ignored.
+	Coord coord.Options
+}
+
+// Engine runs coordination workloads over one shared instance.
+type Engine struct {
+	inst    *db.Instance
+	workers int
+	base    coord.Options
+}
+
+// New returns an engine over the given instance.
+func New(inst *db.Instance, opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{inst: inst, workers: w, base: opts.Coord}
+}
+
+// Workers returns the configured worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Instance returns the shared database instance.
+func (e *Engine) Instance() *db.Instance { return e.inst }
+
+// Coordinate serves one request, parallelising the SCC algorithm's
+// per-component searches across the worker pool. The result is
+// identical to a sequential coord.SCCCoordinate run.
+func (e *Engine) Coordinate(ctx context.Context, qs []eq.Query) (*coord.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts := e.base
+	opts.Parallelism = e.workers
+	return coord.SCCCoordinate(qs, e.inst, opts)
+}
+
+// Request is one unit of CoordinateMany work: an independent entangled
+// query set to coordinate over the engine's shared instance.
+type Request struct {
+	// ID is an opaque caller tag echoed in the Response.
+	ID string
+	// Queries is the entangled query set for this request.
+	Queries []eq.Query
+	// Opts, when non-nil, replaces the engine's base coordination
+	// options for this request (its Parallelism is still managed by the
+	// engine).
+	Opts *coord.Options
+}
+
+// Response pairs a request's outcome with its ID, in request order.
+// Result.DBQueries is a delta of the instance's shared counter and so
+// includes queries from requests served concurrently; meter whole
+// batches with Instance.ResetCounters/QueriesIssued instead.
+type Response struct {
+	ID     string
+	Result *coord.Result
+	Err    error
+}
+
+// CoordinateMany serves a batch of independent requests concurrently on
+// the worker pool, one goroutine per in-flight request over the shared
+// instance. Each request runs the sequential per-request path
+// (inter-request parallelism already saturates the pool). Responses
+// come back in request order. Cancelling ctx stops dispatching; the
+// remaining responses carry ctx.Err().
+func (e *Engine) CoordinateMany(ctx context.Context, reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	workers := e.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		for i := range reqs {
+			out[i] = e.serve(ctx, &reqs[i])
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = e.serve(ctx, &reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// serve runs one request sequentially.
+func (e *Engine) serve(ctx context.Context, req *Request) Response {
+	if err := ctx.Err(); err != nil {
+		return Response{ID: req.ID, Err: err}
+	}
+	opts := e.base
+	if req.Opts != nil {
+		opts = *req.Opts
+	}
+	opts.Parallelism = 0
+	res, err := coord.SCCCoordinate(req.Queries, e.inst, opts)
+	return Response{ID: req.ID, Result: res, Err: err}
+}
+
+// BruteForceExists runs the exponential existence oracle with the
+// subset enumeration sharded across the worker pool; ctx cancels the
+// search between subsets.
+func (e *Engine) BruteForceExists(ctx context.Context, qs []eq.Query) (bool, error) {
+	return coord.BruteForceExistsCtx(ctx, qs, e.inst, e.workers)
+}
+
+// BruteForceMax runs the exponential maximisation oracle with the
+// subset enumeration sharded across the worker pool; ctx cancels the
+// search between subsets. The returned set size equals the sequential
+// oracle's.
+func (e *Engine) BruteForceMax(ctx context.Context, qs []eq.Query) (*coord.Result, error) {
+	return coord.BruteForceMaxCtx(ctx, qs, e.inst, e.workers)
+}

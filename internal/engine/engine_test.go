@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"entangled/internal/coord"
+	"entangled/internal/db"
+	"entangled/internal/eq"
+	"entangled/internal/workload"
+)
+
+const testRows = 500
+
+func listInstance(t testing.TB) *db.Instance {
+	t.Helper()
+	inst := db.NewInstance()
+	workload.UserTable(inst, testRows)
+	return inst
+}
+
+// TestCoordinateMatchesSequential checks that the engine's
+// component-parallel path returns exactly the sequential result on the
+// Figure 4 list workload and on scale-free structures.
+func TestCoordinateMatchesSequential(t *testing.T) {
+	inst := listInstance(t)
+	e := New(inst, Options{Workers: 8, Coord: coord.Options{SkipSafetyCheck: true}})
+	for _, n := range []int{1, 10, 25, 50, 100} {
+		qs := workload.ListQueries(n, testRows)
+		seq, err := coord.SCCCoordinate(qs, inst, coord.Options{SkipSafetyCheck: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := e.Coordinate(context.Background(), qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Set, par.Set) {
+			t.Fatalf("n=%d: sequential set %v != parallel set %v", n, seq.Set, par.Set)
+		}
+		if !reflect.DeepEqual(seq.Values, par.Values) {
+			t.Fatalf("n=%d: assignments differ", n)
+		}
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		qs := workload.ScaleFreeQueries(40, 2, testRows, rng)
+		seq, err := coord.SCCCoordinate(qs, inst, coord.Options{SkipSafetyCheck: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := e.Coordinate(context.Background(), qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Size() != par.Size() || !reflect.DeepEqual(seq.Set, par.Set) {
+			t.Fatalf("seed=%d: sequential %v != parallel %v", seed, seq.Set, par.Set)
+		}
+	}
+}
+
+// TestCoordinateManySharedInstance drives a batch of independent
+// requests through one shared instance and checks every response; with
+// -race this exercises the db layer's concurrent-reader guarantees.
+func TestCoordinateManySharedInstance(t *testing.T) {
+	inst := listInstance(t)
+	e := New(inst, Options{Workers: 8, Coord: coord.Options{SkipSafetyCheck: true}})
+	const batch = 64
+	reqs := make([]Request, batch)
+	for i := range reqs {
+		n := 5 + i%20
+		reqs[i] = Request{ID: fmt.Sprintf("req%d", i), Queries: workload.ListQueries(n, testRows)}
+	}
+	out := e.CoordinateMany(context.Background(), reqs)
+	if len(out) != batch {
+		t.Fatalf("got %d responses, want %d", len(out), batch)
+	}
+	for i, r := range out {
+		n := 5 + i%20
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		if r.ID != fmt.Sprintf("req%d", i) {
+			t.Fatalf("request %d: response out of order (id %s)", i, r.ID)
+		}
+		if r.Result.Size() != n {
+			t.Fatalf("request %d: set size %d, want %d", i, r.Result.Size(), n)
+		}
+	}
+}
+
+// TestCoordinateManyWithConcurrentWriters runs a request batch while
+// other goroutines insert into the shared instance — the serving shape
+// where the database keeps growing under read traffic. Results may
+// legitimately vary in witness, but never in error or set size, because
+// the list workload's bodies always stay satisfiable.
+func TestCoordinateManyWithConcurrentWriters(t *testing.T) {
+	inst := listInstance(t)
+	rel, _ := inst.Relation("T")
+	e := New(inst, Options{Workers: 4, Coord: coord.Options{SkipSafetyCheck: true}})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rel.Insert(eq.Value(fmt.Sprintf("w%d-%d", w, i)), eq.Value(fmt.Sprintf("c%d", i%testRows)))
+				side := inst.CreateRelation(fmt.Sprintf("Side%d_%d", w, i), "a")
+				side.Insert(eq.Value("x"))
+			}
+		}(w)
+	}
+	reqs := make([]Request, 32)
+	for i := range reqs {
+		reqs[i] = Request{Queries: workload.ListQueries(10, testRows)}
+	}
+	out := e.CoordinateMany(context.Background(), reqs)
+	close(stop)
+	wg.Wait()
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		if r.Result.Size() != 10 {
+			t.Fatalf("request %d: set size %d, want 10", i, r.Result.Size())
+		}
+	}
+}
+
+// TestCoordinateManyCancel checks that cancelling the batch context
+// stops serving and surfaces ctx.Err on unserved requests.
+func TestCoordinateManyCancel(t *testing.T) {
+	inst := listInstance(t)
+	e := New(inst, Options{Workers: 2, Coord: coord.Options{SkipSafetyCheck: true}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := make([]Request, 8)
+	for i := range reqs {
+		reqs[i] = Request{Queries: workload.ListQueries(5, testRows)}
+	}
+	out := e.CoordinateMany(ctx, reqs)
+	for i, r := range out {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("request %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+// TestBruteForceParallelMatchesSequential compares the sharded oracle
+// against the sequential one on randomized safe workloads.
+func TestBruteForceParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := db.NewInstance()
+		workload.UserTable(inst, 50)
+		qs := workload.RandomSafeQueries(9, 50, 0.25, 0.7, rng)
+		e := New(inst, Options{Workers: 4})
+
+		seqExists, err := coord.BruteForceExists(qs, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parExists, err := e.BruteForceExists(context.Background(), qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqExists != parExists {
+			t.Fatalf("seed=%d: exists %v != parallel %v", seed, seqExists, parExists)
+		}
+
+		seqMax, err := coord.BruteForceMax(qs, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parMax, err := e.BruteForceMax(context.Background(), qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqMax.Size() != parMax.Size() {
+			t.Fatalf("seed=%d: max size %d != parallel %d", seed, seqMax.Size(), parMax.Size())
+		}
+		if parMax != nil {
+			if err := coord.Verify(qs, parMax.Set, parMax.Values, inst); err != nil {
+				t.Fatalf("seed=%d: parallel witness does not verify: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestBruteForceTooManyQueries checks the typed-error contract on
+// oversized inputs for both oracles and both paths.
+func TestBruteForceTooManyQueries(t *testing.T) {
+	inst := listInstance(t)
+	qs := workload.ListQueries(coord.MaxBruteQueries+1, testRows)
+	if _, err := coord.BruteForceExists(qs, inst); !errors.Is(err, coord.ErrTooManyQueries) {
+		t.Fatalf("sequential exists: err = %v, want ErrTooManyQueries", err)
+	}
+	if _, err := coord.BruteForceMax(qs, inst); !errors.Is(err, coord.ErrTooManyQueries) {
+		t.Fatalf("sequential max: err = %v, want ErrTooManyQueries", err)
+	}
+	e := New(inst, Options{Workers: 4})
+	if _, err := e.BruteForceExists(context.Background(), qs); !errors.Is(err, coord.ErrTooManyQueries) {
+		t.Fatalf("parallel exists: err = %v, want ErrTooManyQueries", err)
+	}
+	if _, err := e.BruteForceMax(context.Background(), qs); !errors.Is(err, coord.ErrTooManyQueries) {
+		t.Fatalf("parallel max: err = %v, want ErrTooManyQueries", err)
+	}
+}
+
+// TestBruteForceCancel checks early cancellation of the sharded
+// enumeration.
+func TestBruteForceCancel(t *testing.T) {
+	inst := listInstance(t)
+	e := New(inst, Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qs := workload.ListQueries(12, testRows)
+	if _, err := e.BruteForceMax(ctx, qs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"entangled/internal/db"
+	"entangled/internal/engine"
+	"entangled/internal/workload"
+)
+
+// parallelBatchRequests is the number of independent coordination
+// requests per batch in the ParallelBatch sweep — the "many scenarios"
+// load served over one shared instance.
+const parallelBatchRequests = 32
+
+// ParallelBatch measures engine.CoordinateMany throughput: batches of
+// independent list-workload requests served over one shared instance,
+// once on a single worker and once on cfg.Parallel workers. The x-axis
+// is the per-request query count; Millis is the wall-clock time for the
+// whole batch, DBQueries the batch's total, SetSize the per-request
+// coordinating-set size.
+func ParallelBatch(cfg Config) []Series {
+	cfg = cfg.withDefaults(seq(10, 50, 10))
+	if cfg.Parallel <= 1 {
+		cfg.Parallel = 4
+	}
+	var out []Series
+	for _, workers := range []int{1, cfg.Parallel} {
+		s := Series{
+			Name:   fmt.Sprintf("Parallel batch: CoordinateMany, %d worker(s)", workers),
+			XLabel: "queries/request",
+		}
+		inst := db.NewInstance()
+		inst.SimulatedLatency = cfg.Latency
+		workload.UserTable(inst, cfg.TableRows)
+		e := engine.New(inst, engine.Options{Workers: workers})
+		for _, n := range cfg.Sizes {
+			reqs := make([]engine.Request, parallelBatchRequests)
+			for i := range reqs {
+				reqs[i] = engine.Request{ID: fmt.Sprintf("r%d", i), Queries: workload.ListQueries(n, cfg.TableRows)}
+			}
+			var p Point
+			for r := 0; r < cfg.Repeats; r++ {
+				inst.ResetCounters()
+				start := time.Now()
+				for _, resp := range e.CoordinateMany(context.Background(), reqs) {
+					if resp.Err != nil {
+						panic(resp.Err)
+					}
+					p.SetSize += float64(resp.Result.Size()) / parallelBatchRequests
+				}
+				p.Millis += float64(time.Since(start).Microseconds()) / 1000.0
+				p.DBQueries += float64(inst.QueriesIssued())
+			}
+			k := float64(cfg.Repeats)
+			s.Points = append(s.Points, Point{X: n, Millis: p.Millis / k, DBQueries: p.DBQueries / k, SetSize: p.SetSize / k})
+		}
+		out = append(out, s)
+	}
+	return out
+}

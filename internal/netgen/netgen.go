@@ -9,6 +9,7 @@ package netgen
 
 import (
 	"math/rand"
+	"sort"
 
 	"entangled/internal/graph"
 )
@@ -77,7 +78,15 @@ func BarabasiAlbert(n, m int, rng *rand.Rand) *graph.Digraph {
 				targets[t] = true
 			}
 		}
+		// Iterate the target set in sorted order: ranging over the map
+		// would feed map-iteration randomness into `repeated` and make
+		// same-seed runs produce different graphs.
+		ts := make([]int, 0, len(targets))
 		for t := range targets {
+			ts = append(ts, t)
+		}
+		sort.Ints(ts)
+		for _, t := range ts {
 			g.AddEdge(v, t)
 			repeated = append(repeated, t)
 		}
