@@ -15,12 +15,15 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"entangled/internal/consistent"
 	"entangled/internal/coord"
 	"entangled/internal/db"
 	"entangled/internal/engine"
+	"entangled/internal/eq"
 	"entangled/internal/netgen"
 	"entangled/internal/workload"
 )
@@ -367,6 +370,127 @@ func BenchmarkAblationIncrementalUnify(b *testing.B) {
 				if err != nil || res.Size() != 100 {
 					b.Fatalf("res=%v err=%v", res, err)
 				}
+			}
+		})
+	}
+}
+
+// The BenchmarkSharded* family measures what hash-partitioning buys:
+// relation-lock granularity. The win is contention relief, so it only
+// materialises when goroutines actually contend — run with GOMAXPROCS
+// > 1 (or `-cpu 8` to force contention on smaller machines). On one
+// single-threaded proc the sharded paths should stay comparable to the
+// single instance (they pay a small routing overhead per query).
+//
+// benchInserter abstracts tuple appends over plain and sharded T so
+// the contention benchmarks share one body.
+type benchInserter func(key, val eq.Value)
+
+// shardedBenchSetup builds the Figure 4 table on k shards (k == 1
+// means a plain instance) and returns the store plus an inserter into
+// the same T relation the readers query — writers and readers contend
+// for real.
+func shardedBenchSetup(k, rows int) (db.Store, benchInserter) {
+	if k <= 1 {
+		inst := db.NewInstance()
+		t := workload.UserTable(inst, rows)
+		return inst, func(key, val eq.Value) { t.Insert(key, val) }
+	}
+	sh := db.NewShardedInstance(k)
+	t := workload.UserTableSharded(sh, rows)
+	return sh, func(key, val eq.Value) { t.Insert(key, val) }
+}
+
+// BenchmarkShardedWriteContention measures parallel write throughput
+// into one relation. On a single instance every insert serialises on
+// one relation mutex; at 8 shards writers spread over 8 independent
+// locks.
+func BenchmarkShardedWriteContention(b *testing.B) {
+	for _, k := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			_, insert := shardedBenchSetup(k, 0)
+			var ctr int64
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(atomic.AddInt64(&ctr, 1)) * 1e8
+				for pb.Next() {
+					i++
+					insert(eq.Value("k"+strconv.Itoa(i)), eq.Value("c"+strconv.Itoa(i&511)))
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkShardedMixedReadWrite is the serving-contention shape: each
+// parallel worker mostly runs routed point queries against T with an
+// insert into the same relation every few operations. On one instance
+// each insert write-locks the whole relation and stalls every
+// concurrent reader; at 8 shards it stalls only one partition's
+// readers.
+func BenchmarkShardedMixedReadWrite(b *testing.B) {
+	const rows = 4096
+	for _, k := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			store, insert := shardedBenchSetup(k, rows)
+			var ctr int64
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(atomic.AddInt64(&ctr, 1)) * 1e8
+				for pb.Next() {
+					i++
+					if i%8 == 0 {
+						insert(eq.Value("k"+strconv.Itoa(i)), eq.Value("c"+strconv.Itoa(i&1023)))
+						continue
+					}
+					body := []eq.Atom{eq.NewAtom("T", eq.V("x"), eq.C(eq.Value("c"+strconv.Itoa(i%rows))))}
+					if _, _, err := store.Solve(body); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkShardedCoordinateMany serves concurrent CoordinateMany
+// batches while a background writer grows the queried table — the
+// end-to-end serving shape sharding targets. Every request pins one
+// table value, so at 8 shards requests route to disjoint shards and a
+// write stalls at most one request's shard; with only one hardware
+// thread the coordination compute dominates and the two configurations
+// converge.
+func BenchmarkShardedCoordinateMany(b *testing.B) {
+	const batch, n = 32, 20
+	for _, k := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			store, insert := shardedBenchSetup(k, benchTableRows)
+			e := engine.New(store, engine.Options{Workers: runtime.GOMAXPROCS(0), Coord: coord.Options{SkipSafetyCheck: true}})
+			reqs := make([]engine.Request, batch)
+			for i := range reqs {
+				// Each request pins one value, so distinct requests route
+				// to distinct shards.
+				reqs[i] = engine.Request{ID: fmt.Sprintf("r%d", i), Queries: workload.ListQueriesAt(n, i%benchTableRows)}
+			}
+			// The writer is bounded per iteration (not free-running), so
+			// the table grows identically for both shard counts and the
+			// comparison measures lock contention, not table drift.
+			const writesPerIter = 256
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				done := make(chan struct{})
+				go func(base int) {
+					defer close(done)
+					for j := 0; j < writesPerIter; j++ {
+						w := base + j
+						insert(eq.Value("w"+strconv.Itoa(w)), eq.Value("c"+strconv.Itoa(w%benchTableRows)))
+					}
+				}(i * writesPerIter)
+				for _, resp := range e.CoordinateMany(context.Background(), reqs) {
+					if resp.Err != nil || resp.Result.Size() != n {
+						b.Fatalf("resp=%+v", resp)
+					}
+				}
+				<-done
 			}
 		})
 	}

@@ -3,14 +3,16 @@
 //
 // Usage:
 //
-//	coordbench [-fig all|4|5|6|7|8|ablations|parallel] [-rows N] [-seeds N] [-repeats N] [-parallel N] [-csv]
+//	coordbench [-fig all|4|5|6|7|8|ablations|parallel] [-rows N] [-seeds N] [-repeats N] [-parallel N] [-shards K] [-csv]
 //
 // -rows controls the size of the queried table for Figures 4 and 5 (the
 // paper uses the 82,168-row Slashdot table; that is the default). -csv
 // switches the output format for downstream plotting. -parallel runs
 // the SCC algorithm's per-component searches on a worker pool of the
 // given size; -fig parallel sweeps batched CoordinateMany throughput
-// (sequential against the pool).
+// (sequential against the pool). -shards hash-partitions the queried
+// table across K db.Instance shards in the -fig parallel sweep, so
+// concurrent requests route to disjoint shard locks.
 package main
 
 import (
@@ -31,9 +33,10 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit a markdown report (EXPERIMENTS.md style)")
 	latency := flag.Duration("latency", 0, "simulated per-database-query latency (e.g. 1ms to model the paper's MySQL round trips)")
 	parallel := flag.Int("parallel", 1, "worker goroutines for the SCC per-component searches (1 = the paper's sequential walk)")
+	shards := flag.Int("shards", 1, "hash-partition the queried table across this many shards in -fig parallel (1 = one shared instance)")
 	flag.Parse()
 
-	cfg := experiments.Config{TableRows: *rows, Seeds: *seeds, Repeats: *repeats, Latency: *latency, Parallel: *parallel}
+	cfg := experiments.Config{TableRows: *rows, Seeds: *seeds, Repeats: *repeats, Latency: *latency, Parallel: *parallel, Shards: *shards}
 	var series []experiments.Series
 	switch *fig {
 	case "all":

@@ -13,7 +13,11 @@
 // The package re-exports the library's stable surface:
 //
 //   - the query model and parser (internal/eq),
-//   - the in-memory relational engine (internal/db),
+//   - the in-memory relational substrate, including hash-partitioned
+//     sharded stores and exact per-request query metering
+//     (internal/db),
+//   - the concurrent serving engine with per-shard request routing
+//     (internal/engine),
 //   - the SCC Coordination Algorithm for safe but non-unique sets (§4),
 //   - the Consistent Coordination Algorithm for unsafe, A-consistent
 //     sets (§5),
@@ -27,6 +31,7 @@ import (
 	"entangled/internal/consistent"
 	"entangled/internal/coord"
 	"entangled/internal/db"
+	"entangled/internal/engine"
 	"entangled/internal/eq"
 	"entangled/internal/system"
 )
@@ -48,6 +53,30 @@ type (
 	Relation = db.Relation
 	// Tuple is a database row.
 	Tuple = db.Tuple
+	// Store is the conjunctive-query read surface every coordination
+	// algorithm evaluates against; *Instance and *ShardedInstance both
+	// implement it.
+	Store = db.Store
+	// ShardedInstance hash-partitions every relation across K shards
+	// behind the same Store surface.
+	ShardedInstance = db.ShardedInstance
+	// ShardedRelation is the write handle of one hash-partitioned
+	// relation.
+	ShardedRelation = db.ShardedRelation
+	// Meter is a per-request counting view over a Store.
+	Meter = db.Meter
+
+	// Engine serves batches of coordination requests concurrently over
+	// one shared Store, routing each request to the single shard its
+	// bodies pin when the store is sharded.
+	Engine = engine.Engine
+	// EngineOptions configures NewEngine.
+	EngineOptions = engine.Options
+	// Request is one unit of Engine.CoordinateMany work.
+	Request = engine.Request
+	// Response pairs a Request's outcome with its ID; its
+	// Result.DBQueries is exact per request.
+	Response = engine.Response
 
 	// Result is a coordinating set with its witnessing assignment.
 	Result = coord.Result
@@ -93,12 +122,20 @@ func ParseSet(src string) ([]Query, error) { return eq.ParseSet(src) }
 // NewInstance creates an empty database instance.
 func NewInstance() *Instance { return db.NewInstance() }
 
+// NewShardedInstance creates an empty database hash-partitioned across
+// k shards.
+func NewShardedInstance(k int) *ShardedInstance { return db.NewShardedInstance(k) }
+
+// NewEngine creates a concurrent serving engine over a shared store.
+func NewEngine(store Store, opts EngineOptions) *Engine { return engine.New(store, opts) }
+
 // Coordinate runs the SCC Coordination Algorithm (§4) on a safe set of
 // entangled queries: it finds a coordinating set whenever one exists and
 // returns the largest one among the reachable-set candidates (nil when
-// none exists).
-func Coordinate(qs []Query, inst *Instance, opts Options) (*Result, error) {
-	return coord.SCCCoordinate(qs, inst, opts)
+// none exists). The returned Result.DBQueries is exact for this run
+// even when the store serves concurrent traffic.
+func Coordinate(qs []Query, store Store, opts Options) (*Result, error) {
+	return coord.SCCCoordinate(qs, store, opts)
 }
 
 // CoordinateConsistent runs the Consistent Coordination Algorithm (§5)
@@ -109,8 +146,8 @@ func CoordinateConsistent(sch ConsistentSchema, qs []ConsistentQuery, inst *Inst
 }
 
 // Verify checks a coordinating set against Definition 1 of the paper.
-func Verify(qs []Query, set []int, values map[int]map[string]Value, inst *Instance) error {
-	return coord.Verify(qs, set, values, inst)
+func Verify(qs []Query, set []int, values map[int]map[string]Value, store Store) error {
+	return coord.Verify(qs, set, values, store)
 }
 
 // IsSafe reports whether every query's postconditions have at most one

@@ -24,8 +24,8 @@ var ErrTooManyQueries = errors.New("coord: brute force limited to " +
 // subset of qs exist over inst? Exponential; intended as a testing
 // oracle on small instances (the hardness reductions of §3). Query sets
 // larger than MaxBruteQueries yield ErrTooManyQueries.
-func BruteForceExists(qs []eq.Query, inst *db.Instance) (bool, error) {
-	r, err := bruteForce(qs, inst, true)
+func BruteForceExists(qs []eq.Query, store db.Store) (bool, error) {
+	r, err := bruteForce(qs, store, true)
 	if err != nil {
 		return false, err
 	}
@@ -37,14 +37,14 @@ func BruteForceExists(qs []eq.Query, inst *db.Instance) (bool, error) {
 // coordinating set exists. Exponential in |qs|; use only on small
 // instances. Query sets larger than MaxBruteQueries yield
 // ErrTooManyQueries.
-func BruteForceMax(qs []eq.Query, inst *db.Instance) (*Result, error) {
-	return bruteForce(qs, inst, false)
+func BruteForceMax(qs []eq.Query, store db.Store) (*Result, error) {
+	return bruteForce(qs, store, false)
 }
 
 // bruteForce enumerates subsets grouped by size — descending for the
 // maximisation problem (first hit is a maximum set), ascending for the
 // existence problem (small sets are cheaper to refute or confirm).
-func bruteForce(qs []eq.Query, inst *db.Instance, smallestFirst bool) (*Result, error) {
+func bruteForce(qs []eq.Query, store db.Store, smallestFirst bool) (*Result, error) {
 	n := len(qs)
 	if n == 0 {
 		return nil, nil
@@ -52,7 +52,7 @@ func bruteForce(qs []eq.Query, inst *db.Instance, smallestFirst bool) (*Result, 
 	if n > MaxBruteQueries {
 		return nil, fmt.Errorf("%w (got %d)", ErrTooManyQueries, n)
 	}
-	start := inst.QueriesIssued()
+	meter := db.NewMeter(store)
 	renamed := renameAll(qs)
 	providers := providerEdges(qs)
 
@@ -61,12 +61,12 @@ func bruteForce(qs []eq.Query, inst *db.Instance, smallestFirst bool) (*Result, 
 	for _, size := range sizes {
 		for _, m := range masks[size] {
 			set := maskSet(m)
-			s, bind, ok, err := trySubset(renamed, set, providers, inst)
+			s, bind, ok, err := trySubset(renamed, set, providers, meter)
 			if err != nil {
 				return nil, err
 			}
 			if ok {
-				return finishResult(qs, set, s, bind, inst, start)
+				return finishResult(qs, set, s, bind, meter)
 			}
 		}
 	}
@@ -77,7 +77,7 @@ func bruteForce(qs []eq.Query, inst *db.Instance, smallestFirst bool) (*Result, 
 // over the choice of provider head for every postcondition (all heads
 // must come from within the subset), accumulating the unifier, then
 // grounds the combined body.
-func trySubset(renamed []eq.Query, set []int, providers map[[2]int][]ExtendedEdge, inst *db.Instance) (*unify.Subst, db.Binding, bool, error) {
+func trySubset(renamed []eq.Query, set []int, providers map[[2]int][]ExtendedEdge, store db.Store) (*unify.Subst, db.Binding, bool, error) {
 	inSet := map[int]bool{}
 	for _, i := range set {
 		inSet[i] = true
@@ -110,7 +110,7 @@ func trySubset(renamed []eq.Query, set []int, providers map[[2]int][]ExtendedEdg
 	var solve func(k int, s *unify.Subst) (*unify.Subst, db.Binding, bool, error)
 	solve = func(k int, s *unify.Subst) (*unify.Subst, db.Binding, bool, error) {
 		if k == len(needs) {
-			bind, found, err := inst.SolveUnder(body, s)
+			bind, found, err := store.SolveUnder(body, s)
 			if err != nil || !found {
 				return nil, nil, false, err
 			}

@@ -16,8 +16,8 @@ import (
 // buckets, so the existence answer matches the sequential oracle
 // exactly; within a bucket the workers race and the first hit cancels
 // the rest.
-func BruteForceExistsCtx(ctx context.Context, qs []eq.Query, inst *db.Instance, workers int) (bool, error) {
-	r, err := bruteForceParallel(ctx, qs, inst, true, workers)
+func BruteForceExistsCtx(ctx context.Context, qs []eq.Query, store db.Store, workers int) (bool, error) {
+	r, err := bruteForceParallel(ctx, qs, store, true, workers)
 	if err != nil {
 		return false, err
 	}
@@ -30,15 +30,15 @@ func BruteForceExistsCtx(ctx context.Context, qs []eq.Query, inst *db.Instance, 
 // returned set has exactly the sequential maximum size; when several
 // sets of that size coordinate, the witness may be any of them (the
 // sequential oracle always picks the lowest mask).
-func BruteForceMaxCtx(ctx context.Context, qs []eq.Query, inst *db.Instance, workers int) (*Result, error) {
-	return bruteForceParallel(ctx, qs, inst, false, workers)
+func BruteForceMaxCtx(ctx context.Context, qs []eq.Query, store db.Store, workers int) (*Result, error) {
+	return bruteForceParallel(ctx, qs, store, false, workers)
 }
 
 // bruteForceParallel enumerates subset masks like bruteForce, but splits
 // every size bucket into worker shards (strided, so shards stay
 // balanced) and stops the whole bucket as soon as one shard finds a
 // coordinating subset.
-func bruteForceParallel(ctx context.Context, qs []eq.Query, inst *db.Instance, smallestFirst bool, workers int) (*Result, error) {
+func bruteForceParallel(ctx context.Context, qs []eq.Query, store db.Store, smallestFirst bool, workers int) (*Result, error) {
 	n := len(qs)
 	if n == 0 {
 		return nil, nil
@@ -49,7 +49,7 @@ func bruteForceParallel(ctx context.Context, qs []eq.Query, inst *db.Instance, s
 	if workers < 1 {
 		workers = 1
 	}
-	start := inst.QueriesIssued()
+	meter := db.NewMeter(store)
 	renamed := renameAll(qs)
 	providers := providerEdges(qs)
 	masks := masksBySize(n)
@@ -59,12 +59,12 @@ func bruteForceParallel(ctx context.Context, qs []eq.Query, inst *db.Instance, s
 		if len(bucket) == 0 {
 			continue
 		}
-		h, err := searchBucket(ctx, renamed, bucket, providers, inst, workers)
+		h, err := searchBucket(ctx, renamed, bucket, providers, meter, workers)
 		if err != nil {
 			return nil, err
 		}
 		if h != nil {
-			return finishResult(qs, h.set, h.s, h.bind, inst, start)
+			return finishResult(qs, h.set, h.s, h.bind, meter)
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -84,7 +84,7 @@ type bucketHit struct {
 // shards. Worker w owns masks w, w+workers, w+2*workers, ... so shards
 // interleave across the bucket. The first hit cancels the remaining
 // shards; errors win over hits.
-func searchBucket(ctx context.Context, renamed []eq.Query, bucket []uint32, providers map[[2]int][]ExtendedEdge, inst *db.Instance, workers int) (*bucketHit, error) {
+func searchBucket(ctx context.Context, renamed []eq.Query, bucket []uint32, providers map[[2]int][]ExtendedEdge, store db.Store, workers int) (*bucketHit, error) {
 	if workers > len(bucket) {
 		workers = len(bucket)
 	}
@@ -106,7 +106,7 @@ func searchBucket(ctx context.Context, renamed []eq.Query, bucket []uint32, prov
 					return
 				}
 				set := maskSet(bucket[i])
-				s, bind, ok, err := trySubset(renamed, set, providers, inst)
+				s, bind, ok, err := trySubset(renamed, set, providers, store)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

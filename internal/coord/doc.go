@@ -1,0 +1,28 @@
+// Package coord implements the paper's coordination algorithms: the
+// polynomial SCC Coordination Algorithm for safe query sets (§4-5),
+// the Gupta et al. baseline for safe-and-unique sets, the
+// single-connected solver of Theorem 3, and the exponential
+// brute-force oracles used to cross-check them on small inputs.
+//
+// Every algorithm takes the database as a db.Store — a plain
+// db.Instance, a hash-partitioned db.ShardedInstance, or any other
+// implementation — and treats it purely as a conjunctive-query oracle.
+// Algorithm control flow depends only on query outcomes
+// (satisfiable/not, tuple found/not), which are identical across
+// stores holding the same tuples, so the coordinating set (the team),
+// the recorded Trace and the query count are store-independent; only
+// the witnessing assignment may vary with the store's answer
+// enumeration order (choose-1 semantics permit any witness, and
+// Verify accepts all of them).
+//
+// # Metering contract
+//
+// Result.DBQueries is the paper's central cost metric: the number of
+// conjunctive queries the run issued. Each entry point (SCCCoordinate,
+// AllCandidates, GuptaCoordinate, SingleConnectedCoordinate, the
+// BruteForce* oracles) wraps its store in a private db.Meter and
+// counts on it, so the value is exact for that run alone even when
+// many runs share one store concurrently (engine.CoordinateMany).
+// Reading a delta of the store's aggregate counter — the pre-metering
+// design — is wrong under concurrency and is not used anywhere.
+package coord

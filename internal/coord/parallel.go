@@ -16,9 +16,9 @@ import (
 // proceed concurrently while the chain case degrades gracefully to
 // sequential execution. The returned candidate family, its order, and
 // any recorded Trace are identical to the sequential walk.
-func runSCCParallel(qs []eq.Query, inst *db.Instance, opts Options) ([]Candidate, error) {
+func runSCCParallel(qs []eq.Query, store db.Store, opts Options) ([]Candidate, error) {
 	tr := opts.Trace
-	st, err := prepareSCC(qs, inst, opts)
+	st, err := prepareSCC(qs, store, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -29,7 +29,7 @@ func runSCCParallel(qs []eq.Query, inst *db.Instance, opts Options) ([]Candidate
 	// component reads them.
 	w := &sccWalk{
 		st:     st,
-		inst:   inst,
+		store:  store,
 		trace:  tr != nil,
 		reach:  make([][]bool, nc),
 		failed: make([]bool, nc),
@@ -137,7 +137,7 @@ type compDone struct {
 // sccWalk holds the shared arrays of a parallel component walk.
 type sccWalk struct {
 	st     *sccSetup
-	inst   *db.Instance
+	store  db.Store
 	trace  bool
 	reach  [][]bool
 	failed []bool
@@ -221,7 +221,7 @@ func (w *sccWalk) processComponent(c int) error {
 	for _, i := range set {
 		body = append(body, st.renamed[i].Body...)
 	}
-	bind, found, err := w.inst.SolveUnder(body, s)
+	bind, found, err := w.store.SolveUnder(body, s)
 	if err != nil {
 		return err
 	}

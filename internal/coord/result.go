@@ -20,12 +20,10 @@ type Result struct {
 	// of every query in the set is assigned (Definition 1, condition 1).
 	Values map[int]map[string]eq.Value
 	// DBQueries is the number of conjunctive queries issued while
-	// computing this result (as reported by the algorithm). It is the
-	// delta of the instance's global counter, so it is exact only when
-	// this run had the instance to itself: under concurrent serving
-	// (engine.CoordinateMany) it includes queries issued by overlapping
-	// requests. Use Instance.ResetCounters + QueriesIssued around a
-	// whole batch for concurrent workloads.
+	// computing this result — the paper's central cost metric. Every
+	// algorithm counts on a private per-run db.Meter, so the value is
+	// exact for this run alone even when the underlying store is shared
+	// with concurrent requests (engine.CoordinateMany).
 	DBQueries int64
 }
 
@@ -65,7 +63,7 @@ func (r *Result) Size() int {
 //     head atoms of the set.
 //
 // It returns nil when all three conditions hold.
-func Verify(qs []eq.Query, set []int, values map[int]map[string]eq.Value, inst *db.Instance) error {
+func Verify(qs []eq.Query, set []int, values map[int]map[string]eq.Value, store db.Store) error {
 	if len(set) == 0 {
 		return fmt.Errorf("coord: coordinating set must be non-empty")
 	}
@@ -115,7 +113,7 @@ func Verify(qs []eq.Query, set []int, values map[int]map[string]eq.Value, inst *
 			if err != nil {
 				return err
 			}
-			if !inst.Contains(g) {
+			if !store.Contains(g) {
 				return fmt.Errorf("coord: query %d (%s): grounded body atom %s not in database", qi, q.ID, g)
 			}
 		}

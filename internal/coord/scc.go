@@ -117,9 +117,13 @@ type Options struct {
 //
 // The implementation lives in runSCC (trace.go) so that a single code
 // path serves plain, traced and candidate-enumerating runs.
-func SCCCoordinate(qs []eq.Query, inst *db.Instance, opts Options) (*Result, error) {
-	start := inst.QueriesIssued()
-	cands, err := runSCC(qs, inst, opts)
+//
+// The store may be shared with concurrent requests: every query this
+// run issues is counted on a private db.Meter, so Result.DBQueries is
+// exact for this run alone regardless of concurrent traffic.
+func SCCCoordinate(qs []eq.Query, store db.Store, opts Options) (*Result, error) {
+	m := db.NewMeter(store)
+	cands, err := runSCC(qs, m, opts)
 	if err != nil || len(cands) == 0 {
 		return nil, err
 	}
@@ -128,7 +132,7 @@ func SCCCoordinate(qs []eq.Query, inst *db.Instance, opts Options) (*Result, err
 		sel = MaxSize
 	}
 	win := cands[sel(cands)]
-	return finishResult(qs, win.Set, win.subst, win.binding, inst, start)
+	return finishResult(qs, win.Set, win.subst, win.binding, m)
 }
 
 // CandidateSet is one member of the candidate family {R(q)} with its
@@ -143,14 +147,15 @@ type CandidateSet struct {
 // {R(q) | q in Q} — sorted largest first. Callers with bespoke
 // selection criteria (the paper mentions gold-status passengers and VIP
 // clients) can choose among them directly.
-func AllCandidates(qs []eq.Query, inst *db.Instance, opts Options) ([]CandidateSet, error) {
-	cands, err := runSCC(qs, inst, opts)
+func AllCandidates(qs []eq.Query, store db.Store, opts Options) ([]CandidateSet, error) {
+	m := db.NewMeter(store)
+	cands, err := runSCC(qs, m, opts)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]CandidateSet, 0, len(cands))
 	for _, c := range cands {
-		fallback, err := pickFallback(qs, c.Set, c.subst, c.binding, inst)
+		fallback, err := pickFallback(qs, c.Set, c.subst, c.binding, m)
 		if err != nil {
 			return nil, err
 		}
@@ -163,9 +168,11 @@ func AllCandidates(qs []eq.Query, inst *db.Instance, opts Options) ([]CandidateS
 	return out, nil
 }
 
-// finishResult turns internal state into a verified-shape Result.
-func finishResult(qs []eq.Query, set []int, s *unify.Subst, bind db.Binding, inst *db.Instance, startQueries int64) (*Result, error) {
-	fallback, err := pickFallback(qs, set, s, bind, inst)
+// finishResult turns internal state into a verified-shape Result. The
+// meter is the one every query of the run went through; its count is
+// the run's exact DBQueries.
+func finishResult(qs []eq.Query, set []int, s *unify.Subst, bind db.Binding, m *db.Meter) (*Result, error) {
+	fallback, err := pickFallback(qs, set, s, bind, m)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +180,7 @@ func finishResult(qs []eq.Query, set []int, s *unify.Subst, bind db.Binding, ins
 	return &Result{
 		Set:       set,
 		Values:    values,
-		DBQueries: inst.QueriesIssued() - startQueries,
+		DBQueries: m.Count(),
 	}, nil
 }
 
@@ -181,7 +188,7 @@ func finishResult(qs []eq.Query, set []int, s *unify.Subst, bind db.Binding, ins
 // unification and grounding. If no such variable exists the fallback is
 // never used; if one exists but the domain is empty, no assignment is
 // possible (Definition 1 draws values from the instance domain).
-func pickFallback(qs []eq.Query, set []int, s *unify.Subst, bind db.Binding, inst *db.Instance) (eq.Value, error) {
+func pickFallback(qs []eq.Query, set []int, s *unify.Subst, bind db.Binding, store db.Store) (eq.Value, error) {
 	free := false
 	for _, qi := range set {
 		for _, v := range qs[qi].Vars() {
@@ -196,7 +203,7 @@ func pickFallback(qs []eq.Query, set []int, s *unify.Subst, bind db.Binding, ins
 	if !free {
 		return "", nil
 	}
-	dom := inst.Domain()
+	dom := store.Domain()
 	if len(dom) == 0 {
 		return "", fmt.Errorf("coord: free variables but empty database domain")
 	}
@@ -209,7 +216,7 @@ func pickFallback(qs []eq.Query, set []int, s *unify.Subst, bind db.Binding, ins
 // constraints, and issues a single combined conjunctive query. It
 // returns the full set as the coordinating set, or nil when the combined
 // query cannot be grounded.
-func GuptaCoordinate(qs []eq.Query, inst *db.Instance) (*Result, error) {
+func GuptaCoordinate(qs []eq.Query, store db.Store) (*Result, error) {
 	if len(qs) == 0 {
 		return nil, nil
 	}
@@ -233,7 +240,7 @@ func GuptaCoordinate(qs []eq.Query, inst *db.Instance) (*Result, error) {
 			}
 		}
 	}
-	start := inst.QueriesIssued()
+	m := db.NewMeter(store)
 	renamed := renameAll(qs)
 	s := unify.New()
 	for _, e := range edges {
@@ -249,14 +256,14 @@ func GuptaCoordinate(qs []eq.Query, inst *db.Instance) (*Result, error) {
 		set[i] = i
 		body = append(body, renamed[i].Body...)
 	}
-	bind, found, err := inst.SolveUnder(body, s)
+	bind, found, err := m.SolveUnder(body, s)
 	if err != nil {
 		return nil, err
 	}
 	if !found {
 		return nil, nil
 	}
-	return finishResult(qs, set, s, bind, inst, start)
+	return finishResult(qs, set, s, bind, m)
 }
 
 func reverse(xs []int) {

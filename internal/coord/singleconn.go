@@ -46,7 +46,7 @@ func IsSingleConnected(qs []eq.Query) bool {
 //
 // The returned result is the largest coordinating set found over all
 // starting queries, or nil when none exists.
-func SingleConnectedCoordinate(qs []eq.Query, inst *db.Instance) (*Result, error) {
+func SingleConnectedCoordinate(qs []eq.Query, store db.Store) (*Result, error) {
 	for _, q := range qs {
 		if len(q.Post) > 1 {
 			return nil, fmt.Errorf("%w: query %s has %d postconditions", ErrNotSingleConnected, q.ID, len(q.Post))
@@ -55,7 +55,7 @@ func SingleConnectedCoordinate(qs []eq.Query, inst *db.Instance) (*Result, error
 	if len(qs) == 0 {
 		return nil, nil
 	}
-	start := inst.QueriesIssued()
+	meter := db.NewMeter(store)
 	renamed := renameAll(qs)
 	edges := ExtendedGraph(qs)
 	// Provider candidates for each query's single postcondition.
@@ -82,7 +82,7 @@ func SingleConnectedCoordinate(qs []eq.Query, inst *db.Instance) (*Result, error
 			for _, i := range set {
 				body = append(body, renamed[i].Body...)
 			}
-			bind, ok, err := inst.SolveUnder(body, s)
+			bind, ok, err := meter.SolveUnder(body, s)
 			if err != nil || !ok {
 				return nil, err
 			}
@@ -100,7 +100,7 @@ func SingleConnectedCoordinate(qs []eq.Query, inst *db.Instance) (*Result, error
 				for _, i := range set {
 					body = append(body, renamed[i].Body...)
 				}
-				bind, ok, err := inst.SolveUnder(body, s2)
+				bind, ok, err := meter.SolveUnder(body, s2)
 				if err != nil {
 					return nil, err
 				}
@@ -134,5 +134,5 @@ func SingleConnectedCoordinate(qs []eq.Query, inst *db.Instance) (*Result, error
 	if best == nil {
 		return nil, nil
 	}
-	return finishResult(qs, sortedCopy(best.set), best.s, best.bind, inst, start)
+	return finishResult(qs, sortedCopy(best.set), best.s, best.bind, meter)
 }

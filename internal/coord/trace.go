@@ -81,7 +81,7 @@ type sccSetup struct {
 // prepareSCC runs everything up to the per-component searches: safety
 // check, alpha renaming, §6.1 pruning, condensation and topological
 // ordering.
-func prepareSCC(qs []eq.Query, inst *db.Instance, opts Options) (*sccSetup, error) {
+func prepareSCC(qs []eq.Query, store db.Store, opts Options) (*sccSetup, error) {
 	tr := opts.Trace
 	edges := ExtendedGraph(qs)
 	if !opts.SkipSafetyCheck {
@@ -96,7 +96,7 @@ func prepareSCC(qs []eq.Query, inst *db.Instance, opts Options) (*sccSetup, erro
 		alive[i] = true
 	}
 	if !opts.SkipPruning {
-		if err := pruneTraced(renamed, edges, inst, alive, tr); err != nil {
+		if err := pruneTraced(renamed, edges, store, alive, tr); err != nil {
 			return nil, err
 		}
 	}
@@ -121,15 +121,15 @@ func prepareSCC(qs []eq.Query, inst *db.Instance, opts Options) (*sccSetup, erro
 // grounded candidate (the family {R(q)}), in processing order.
 // SCCCoordinate applies the selector to pick one; AllCandidates exposes
 // the whole family.
-func runSCC(qs []eq.Query, inst *db.Instance, opts Options) ([]Candidate, error) {
+func runSCC(qs []eq.Query, store db.Store, opts Options) ([]Candidate, error) {
 	if len(qs) == 0 {
 		return nil, nil
 	}
 	if opts.Parallelism > 1 {
-		return runSCCParallel(qs, inst, opts)
+		return runSCCParallel(qs, store, opts)
 	}
 	tr := opts.Trace
-	st, err := prepareSCC(qs, inst, opts)
+	st, err := prepareSCC(qs, store, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +244,7 @@ func runSCC(qs []eq.Query, inst *db.Instance, opts Options) ([]Candidate, error)
 		for _, i := range set {
 			body = append(body, renamed[i].Body...)
 		}
-		bind, found, err := inst.SolveUnder(body, s)
+		bind, found, err := store.SolveUnder(body, s)
 		if err != nil {
 			return nil, err
 		}
@@ -272,9 +272,9 @@ func runSCC(qs []eq.Query, inst *db.Instance, opts Options) ([]Candidate, error)
 }
 
 // pruneTraced is prune with event recording.
-func pruneTraced(renamed []eq.Query, edges []ExtendedEdge, inst *db.Instance, alive []bool, tr *Trace) error {
+func pruneTraced(renamed []eq.Query, edges []ExtendedEdge, store db.Store, alive []bool, tr *Trace) error {
 	for i, q := range renamed {
-		sat, err := inst.Satisfiable(q.Body)
+		sat, err := store.Satisfiable(q.Body)
 		if err != nil {
 			return err
 		}

@@ -1,12 +1,3 @@
-// Package db implements the in-memory relational database substrate.
-//
-// The paper's prototypes issue conjunctive queries to MySQL through JDBC;
-// the algorithms treat the database purely as an oracle that answers
-// conjunctive (select-project-join) queries under choose-1 semantics and
-// that can enumerate all answers. This package provides that oracle:
-// named relations with hash indexes, a backtracking join evaluator, and a
-// counter of issued queries so that experiments can report "number of
-// database queries" exactly as the paper does.
 package db
 
 import (

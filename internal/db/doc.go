@@ -1,0 +1,50 @@
+// Package db implements the in-memory relational database substrate.
+//
+// The paper's prototypes issue conjunctive queries to MySQL through
+// JDBC; the algorithms treat the database purely as an oracle that
+// answers conjunctive (select-project-join) queries under choose-1
+// semantics and that can enumerate all answers. This package provides
+// that oracle: named relations with hash indexes, a backtracking join
+// evaluator, and counters of issued queries so that experiments report
+// "number of database queries" exactly as the paper does.
+//
+// # Stores
+//
+// The Store interface is the read surface the coordination algorithms
+// (internal/coord, internal/engine) evaluate against. Three
+// implementations:
+//
+//   - Instance: one node — a registry of RWMutex-guarded relations,
+//     safe for many concurrent readers with serialised writers.
+//   - ShardedInstance: K Instances with every relation's tuples
+//     hash-partitioned on a designated column. Same answers as an
+//     Instance holding the same tuples, but a query read-locks only the
+//     shard parts it can reach, so writer/reader contention drops by
+//     roughly the shard count on key-routed traffic.
+//   - Meter: a counting view over either, used for per-request query
+//     metering (below).
+//
+// # Sharding contract
+//
+// Tuple placement and lookup routing share one hash (shardIndex): a
+// tuple of relation R lives on shard hash(t[R.hashCol]) mod K. The
+// cross-shard evaluator exploits the invariant — an atom whose hash
+// column is bound probes one part; anything else scatter-gathers over
+// all parts — so every conjunctive query is answered exactly as on an
+// unsharded instance: same satisfiability, same answer set. Only the
+// enumeration order of answers (hence which witness a choose-1 Solve
+// picks) may differ. ShardedInstance.Route additionally offers a
+// single-shard view for query sets whose body atoms all pin one shard;
+// the engine uses it as a fast path.
+//
+// # Metering contract
+//
+// Each of Solve, SolveAll, Satisfiable, SolveUnder, Project, SelectOne
+// and SolveFunc counts as exactly one conjunctive query; Contains and
+// Domain are free (verifier primitives). Instance and ShardedInstance
+// count into a shared aggregate (QueriesIssued), which concurrent
+// requests pollute for one another. Meter wraps any Store with a
+// private counter so a single request's cost is exact under concurrent
+// serving: the coordination algorithms wrap their store in a fresh
+// Meter per run and report its Count as Result.DBQueries.
+package db

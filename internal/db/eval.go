@@ -54,9 +54,20 @@ func (in *Instance) solve(body []eq.Atom, limit int) ([]Binding, error) {
 		return nil, err
 	}
 	defer readLockAll(rels)()
-	e := &evaluator{in: in, rels: rels, body: body, limit: limit, bound: Binding{}}
+	e := &evaluator{useIndexes: in.UseIndexes, rels: viewsOf(rels), body: body, limit: limit, bound: Binding{}}
 	e.run()
 	return e.results, nil
+}
+
+// viewsOf wraps a plain instance's relation snapshot as single-part
+// views for the evaluator. The caller must already hold the read locks
+// (sizes are read directly from the tuple slices).
+func viewsOf(rels map[string]*Relation) map[string]relView {
+	out := make(map[string]relView, len(rels))
+	for n, r := range rels {
+		out[n] = relView{parts: []*Relation{r}, key: -1, size: len(r.tuples)}
+	}
+	return out
 }
 
 // relsFor resolves and validates every relation the body mentions,
@@ -101,18 +112,33 @@ func readLockAll(rels map[string]*Relation) func() {
 	}
 }
 
+// relView is the data the evaluator joins over for one relation name:
+// the shard parts holding its tuples (exactly one for a plain Instance,
+// K for a ShardedInstance) plus the hash column used to route a bound
+// lookup to the single part that can hold matches (-1 when unsharded).
+// size is the tuple count across the parts the caller read-locked; the
+// join-order heuristic uses it as the relation's cardinality.
+type relView struct {
+	parts []*Relation
+	key   int
+	size  int
+}
+
 // evaluator performs a backtracking join over the body atoms. At every
 // step it picks the not-yet-joined atom with the most bound arguments
 // (a greedy selectivity heuristic) and iterates its matching tuples,
-// using a hash index on one bound column when available.
+// using a hash index on one bound column when available. When a
+// relation is sharded and the atom binds the hash column, only the
+// owning part is probed; the caller guarantees that every part the
+// evaluator can reach is read-locked for the whole run.
 type evaluator struct {
-	in      *Instance
-	rels    map[string]*Relation // snapshot from relsFor, read-locked by the caller
-	body    []eq.Atom
-	limit   int
-	bound   Binding
-	used    []bool
-	results []Binding
+	useIndexes bool
+	rels       map[string]relView // read-locked snapshot from the caller
+	body       []eq.Atom
+	limit      int
+	bound      Binding
+	used       []bool
+	results    []Binding
 	// yield, when set, switches the evaluator to streaming mode: every
 	// answer goes to the callback (which may stop the run) and nothing
 	// is materialised.
@@ -155,23 +181,38 @@ func (e *evaluator) step(depth int) {
 	defer func() { e.used[ai] = false }()
 
 	a := e.body[ai]
-	rel := e.rels[a.Rel]
-
-	rows := e.candidateRows(rel, a)
-	for _, row := range rows {
-		t := rel.tuples[row]
-		newVars := e.match(a, t)
-		if newVars == nil {
-			continue
-		}
-		e.step(depth + 1)
-		for _, v := range newVars {
-			delete(e.bound, v)
-		}
-		if e.done() {
-			return
+	for _, rel := range e.partsFor(e.rels[a.Rel], a) {
+		rows := e.candidateRows(rel, a)
+		for _, row := range rows {
+			t := rel.tuples[row]
+			newVars := e.match(a, t)
+			if newVars == nil {
+				continue
+			}
+			e.step(depth + 1)
+			for _, v := range newVars {
+				delete(e.bound, v)
+			}
+			if e.done() {
+				return
+			}
 		}
 	}
+}
+
+// partsFor narrows a sharded relation to the single part owning the
+// atom's hash-column value when that value is already bound (the tuple
+// placement invariant: a tuple lives on the shard its hash column
+// selects); otherwise every part must be probed.
+func (e *evaluator) partsFor(rv relView, a eq.Atom) []*Relation {
+	if rv.key < 0 || len(rv.parts) == 1 || rv.key >= len(a.Args) {
+		return rv.parts
+	}
+	if v, ok := e.termValue(a.Args[rv.key]); ok {
+		i := shardIndex(v, len(rv.parts))
+		return rv.parts[i : i+1]
+	}
+	return rv.parts
 }
 
 // pickAtom selects the unused atom with the most arguments already bound
@@ -191,7 +232,7 @@ func (e *evaluator) pickAtom() int {
 			}
 		}
 		// Prefer more-bound atoms, break ties toward smaller relations.
-		if score > bestScore || (score == bestScore && len(e.rels[a.Rel].tuples) < len(e.rels[e.body[best].Rel].tuples)) {
+		if score > bestScore || (score == bestScore && e.rels[a.Rel].size < e.rels[e.body[best].Rel].size) {
 			best, bestScore = i, score
 		}
 	}
@@ -202,7 +243,7 @@ func (e *evaluator) pickAtom() int {
 // column of a is bound and indexed, only the matching rows; otherwise all
 // rows.
 func (e *evaluator) candidateRows(rel *Relation, a eq.Atom) []int {
-	if e.in.UseIndexes {
+	if e.useIndexes {
 		for col, t := range a.Args {
 			v, ok := e.termValue(t)
 			if !ok {

@@ -24,7 +24,7 @@ func (in *Instance) SolveFunc(body []eq.Atom, fn func(Binding) bool) error {
 		return err
 	}
 	defer readLockAll(rels)()
-	e := &evaluator{in: in, rels: rels, body: body, bound: Binding{}, yield: fn}
+	e := &evaluator{useIndexes: in.UseIndexes, rels: viewsOf(rels), body: body, bound: Binding{}, yield: fn}
 	e.run()
 	return nil
 }

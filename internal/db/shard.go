@@ -1,0 +1,418 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"entangled/internal/eq"
+	"entangled/internal/unify"
+)
+
+// shardIndex routes a hash-column value to a shard: FNV-1a over the
+// value's bytes, reduced modulo the shard count. Both tuple placement
+// (ShardedRelation.Insert) and lookup routing (the evaluator, Contains,
+// Route) must use this one function, or the placement invariant breaks.
+func shardIndex(v eq.Value, k int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(v); i++ {
+		h ^= uint32(v[i])
+		h *= 16777619
+	}
+	return int(h % uint32(k))
+}
+
+// ShardedInstance hash-partitions every relation's tuples across K
+// plain Instance shards: a tuple lives on the shard selected by hashing
+// its relation's designated hash column. It implements the same Store
+// read surface as Instance — Contains, Solve/SolveAll/Satisfiable/
+// SolveUnder, Domain, the query counters — so the coordination
+// algorithms and the engine run unmodified against it.
+//
+// The point of sharding is lock granularity: a plain Instance
+// serialises every writer against every reader of a relation on one
+// RWMutex, while a sharded relation spreads that traffic over K
+// independent locks. A conjunctive query read-locks only the shard
+// parts it can actually touch — for an atom whose hash column is a
+// constant, exactly one part — so writers to other shards proceed
+// untouched. Queries whose atoms do not bind the hash column remain
+// correct: they lock and probe every part (scatter-gather).
+//
+// A ShardedInstance is safe for concurrent use. Schema changes
+// (CreateRelation) must not race with queries, matching Instance.
+type ShardedInstance struct {
+	mu     sync.RWMutex
+	shards []*Instance
+	keys   map[string]int // relation name -> hash column
+
+	useIndexes bool
+	latency    time.Duration
+	queries    int64 // cross-shard conjunctive queries answered (atomic)
+}
+
+// NewShardedInstance returns an empty instance partitioned across k
+// shards (k < 1 is treated as 1), with indexing enabled.
+func NewShardedInstance(k int) *ShardedInstance {
+	if k < 1 {
+		k = 1
+	}
+	shards := make([]*Instance, k)
+	for i := range shards {
+		shards[i] = NewInstance()
+	}
+	return &ShardedInstance{shards: shards, keys: map[string]int{}, useIndexes: true}
+}
+
+// NumShards returns the shard count K.
+func (sh *ShardedInstance) NumShards() int { return len(sh.shards) }
+
+// Shard returns the i-th underlying Instance. Callers must respect the
+// placement invariant when writing through it directly.
+func (sh *ShardedInstance) Shard(i int) *Instance { return sh.shards[i] }
+
+// SetUseIndexes toggles hash-index use on the cross-shard evaluator and
+// on every shard. Configure before sharing across goroutines.
+func (sh *ShardedInstance) SetUseIndexes(v bool) {
+	sh.useIndexes = v
+	for _, s := range sh.shards {
+		s.UseIndexes = v
+	}
+}
+
+// SetSimulatedLatency sets the per-query simulated round-trip cost on
+// the cross-shard path and on every shard (see
+// Instance.SimulatedLatency). Configure before sharing.
+func (sh *ShardedInstance) SetSimulatedLatency(d time.Duration) {
+	sh.latency = d
+	for _, s := range sh.shards {
+		s.SimulatedLatency = d
+	}
+}
+
+// ShardedRelation is the write handle for one hash-partitioned
+// relation: it owns the name, the hash column and the K per-shard
+// parts, and routes every inserted tuple to the part its hash-column
+// value selects.
+type ShardedRelation struct {
+	Name  string
+	Key   int // hash column
+	parts []*Relation
+}
+
+// CreateRelation creates (replacing any previous relation of the same
+// name) a relation hash-partitioned on column hashCol across every
+// shard, and returns its write handle.
+func (sh *ShardedInstance) CreateRelation(name string, hashCol int, attrs ...string) *ShardedRelation {
+	if hashCol < 0 || hashCol >= len(attrs) {
+		panic(fmt.Sprintf("db: %s: hash column %d out of range for arity %d", name, hashCol, len(attrs)))
+	}
+	parts := make([]*Relation, len(sh.shards))
+	for i, s := range sh.shards {
+		parts[i] = s.CreateRelation(name, attrs...)
+	}
+	sh.mu.Lock()
+	sh.keys[name] = hashCol
+	sh.mu.Unlock()
+	return &ShardedRelation{Name: name, Key: hashCol, parts: parts}
+}
+
+// keyOf returns the hash column of a registered relation.
+func (sh *ShardedInstance) keyOf(name string) (int, bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	col, ok := sh.keys[name]
+	return col, ok
+}
+
+// Insert routes the tuple to the shard owning its hash-column value.
+func (r *ShardedRelation) Insert(vals ...eq.Value) {
+	if len(vals) != len(r.parts[0].Attrs) {
+		panic(fmt.Sprintf("db: %s expects %d columns, got %d", r.Name, len(r.parts[0].Attrs), len(vals)))
+	}
+	r.parts[shardIndex(vals[r.Key], len(r.parts))].Insert(vals...)
+}
+
+// BuildIndex creates (or rebuilds) a hash index on the given column of
+// every part.
+func (r *ShardedRelation) BuildIndex(col int) {
+	for _, p := range r.parts {
+		p.BuildIndex(col)
+	}
+}
+
+// Len returns the total tuple count across all parts.
+func (r *ShardedRelation) Len() int {
+	n := 0
+	for _, p := range r.parts {
+		n += p.Len()
+	}
+	return n
+}
+
+// Part returns the i-th shard's slice of the relation.
+func (r *ShardedRelation) Part(i int) *Relation { return r.parts[i] }
+
+// Schema returns relation name -> arity (every shard holds the same
+// schema; shard 0 answers).
+func (sh *ShardedInstance) Schema() map[string]int { return sh.shards[0].Schema() }
+
+// RelationNames returns the sorted relation names.
+func (sh *ShardedInstance) RelationNames() []string { return sh.shards[0].RelationNames() }
+
+// QueriesIssued returns the total conjunctive queries answered since
+// the last ResetCounters: cross-shard queries plus every shard's own
+// count (single-shard routed queries land on the shard's counter).
+func (sh *ShardedInstance) QueriesIssued() int64 {
+	n := atomic.LoadInt64(&sh.queries)
+	for _, s := range sh.shards {
+		n += s.QueriesIssued()
+	}
+	return n
+}
+
+// ResetCounters zeroes the cross-shard and every per-shard counter.
+func (sh *ShardedInstance) ResetCounters() {
+	atomic.StoreInt64(&sh.queries, 0)
+	for _, s := range sh.shards {
+		s.ResetCounters()
+	}
+}
+
+func (sh *ShardedInstance) countQuery() {
+	atomic.AddInt64(&sh.queries, 1)
+	if sh.latency > 0 {
+		time.Sleep(sh.latency)
+	}
+}
+
+// Domain returns every constant appearing in any shard, sorted. It
+// equals the Domain of an unsharded instance holding the same tuples.
+func (sh *ShardedInstance) Domain() []eq.Value {
+	seen := map[eq.Value]bool{}
+	for _, s := range sh.shards {
+		for _, v := range s.Domain() {
+			seen[v] = true
+		}
+	}
+	out := make([]eq.Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Contains reports whether the ground atom denotes a stored tuple,
+// checking only the shard its hash-column value routes to. Like
+// Instance.Contains it does not count as a query.
+func (sh *ShardedInstance) Contains(a eq.Atom) bool {
+	key, ok := sh.keyOf(a.Rel)
+	if !ok || key >= len(a.Args) {
+		return false
+	}
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return sh.shards[shardIndex(a.Args[key].Const(), len(sh.shards))].Contains(a)
+}
+
+// Solve answers the conjunctive query under choose-1 semantics (see
+// Instance.Solve). Counts as one query on the cross-shard counter.
+func (sh *ShardedInstance) Solve(body []eq.Atom) (Binding, bool, error) {
+	res, err := sh.solve(body, 1)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(res) == 0 {
+		return nil, false, nil
+	}
+	return res[0], true, nil
+}
+
+// SolveAll returns up to limit satisfying assignments (limit <= 0 means
+// all).
+func (sh *ShardedInstance) SolveAll(body []eq.Atom, limit int) ([]Binding, error) {
+	return sh.solve(body, limit)
+}
+
+// Satisfiable reports whether the body has at least one answer.
+func (sh *ShardedInstance) Satisfiable(body []eq.Atom) (bool, error) {
+	_, ok, err := sh.Solve(body)
+	return ok, err
+}
+
+// SolveUnder answers the body resolved under a substitution.
+func (sh *ShardedInstance) SolveUnder(body []eq.Atom, s *unify.Subst) (Binding, bool, error) {
+	return sh.Solve(s.ApplyAll(body))
+}
+
+// solve runs the backtracking join across shard parts. Parts that no
+// atom can reach (every atom over the relation pins the hash column to
+// a constant routing elsewhere) are neither locked nor probed, so
+// writers to those parts never wait on this query.
+func (sh *ShardedInstance) solve(body []eq.Atom, limit int) ([]Binding, error) {
+	sh.countQuery()
+	views, unlock, err := sh.viewsFor(body)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	e := &evaluator{useIndexes: sh.useIndexes, rels: views, body: body, limit: limit, bound: Binding{}}
+	e.run()
+	return e.results, nil
+}
+
+// shardRelInfo is the per-relation lock plan of one cross-shard query.
+type shardRelInfo struct {
+	parts  []*Relation
+	key    int
+	needed []bool // parts the query can reach and must therefore lock
+}
+
+// viewsFor validates the body, computes which shard parts each
+// relation's atoms can reach, read-locks exactly those parts in a
+// deterministic global order (relation name, then shard index — the
+// same total order a routed single-shard query follows), and returns
+// the evaluator views plus the matching unlock function.
+func (sh *ShardedInstance) viewsFor(body []eq.Atom) (map[string]relView, func(), error) {
+	k := len(sh.shards)
+	infos := map[string]*shardRelInfo{}
+	for _, a := range body {
+		info := infos[a.Rel]
+		if info == nil {
+			key, ok := sh.keyOf(a.Rel)
+			if !ok {
+				return nil, nil, fmt.Errorf("db: unknown relation %s", a.Rel)
+			}
+			parts := make([]*Relation, k)
+			for i, s := range sh.shards {
+				r, ok := s.Relation(a.Rel)
+				if !ok {
+					return nil, nil, fmt.Errorf("db: relation %s missing from shard %d", a.Rel, i)
+				}
+				parts[i] = r
+			}
+			info = &shardRelInfo{parts: parts, key: key, needed: make([]bool, k)}
+			infos[a.Rel] = info
+		}
+		if info.parts[0].Arity() != len(a.Args) {
+			return nil, nil, fmt.Errorf("db: atom %s has arity %d, relation has %d", a, len(a.Args), info.parts[0].Arity())
+		}
+		if t := a.Args[info.key]; !t.IsVar() {
+			// Constant hash column: the atom can only match tuples on the
+			// owning shard.
+			info.needed[shardIndex(t.Const(), k)] = true
+		} else {
+			// Variable hash column: even if a prior join step binds it at
+			// runtime, it may take values routing to any shard.
+			for i := range info.needed {
+				info.needed[i] = true
+			}
+		}
+	}
+
+	names := make([]string, 0, len(infos))
+	for n := range infos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var locked []*Relation
+	for _, n := range names {
+		info := infos[n]
+		for i := 0; i < k; i++ {
+			if info.needed[i] {
+				info.parts[i].mu.RLock()
+				locked = append(locked, info.parts[i])
+			}
+		}
+	}
+	unlock := func() {
+		for _, r := range locked {
+			r.mu.RUnlock()
+		}
+	}
+	views := make(map[string]relView, len(infos))
+	for _, n := range names {
+		info := infos[n]
+		size := 0
+		for i, p := range info.parts {
+			if info.needed[i] {
+				size += len(p.tuples)
+			}
+		}
+		views[n] = relView{parts: info.parts, key: info.key, size: size}
+	}
+	return views, unlock, nil
+}
+
+// Route inspects a request's query set and, when every body atom pins
+// its relation's hash column to a constant and all those constants hash
+// to one shard, returns a single-shard view serving the whole request
+// from that shard: solves touch only that shard's locks, while Domain
+// and the counters still reflect the whole instance (so results —
+// including the Definition-1 fallback value — are identical to a
+// cross-shard run). The second return is false when the request is not
+// single-shard routable; callers then use the ShardedInstance itself,
+// which is always correct.
+//
+// Routing lives here as a capability, but the engine decides when to
+// apply it (per request, in CoordinateMany) — see the package engine
+// docs for why the db layer never routes implicitly.
+func (sh *ShardedInstance) Route(qs []eq.Query) (Store, bool) {
+	target := -1
+	for _, q := range qs {
+		for _, a := range q.Body {
+			key, ok := sh.keyOf(a.Rel)
+			if !ok || key >= len(a.Args) {
+				return nil, false
+			}
+			t := a.Args[key]
+			if t.IsVar() {
+				return nil, false
+			}
+			s := shardIndex(t.Const(), len(sh.shards))
+			if target == -1 {
+				target = s
+			} else if target != s {
+				return nil, false
+			}
+		}
+	}
+	if target < 0 {
+		return nil, false // no body atoms: nothing to route by
+	}
+	return &shardView{shard: sh.shards[target], parent: sh}, true
+}
+
+// shardView is the Store a routed request runs against: conjunctive
+// queries go to one shard (whose relation locks are the only ones
+// touched), while Domain, Contains and the counters delegate to the
+// parent so observable results match a cross-shard run.
+type shardView struct {
+	shard  *Instance
+	parent *ShardedInstance
+}
+
+func (v *shardView) Solve(body []eq.Atom) (Binding, bool, error) { return v.shard.Solve(body) }
+
+func (v *shardView) SolveAll(body []eq.Atom, limit int) ([]Binding, error) {
+	return v.shard.SolveAll(body, limit)
+}
+
+func (v *shardView) Satisfiable(body []eq.Atom) (bool, error) { return v.shard.Satisfiable(body) }
+
+func (v *shardView) SolveUnder(body []eq.Atom, s *unify.Subst) (Binding, bool, error) {
+	return v.shard.SolveUnder(body, s)
+}
+
+func (v *shardView) Contains(a eq.Atom) bool { return v.parent.Contains(a) }
+
+func (v *shardView) Domain() []eq.Value { return v.parent.Domain() }
+
+func (v *shardView) QueriesIssued() int64 { return v.parent.QueriesIssued() }
+
+func (v *shardView) ResetCounters() { v.parent.ResetCounters() }

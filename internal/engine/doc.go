@@ -1,0 +1,35 @@
+// Package engine serves coordination requests concurrently over one
+// shared database store.
+//
+// The paper's tractable case — the SCC Coordination Algorithm of §5 —
+// decomposes a safe query set into the DAG of its strongly connected
+// components, and each component's provider search is an independent
+// unification-plus-one-database-query unit of work. The engine exploits
+// that structure at two levels: inside a single request it runs
+// independent components on a worker pool (coord.Options.Parallelism),
+// and across requests it drains a batch of distinct query sets through
+// the pool concurrently (CoordinateMany) — the heavy-traffic serving
+// shape, where many independent scenarios query one shared store.
+//
+// # Shard routing
+//
+// The engine accepts any db.Store. Over a *db.ShardedInstance it adds
+// per-request routing: when every body atom of a request pins its
+// relation's hash column to constants that all hash to one shard, the
+// request is served against that shard alone (db.ShardedInstance.Route),
+// so independent requests touch disjoint relation locks and writers to
+// other shards never stall this request. Non-routable requests fall
+// back to the cross-shard store, which is always correct. Routing
+// lives here rather than in the db layer because only the serving
+// layer sees request boundaries; the db layer answers any single query
+// correctly without needing to know which request it belongs to.
+//
+// # Metering
+//
+// Result.DBQueries on every Response is exact for that request alone:
+// each coord run counts its queries on a private db.Meter rather than
+// reading a delta of the store's shared counter, so concurrent
+// requests cannot pollute each other's counts. The store's aggregate
+// QueriesIssued still totals all traffic and remains the right way to
+// meter a whole batch.
+package engine

@@ -1,17 +1,3 @@
-// Package engine serves coordination requests concurrently over one
-// shared database instance.
-//
-// The paper's tractable case — the SCC Coordination Algorithm of §5 —
-// decomposes a safe query set into the DAG of its strongly connected
-// components, and each component's provider search is an independent
-// unification-plus-one-database-query unit of work. The engine exploits
-// that structure at two levels: inside a single request it runs
-// independent components on a worker pool (coord.Options.Parallelism),
-// and across requests it drains a batch of distinct query sets through
-// the pool concurrently (CoordinateMany) — the heavy-traffic serving
-// shape, where many independent scenarios query one shared instance.
-// The db layer's RWMutex-guarded relations and atomic query counter
-// make the shared instance safe under this concurrency.
 package engine
 
 import (
@@ -36,27 +22,51 @@ type Options struct {
 	Coord coord.Options
 }
 
-// Engine runs coordination workloads over one shared instance.
+// Engine runs coordination workloads over one shared store.
 type Engine struct {
-	inst    *db.Instance
+	store   db.Store
+	sharded *db.ShardedInstance // non-nil when store is sharded: requests route per shard
 	workers int
 	base    coord.Options
 }
 
-// New returns an engine over the given instance.
-func New(inst *db.Instance, opts Options) *Engine {
+// New returns an engine over the given store — a *db.Instance or a
+// *db.ShardedInstance (or any other db.Store). Over a sharded store
+// the engine routes each request to the single shard its query bodies
+// pin, when they pin one, so independent requests fan out to disjoint
+// shard locks instead of contending on one relation lock.
+func New(store db.Store, opts Options) *Engine {
 	w := opts.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{inst: inst, workers: w, base: opts.Coord}
+	e := &Engine{store: store, workers: w, base: opts.Coord}
+	if sh, ok := store.(*db.ShardedInstance); ok {
+		e.sharded = sh
+	}
+	return e
 }
 
 // Workers returns the configured worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
 
-// Instance returns the shared database instance.
-func (e *Engine) Instance() *db.Instance { return e.inst }
+// Store returns the shared database store.
+func (e *Engine) Store() db.Store { return e.store }
+
+// routed returns the store a request should run against: the single
+// shard pinned by the request's query bodies when the engine serves a
+// sharded store and the request is routable, the shared store
+// otherwise. Routing is the engine's job, not the db layer's: only the
+// serving layer sees request boundaries, and the db layer stays
+// correct for arbitrary queries without guessing at them.
+func (e *Engine) routed(qs []eq.Query) db.Store {
+	if e.sharded != nil {
+		if view, ok := e.sharded.Route(qs); ok {
+			return view
+		}
+	}
+	return e.store
+}
 
 // Coordinate serves one request, parallelising the SCC algorithm's
 // per-component searches across the worker pool. The result is
@@ -67,7 +77,7 @@ func (e *Engine) Coordinate(ctx context.Context, qs []eq.Query) (*coord.Result, 
 	}
 	opts := e.base
 	opts.Parallelism = e.workers
-	return coord.SCCCoordinate(qs, e.inst, opts)
+	return coord.SCCCoordinate(qs, e.routed(qs), opts)
 }
 
 // Request is one unit of CoordinateMany work: an independent entangled
@@ -84,9 +94,10 @@ type Request struct {
 }
 
 // Response pairs a request's outcome with its ID, in request order.
-// Result.DBQueries is a delta of the instance's shared counter and so
-// includes queries from requests served concurrently; meter whole
-// batches with Instance.ResetCounters/QueriesIssued instead.
+// Result.DBQueries is exact for the request alone — each run counts on
+// a private db.Meter — so the paper's cost metric survives concurrent
+// serving; the store's aggregate QueriesIssued still totals the whole
+// batch.
 type Response struct {
 	ID     string
 	Result *coord.Result
@@ -130,7 +141,8 @@ func (e *Engine) CoordinateMany(ctx context.Context, reqs []Request) []Response 
 	return out
 }
 
-// serve runs one request sequentially.
+// serve runs one request sequentially, against the single shard its
+// bodies pin when the store is sharded and the request is routable.
 func (e *Engine) serve(ctx context.Context, req *Request) Response {
 	if err := ctx.Err(); err != nil {
 		return Response{ID: req.ID, Err: err}
@@ -140,7 +152,7 @@ func (e *Engine) serve(ctx context.Context, req *Request) Response {
 		opts = *req.Opts
 	}
 	opts.Parallelism = 0
-	res, err := coord.SCCCoordinate(req.Queries, e.inst, opts)
+	res, err := coord.SCCCoordinate(req.Queries, e.routed(req.Queries), opts)
 	return Response{ID: req.ID, Result: res, Err: err}
 }
 
@@ -148,7 +160,7 @@ func (e *Engine) serve(ctx context.Context, req *Request) Response {
 // subset enumeration sharded across the worker pool; ctx cancels the
 // search between subsets.
 func (e *Engine) BruteForceExists(ctx context.Context, qs []eq.Query) (bool, error) {
-	return coord.BruteForceExistsCtx(ctx, qs, e.inst, e.workers)
+	return coord.BruteForceExistsCtx(ctx, qs, e.store, e.workers)
 }
 
 // BruteForceMax runs the exponential maximisation oracle with the
@@ -156,5 +168,5 @@ func (e *Engine) BruteForceExists(ctx context.Context, qs []eq.Query) (bool, err
 // search between subsets. The returned set size equals the sequential
 // oracle's.
 func (e *Engine) BruteForceMax(ctx context.Context, qs []eq.Query) (*coord.Result, error) {
-	return coord.BruteForceMaxCtx(ctx, qs, e.inst, e.workers)
+	return coord.BruteForceMaxCtx(ctx, qs, e.store, e.workers)
 }

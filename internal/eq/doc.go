@@ -1,0 +1,17 @@
+// Package eq defines the entangled-query model of Gupta et al. (SIGMOD
+// 2011) as used by Mamouras et al., "The Complexity of Social
+// Coordination" (PVLDB 5(11), 2012).
+//
+// An entangled query is a triple {P} H :- B where P is a list of
+// postcondition atoms, H a list of head atoms and B a conjunctive body.
+// Relation symbols in P and H are answer relations, disjoint from the
+// database schema; body atoms range over database relations.
+//
+// Values are opaque constants compared only for equality; anything
+// that hashes them (the hash indexes of internal/db and the shard
+// router of db.ShardedInstance) hashes their byte rendering, so equal
+// Values always land in the same index bucket and on the same shard.
+// Queries themselves carry no database state: the same query set can
+// be evaluated against any db.Store, which is what the shard
+// equivalence guarantees rest on.
+package eq

@@ -1,11 +1,3 @@
-// Package eq defines the entangled-query model of Gupta et al. (SIGMOD
-// 2011) as used by Mamouras et al., "The Complexity of Social
-// Coordination" (PVLDB 5(11), 2012).
-//
-// An entangled query is a triple {P} H :- B where P is a list of
-// postcondition atoms, H a list of head atoms and B a conjunctive body.
-// Relation symbols in P and H are answer relations, disjoint from the
-// database schema; body atoms range over database relations.
 package eq
 
 import (

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"time"
 
-	"entangled/internal/db"
 	"entangled/internal/engine"
 	"entangled/internal/workload"
 )
@@ -16,10 +15,12 @@ import (
 const parallelBatchRequests = 32
 
 // ParallelBatch measures engine.CoordinateMany throughput: batches of
-// independent list-workload requests served over one shared instance,
-// once on a single worker and once on cfg.Parallel workers. The x-axis
-// is the per-request query count; Millis is the wall-clock time for the
-// whole batch, DBQueries the batch's total, SetSize the per-request
+// independent list-workload requests served over one shared store,
+// once on a single worker and once on cfg.Parallel workers. With
+// cfg.Shards > 1 the store is hash-partitioned and each request routes
+// to the single shard its bodies pin. The x-axis is the per-request
+// query count; Millis is the wall-clock time for the whole batch,
+// DBQueries the batch's total, SetSize the per-request
 // coordinating-set size.
 func ParallelBatch(cfg Config) []Series {
 	cfg = cfg.withDefaults(seq(10, 50, 10))
@@ -28,18 +29,20 @@ func ParallelBatch(cfg Config) []Series {
 	}
 	var out []Series
 	for _, workers := range []int{1, cfg.Parallel} {
-		s := Series{
-			Name:   fmt.Sprintf("Parallel batch: CoordinateMany, %d worker(s)", workers),
-			XLabel: "queries/request",
+		name := fmt.Sprintf("Parallel batch: CoordinateMany, %d worker(s)", workers)
+		if cfg.Shards > 1 {
+			name += fmt.Sprintf(", %d shards", cfg.Shards)
 		}
-		inst := db.NewInstance()
-		inst.SimulatedLatency = cfg.Latency
-		workload.UserTable(inst, cfg.TableRows)
+		s := Series{Name: name, XLabel: "queries/request"}
+		inst := workload.NewStore(cfg.Shards, cfg.TableRows, cfg.Latency)
 		e := engine.New(inst, engine.Options{Workers: workers})
 		for _, n := range cfg.Sizes {
 			reqs := make([]engine.Request, parallelBatchRequests)
 			for i := range reqs {
-				reqs[i] = engine.Request{ID: fmt.Sprintf("r%d", i), Queries: workload.ListQueries(n, cfg.TableRows)}
+				// Request i pins table value c_i, so on a sharded store
+				// every request routes to one shard and the batch fans
+				// out; the unsharded sweep serves the identical load.
+				reqs[i] = engine.Request{ID: fmt.Sprintf("r%d", i), Queries: workload.ListQueriesAt(n, i%cfg.TableRows)}
 			}
 			var p Point
 			for r := 0; r < cfg.Repeats; r++ {

@@ -1,0 +1,5 @@
+// Package graph provides the directed-graph substrate the paper's
+// implementation takes from JGraphT: strongly connected components
+// (Tarjan), condensation into a component DAG, topological order and
+// reachability. Nodes are integers 0..n-1.
+package graph

@@ -1,10 +1,3 @@
-// Package netgen generates the social-network structures driving the
-// paper's experiments (§6): the list/chain structure of Figure 4, the
-// Barabási–Albert scale-free networks of Figures 5 and 6 (the paper's
-// own generator, citing Barabási & Albert 1999), complete graphs for the
-// friendship tables of Figures 7 and 8, plus Erdős–Rényi graphs and a
-// Slashdot-scale power-law network standing in for the unavailable
-// Slashdot crawl.
 package netgen
 
 import (

@@ -1,0 +1,7 @@
+// Package sat provides 3SAT machinery for the paper's hardness results
+// (§3 and the appendices): a formula representation, a DPLL solver used
+// as a verification oracle, a random 3SAT generator, and the three
+// reductions from 3SAT to entangled-query problems (Theorem 1,
+// Theorem 2's gadget, and Appendix B's mixed-coordination-attribute
+// construction).
+package sat

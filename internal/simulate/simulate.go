@@ -1,12 +1,3 @@
-// Package simulate runs discrete-round simulations of a population of
-// users submitting entangled queries to the online coordination module.
-// The paper motivates entangled queries with continuously arriving
-// social coordination requests (§1, §7 "on-line setting"); this package
-// provides that setting as an executable model: users on a social
-// network submit requests over time, the Youtopia-style coordinator
-// answers whatever components complete, and requests that wait too long
-// expire. The simulator collects the statistics a deployment would care
-// about — answer rate, waiting time, coordination batch sizes.
 package simulate
 
 import (

@@ -1,0 +1,7 @@
+// Package system provides the online front end described in §6.1: a
+// Youtopia-style coordination module that accepts entangled queries one
+// at a time, maintains the coordination graph incrementally, evaluates
+// the connected component each new query joins, and retires coordinated
+// queries (choose-1 semantics: once a query is answered it leaves the
+// system).
+package system

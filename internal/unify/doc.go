@@ -1,0 +1,8 @@
+// Package unify implements unification of entangled-query atoms.
+//
+// The coordination algorithms of Mamouras et al. repeatedly unify
+// postcondition atoms with head atoms and maintain the most general
+// unifier (MGU) of a growing group of queries. A substitution is kept as
+// a union-find structure over variable names; every equivalence class may
+// carry at most one constant binding.
+package unify

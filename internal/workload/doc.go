@@ -1,0 +1,7 @@
+// Package workload builds the query sets and database contents of the
+// paper's experimental evaluation (§6): the list-structure and
+// scale-free-network workloads driving the SCC Coordination Algorithm
+// (Figures 4-6) and the flight-coordination workloads driving the
+// Consistent Coordination Algorithm (Figures 7-8), plus randomized
+// workloads used by the test suite.
+package workload

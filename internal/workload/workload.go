@@ -1,14 +1,9 @@
-// Package workload builds the query sets and database contents of the
-// paper's experimental evaluation (§6): the list-structure and
-// scale-free-network workloads driving the SCC Coordination Algorithm
-// (Figures 4-6) and the flight-coordination workloads driving the
-// Consistent Coordination Algorithm (Figures 7-8), plus randomized
-// workloads used by the test suite.
 package workload
 
 import (
 	"math/rand"
 	"strconv"
+	"time"
 
 	"entangled/internal/consistent"
 	"entangled/internal/db"
@@ -24,11 +19,46 @@ import (
 // demanding" setting: nothing is pruned).
 func UserTable(inst *db.Instance, rows int) *db.Relation {
 	t := inst.CreateRelation("T", "key", "val")
-	for i := 0; i < rows; i++ {
-		t.Insert(eq.Value("t"+strconv.Itoa(i)), eq.Value("c"+strconv.Itoa(i)))
-	}
+	fillUserTable(t.Insert, rows)
 	t.BuildIndex(1)
 	return t
+}
+
+// UserTableSharded is UserTable for a hash-partitioned store: the same
+// T(key, val) contents, partitioned on the val column — the column
+// every generated body pins to a constant — so each query routes to a
+// single shard and concurrent requests spread across shard locks.
+func UserTableSharded(sh *db.ShardedInstance, rows int) *db.ShardedRelation {
+	t := sh.CreateRelation("T", 1, "key", "val")
+	fillUserTable(t.Insert, rows)
+	t.BuildIndex(1)
+	return t
+}
+
+// fillUserTable writes the canonical T contents through either table
+// handle, so plain and sharded stores hold identical tuples.
+func fillUserTable(insert func(vals ...eq.Value), rows int) {
+	for i := 0; i < rows; i++ {
+		insert(eq.Value("t"+strconv.Itoa(i)), eq.Value("c"+strconv.Itoa(i)))
+	}
+}
+
+// NewStore builds the serving-path store in one place: the user table
+// on a plain instance for shards <= 1, or hash-partitioned across the
+// given shard count, with the simulated per-query latency applied
+// either way. cmd/coordserve and the ParallelBatch sweep share it so
+// their plain-vs-sharded comparisons construct identical stores.
+func NewStore(shards, rows int, latency time.Duration) db.Store {
+	if shards > 1 {
+		sh := db.NewShardedInstance(shards)
+		sh.SetSimulatedLatency(latency)
+		UserTableSharded(sh, rows)
+		return sh
+	}
+	inst := db.NewInstance()
+	inst.SimulatedLatency = latency
+	UserTable(inst, rows)
+	return inst
 }
 
 // user returns the constant naming query i's user.
@@ -46,12 +76,31 @@ func bodyFor(i, rows int) []eq.Atom {
 // different coordinating set suffix for every position — the worst case
 // for the SCC algorithm (one database query per query).
 func ListQueries(n, tableRows int) []eq.Query {
+	return listQueriesWith(n, func(i int) []eq.Atom { return bodyFor(i, tableRows) })
+}
+
+// ListQueriesAt builds the Figure 4 list structure with every body
+// pinned to the single table value c_at: the whole request grounds
+// through one value, so on a store sharded on T's val column the
+// request is single-shard routable, and requests with different at
+// values fan out across shards.
+func ListQueriesAt(n, at int) []eq.Query {
+	c := eq.C(eq.Value("c" + strconv.Itoa(at)))
+	return listQueriesWith(n, func(int) []eq.Atom {
+		return []eq.Atom{eq.NewAtom("T", eq.V("x"), c)}
+	})
+}
+
+// listQueriesWith is the shared list-structure builder: query i asks
+// to coordinate with query i+1, the last query has no partner, and
+// bodyAt supplies each query's body.
+func listQueriesWith(n int, bodyAt func(i int) []eq.Atom) []eq.Query {
 	qs := make([]eq.Query, n)
 	for i := 0; i < n; i++ {
 		q := eq.Query{
 			ID:   "u" + strconv.Itoa(i),
 			Head: []eq.Atom{eq.NewAtom("R", eq.C(user(i)), eq.V("x"))},
-			Body: bodyFor(i, tableRows),
+			Body: bodyAt(i),
 		}
 		if i+1 < n {
 			q.Post = []eq.Atom{eq.NewAtom("R", eq.C(user(i+1)), eq.V("y"))}
