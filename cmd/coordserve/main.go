@@ -56,6 +56,7 @@ func main() {
 	batches := produce(*requests, *queries, *rows, *batch)
 	served, elapsed := drain(store, batches, *workers)
 	report(served, elapsed, *workers)
+	reportPlans(store)
 
 	if *compare {
 		// Requests are read-only during serving: reuse the same
@@ -64,6 +65,34 @@ func main() {
 		report(served1, elapsed1, 1)
 		fmt.Printf("speedup with %d workers: %.2fx\n", *workers, elapsed1.Seconds()/elapsed.Seconds())
 	}
+}
+
+// reportPlans prints the store's plan-cache counters: every worker of
+// the pool evaluates through one shared cache, so after the first few
+// requests the hit rate should be ~100% (each body shape compiles
+// once per schema version, not once per request).
+func reportPlans(store db.Store) {
+	var st db.PlanCacheStats
+	switch s := store.(type) {
+	case *db.Instance:
+		st = s.PlanStats()
+	case *db.ShardedInstance:
+		st = s.PlanStats()
+		for i := 0; i < s.NumShards(); i++ {
+			sub := s.Shard(i).PlanStats()
+			st.Hits += sub.Hits
+			st.Misses += sub.Misses
+			st.Entries += sub.Entries
+		}
+	default:
+		return
+	}
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return
+	}
+	fmt.Printf("plan cache: %d plans served %d queries (%.1f%% hit rate)\n",
+		st.Entries, total, 100*float64(st.Hits)/float64(total))
 }
 
 // produce materialises the whole request load up front, already split

@@ -190,11 +190,11 @@ func (w *sccWalk) processComponent(c int) error {
 			set = append(set, st.members[cc]...)
 		}
 	}
-	inSet := make(map[int]bool, len(set))
+	inSet := make([]bool, len(st.renamed))
 	for _, i := range set {
 		inSet[i] = true
 	}
-	s := unify.New()
+	s := unify.NewSized(2*len(set) + 4)
 	unifyOK := true
 	for _, e := range st.edges {
 		if !inSet[e.FromQ] || !inSet[e.ToQ] {
@@ -217,7 +217,11 @@ func (w *sccWalk) processComponent(c int) error {
 		return nil
 	}
 
-	var body []eq.Atom
+	nAtoms := 0
+	for _, i := range set {
+		nAtoms += len(st.renamed[i].Body)
+	}
+	body := make([]eq.Atom, 0, nAtoms)
 	for _, i := range set {
 		body = append(body, st.renamed[i].Body...)
 	}

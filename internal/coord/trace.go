@@ -140,6 +140,7 @@ func runSCC(qs []eq.Query, store db.Store, opts Options) ([]Candidate, error) {
 	reach := make([][]bool, nc)
 	failed := make([]bool, nc)
 	compSubst := make([]*unify.Subst, nc) // incremental mode: per-component MGU
+	inSet := make([]bool, len(qs))        // scratch, cleared after each component
 	var cands []Candidate
 
 	for _, c := range order {
@@ -182,11 +183,12 @@ func runSCC(qs []eq.Query, store db.Store, opts Options) ([]Candidate, error) {
 				set = append(set, members[cc]...)
 			}
 		}
-		inSet := make(map[int]bool, len(set))
 		for _, i := range set {
 			inSet[i] = true
 		}
-		s := unify.New()
+		// Pre-size the forest: the reachable set's queries contribute a
+		// handful of renamed variables each.
+		s := unify.NewSized(2*len(set) + 4)
 		unifyOK := true
 		if opts.IncrementalUnify {
 			// The paper's implementation: reuse each successor's combined
@@ -228,6 +230,9 @@ func runSCC(qs []eq.Query, store db.Store, opts Options) ([]Candidate, error) {
 				}
 			}
 		}
+		for _, i := range set {
+			inSet[i] = false // inSet is only read by the unify loops above
+		}
 		if !unifyOK {
 			failed[c] = true
 			if tr != nil {
@@ -240,7 +245,11 @@ func runSCC(qs []eq.Query, store db.Store, opts Options) ([]Candidate, error) {
 
 		compSubst[c] = s
 
-		var body []eq.Atom
+		nAtoms := 0
+		for _, i := range set {
+			nAtoms += len(renamed[i].Body)
+		}
+		body := make([]eq.Atom, 0, nAtoms)
 		for _, i := range set {
 			body = append(body, renamed[i].Body...)
 		}

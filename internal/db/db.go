@@ -3,6 +3,7 @@ package db
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,11 @@ type Relation struct {
 	mu      sync.RWMutex
 	tuples  []Tuple
 	indexes map[int]map[eq.Value][]int // column -> value -> row numbers
+
+	// version counts structural changes (BuildIndex); compiled plans
+	// record it and retire themselves when it moves. Inserts do not
+	// bump it: growing data never invalidates a plan's access paths.
+	version atomic.Uint64
 }
 
 // NewRelation creates an empty relation with the given attribute names.
@@ -63,10 +69,13 @@ func (r *Relation) Insert(vals ...eq.Value) {
 }
 
 // BuildIndex creates (or rebuilds) a hash index on the given column.
+// It invalidates any compiled plan that touches this relation (plans
+// resolve their index probes against the relation's version).
 func (r *Relation) BuildIndex(col int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.buildIndexLocked(col)
+	r.version.Add(1)
 }
 
 func (r *Relation) buildIndexLocked(col int) {
@@ -89,21 +98,37 @@ func (r *Relation) Tuple(i int) Tuple {
 func (r *Relation) Distinct(cols []int) []Tuple {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	seen := map[string]bool{}
+	seen := make(map[string]struct{}, len(r.tuples))
+	var key []byte
 	var out []Tuple
 	for _, t := range r.tuples {
-		key := ""
+		key = appendTupleKey(key[:0], t, cols)
+		if _, dup := seen[string(key)]; dup {
+			continue
+		}
+		seen[string(key)] = struct{}{}
 		proj := make(Tuple, len(cols))
 		for i, c := range cols {
 			proj[i] = t[c]
-			key += string(t[c]) + "\x00"
 		}
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, proj)
-		}
+		out = append(out, proj)
 	}
 	return out
+}
+
+// appendTupleKey appends an unambiguous, allocation-free dedup key for
+// the projected columns: each value length-prefixed, so no separator
+// byte can collide with value content (values are arbitrary strings).
+// The seed built the key with string concatenation in a loop —
+// quadratic in the key length — and materialised a projected tuple for
+// every row, distinct or not.
+func appendTupleKey(key []byte, t Tuple, cols []int) []byte {
+	for _, c := range cols {
+		key = strconv.AppendInt(key, int64(len(t[c])), 10)
+		key = append(key, ':')
+		key = append(key, t[c]...)
+	}
+	return key
 }
 
 // Instance is a database instance: a set of relations plus counters that
@@ -132,7 +157,19 @@ type Instance struct {
 	// queries). Off by default; cmd/coordbench exposes it as -latency.
 	SimulatedLatency time.Duration
 
+	// DisableCompiledPlans routes every query through the seed
+	// backtracking evaluator instead of compiled plans. Answers are
+	// identical (the equivalence property tests prove it); the knob
+	// exists for ablation benchmarks and as an escape hatch. Configure
+	// before sharing the instance across goroutines.
+	DisableCompiledPlans bool
+
 	queries int64 // number of conjunctive queries answered (atomic)
+
+	// version counts schema changes (AddRelation/CreateRelation);
+	// compiled plans record it and retire themselves when it moves.
+	version atomic.Uint64
+	plans   planCache
 }
 
 // NewInstance returns an empty database instance with indexing enabled.
@@ -141,11 +178,13 @@ func NewInstance() *Instance {
 }
 
 // AddRelation registers a relation; it replaces any previous relation of
-// the same name.
+// the same name. It invalidates every compiled plan (plans hold
+// resolved relation pointers).
 func (in *Instance) AddRelation(r *Relation) {
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	in.rels[r.Name] = r
+	in.mu.Unlock()
+	in.version.Add(1)
 }
 
 // CreateRelation creates, registers and returns an empty relation.

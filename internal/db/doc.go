@@ -37,11 +37,32 @@
 // single-shard view for query sets whose body atoms all pin one shard;
 // the engine uses it as a fast path.
 //
+// # Compiled plans
+//
+// Queries execute through compiled plans (plan.go, exec.go): the join
+// strategy for a body shape — atom order, integer slots for variables,
+// probe-candidate columns, lock order, shard routing — is derived once
+// and cached on the store, and the hot loop runs over a []eq.Value
+// frame with no map operations. A shape abstracts constant values and
+// variable names, so the coordination algorithms' re-issued bodies
+// (thousands of SolveUnder calls over the same shapes) hit the cache;
+// SolveUnder resolves its substitution at bind time without
+// materialising a rewritten body. Cache entries are validated against
+// store and relation versions on every hit, so AddRelation /
+// CreateRelation and BuildIndex invalidate stale plans lazily; Insert
+// never invalidates (data growth cannot break a plan, only age its
+// join-order tie-breaks). The seed backtracking evaluator remains
+// behind Instance.DisableCompiledPlans as an ablation path and as the
+// oracle for the equivalence property tests: identical answer
+// multisets, identical ok, identical query counts.
+//
 // # Metering contract
 //
 // Each of Solve, SolveAll, Satisfiable, SolveUnder, Project, SelectOne
 // and SolveFunc counts as exactly one conjunctive query; Contains and
-// Domain are free (verifier primitives). Instance and ShardedInstance
+// Domain are free (verifier primitives). Compiled plans change nothing
+// here: a plan execution is one query however many parts it probes,
+// exactly like the seed evaluator. Instance and ShardedInstance
 // count into a shared aggregate (QueriesIssued), which concurrent
 // requests pollute for one another. Meter wraps any Store with a
 // private counter so a single request's cost is exact under concurrent

@@ -33,22 +33,67 @@ func (in *Instance) SolveAll(body []eq.Atom, limit int) ([]Binding, error) {
 	return in.solve(body, limit)
 }
 
-// Satisfiable reports whether the body has at least one answer.
+// Satisfiable reports whether the body has at least one answer. On the
+// compiled path it runs the plan in existence mode: no binding is
+// materialised.
 func (in *Instance) Satisfiable(body []eq.Atom) (bool, error) {
-	_, ok, err := in.Solve(body)
-	return ok, err
+	in.countQuery()
+	if in.DisableCompiledPlans {
+		res, err := in.legacySolve(body, 1)
+		return len(res) > 0, err
+	}
+	p, err := in.planFor(body, nil)
+	if err != nil {
+		return false, err
+	}
+	return p.satisfiable(body, in.UseIndexes), nil
 }
 
 // SolveUnder answers the body under a pre-existing substitution (the MGU
 // accumulated by a coordination algorithm): the atoms are resolved under
 // s before evaluation, and the returned binding covers the resolved
-// variables.
+// variables. The compiled path resolves terms at bind time instead of
+// materialising a substituted copy of the body.
 func (in *Instance) SolveUnder(body []eq.Atom, s *unify.Subst) (Binding, bool, error) {
-	return in.Solve(s.ApplyAll(body))
+	in.countQuery()
+	if in.DisableCompiledPlans {
+		res, err := in.legacySolve(s.ApplyAll(body), 1)
+		return first(res, err)
+	}
+	p, err := in.planFor(body, s)
+	if err != nil {
+		return nil, false, err
+	}
+	return first(p.solve(body, s, 1, in.UseIndexes), nil)
 }
 
+// first adapts a result list to choose-1 semantics.
+func first(res []Binding, err error) (Binding, bool, error) {
+	if err != nil || len(res) == 0 {
+		return nil, false, err
+	}
+	return res[0], true, nil
+}
+
+// solve answers one conjunctive query: compile (or fetch) the body
+// shape's plan and run it over a slot frame. The seed backtracking
+// evaluator below remains as the DisableCompiledPlans path and as the
+// oracle the equivalence property tests compare against.
 func (in *Instance) solve(body []eq.Atom, limit int) ([]Binding, error) {
 	in.countQuery()
+	if in.DisableCompiledPlans {
+		return in.legacySolve(body, limit)
+	}
+	p, err := in.planFor(body, nil)
+	if err != nil {
+		return nil, err
+	}
+	return p.solve(body, nil, limit, in.UseIndexes), nil
+}
+
+// legacySolve is the seed evaluation path: per-call join ordering over a
+// name -> value binding map.
+func (in *Instance) legacySolve(body []eq.Atom, limit int) ([]Binding, error) {
 	rels, err := in.relsFor(body)
 	if err != nil {
 		return nil, err
@@ -131,6 +176,11 @@ type relView struct {
 // relation is sharded and the atom binds the hash column, only the
 // owning part is probed; the caller guarantees that every part the
 // evaluator can reach is read-locked for the whole run.
+//
+// This is the seed evaluation strategy. Production queries run through
+// compiled plans (plan.go/exec.go) instead; the evaluator remains as
+// the DisableCompiledPlans path and as the independently-written oracle
+// for the equivalence property tests.
 type evaluator struct {
 	useIndexes bool
 	rels       map[string]relView // read-locked snapshot from the caller
@@ -139,6 +189,9 @@ type evaluator struct {
 	bound      Binding
 	used       []bool
 	results    []Binding
+	// scratch holds one newly-bound-variables buffer per depth, reused
+	// across sibling tuples so the scan path does not allocate.
+	scratch [][]string
 	// yield, when set, switches the evaluator to streaming mode: every
 	// answer goes to the callback (which may stop the run) and nothing
 	// is materialised.
@@ -148,6 +201,7 @@ type evaluator struct {
 
 func (e *evaluator) run() {
 	e.used = make([]bool, len(e.body))
+	e.scratch = make([][]string, len(e.body))
 	e.step(0)
 }
 
@@ -182,22 +236,36 @@ func (e *evaluator) step(depth int) {
 
 	a := e.body[ai]
 	for _, rel := range e.partsFor(e.rels[a.Rel], a) {
-		rows := e.candidateRows(rel, a)
-		for _, row := range rows {
-			t := rel.tuples[row]
-			newVars := e.match(a, t)
-			if newVars == nil {
-				continue
+		if rows, probed := e.probeRows(rel, a); probed {
+			for _, row := range rows {
+				if e.tryTuple(a, rel.tuples[row], depth) {
+					return
+				}
 			}
-			e.step(depth + 1)
-			for _, v := range newVars {
-				delete(e.bound, v)
-			}
-			if e.done() {
-				return
+		} else {
+			// No usable index: iterate the tuples in place instead of
+			// materialising an all-rows candidate list per search node.
+			for ti := range rel.tuples {
+				if e.tryTuple(a, rel.tuples[ti], depth) {
+					return
+				}
 			}
 		}
 	}
+}
+
+// tryTuple matches one tuple, recurses on success, and undoes the
+// bindings; it reports whether the walk should stop.
+func (e *evaluator) tryTuple(a eq.Atom, t Tuple, depth int) bool {
+	newVars, ok := e.match(a, t, depth)
+	if !ok {
+		return false
+	}
+	e.step(depth + 1)
+	for _, v := range newVars {
+		delete(e.bound, v)
+	}
+	return e.done()
 }
 
 // partsFor narrows a sharded relation to the single part owning the
@@ -239,26 +307,23 @@ func (e *evaluator) pickAtom() int {
 	return best
 }
 
-// candidateRows returns the rows of rel worth probing for atom a: if a
-// column of a is bound and indexed, only the matching rows; otherwise all
-// rows.
-func (e *evaluator) candidateRows(rel *Relation, a eq.Atom) []int {
-	if e.useIndexes {
-		for col, t := range a.Args {
-			v, ok := e.termValue(t)
-			if !ok {
-				continue
-			}
-			if idx, has := rel.indexes[col]; has {
-				return idx[v]
-			}
+// probeRows returns the index rows worth probing for atom a when a
+// bound, indexed column exists; probed is false when the caller must
+// scan the relation instead.
+func (e *evaluator) probeRows(rel *Relation, a eq.Atom) (rows []int, probed bool) {
+	if !e.useIndexes {
+		return nil, false
+	}
+	for col, t := range a.Args {
+		v, ok := e.termValue(t)
+		if !ok {
+			continue
+		}
+		if idx, has := rel.indexes[col]; has {
+			return idx[v], true
 		}
 	}
-	rows := make([]int, len(rel.tuples))
-	for i := range rows {
-		rows[i] = i
-	}
-	return rows
+	return nil, false
 }
 
 func (e *evaluator) termValue(t eq.Term) (eq.Value, bool) {
@@ -271,29 +336,30 @@ func (e *evaluator) termValue(t eq.Term) (eq.Value, bool) {
 
 // match tests tuple t against atom a under the current bindings. On
 // success it extends e.bound and returns the list of newly bound
-// variables (possibly empty but non-nil); on mismatch it returns nil and
-// leaves e.bound unchanged.
-func (e *evaluator) match(a eq.Atom, t Tuple) []string {
-	newVars := []string{}
+// variables in the depth's reused scratch buffer; on mismatch it
+// reports ok=false and leaves e.bound unchanged.
+func (e *evaluator) match(a eq.Atom, t Tuple, depth int) (newVars []string, ok bool) {
+	newVars = e.scratch[depth][:0]
 	for i, arg := range a.Args {
 		if !arg.IsVar() {
 			if arg.Const() != t[i] {
 				e.unbind(newVars)
-				return nil
+				return nil, false
 			}
 			continue
 		}
-		if v, ok := e.bound[arg.Name]; ok {
+		if v, bound := e.bound[arg.Name]; bound {
 			if v != t[i] {
 				e.unbind(newVars)
-				return nil
+				return nil, false
 			}
 			continue
 		}
 		e.bound[arg.Name] = t[i]
 		newVars = append(newVars, arg.Name)
 	}
-	return newVars
+	e.scratch[depth] = newVars
+	return newVars, true
 }
 
 func (e *evaluator) unbind(vars []string) {

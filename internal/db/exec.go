@@ -1,0 +1,288 @@
+package db
+
+import (
+	"entangled/internal/eq"
+	"entangled/internal/unify"
+)
+
+// exec is the per-call runtime state of one compiled-plan execution: the
+// call's constant values, the variable frame, the narrowed and locked
+// shard parts, and the probe resolution (which hash index, if any, each
+// step uses on each part). An exec is pooled on its plan, so steady-state
+// evaluation allocates only the result bindings the API must return.
+type exec struct {
+	p      *plan
+	consts []eq.Value
+	frame  []eq.Value
+	names  []string // slot -> variable name for this call
+
+	// relParts[ri] is the slice of rel ri's parts this call locked, in
+	// shard order. It aliases plan.rels[ri].parts when every part is
+	// needed, or ownParts[ri] (owned storage) when narrowed.
+	relParts [][]*Relation
+	ownParts [][]*Relation
+	// parts/probes are per step: the parts the step iterates and, per
+	// part, the resolved index probe (nil idx means scan).
+	parts   [][]*Relation
+	singles [][1]*Relation // owned backing for routeConst steps
+	probes  [][]probeRef
+
+	locked  []*Relation
+	needBuf []bool
+
+	limit   int
+	results []Binding
+	fn      func(Binding) bool // streaming mode
+	reuse   Binding            // streaming mode: one map reused per yield
+	exists  bool               // existence mode: stop at the first match
+	found   bool
+}
+
+// probeRef is one step's access path on one part: probe idx[value(src)]
+// when idx is non-nil, scan the part otherwise.
+type probeRef struct {
+	idx map[eq.Value][]int
+	src planArg
+}
+
+// bind prepares a pooled exec for one call: fill the constant table and
+// slot names from the concrete body (resolving terms under s when
+// non-nil — the SolveUnder path never materialises a substituted body),
+// read-lock exactly the parts the call can reach (in the plan's
+// deterministic relation order, shard index ascending), and resolve
+// each step's index probe under those locks. The caller must run
+// release() when done.
+func (p *plan) bind(body []eq.Atom, s *unify.Subst, useIndexes bool) *exec {
+	x, _ := p.pool.Get().(*exec)
+	if x == nil {
+		x = &exec{
+			p:        p,
+			consts:   make([]eq.Value, len(p.constAt)),
+			frame:    make([]eq.Value, p.nSlots),
+			names:    make([]string, p.nSlots),
+			relParts: make([][]*Relation, len(p.rels)),
+			ownParts: make([][]*Relation, len(p.rels)),
+			parts:    make([][]*Relation, len(p.steps)),
+			singles:  make([][1]*Relation, len(p.steps)),
+			probes:   make([][]probeRef, len(p.steps)),
+		}
+	}
+	x.limit, x.fn, x.exists, x.found = 0, nil, false, false
+	if s == nil {
+		for i, pos := range p.constAt {
+			x.consts[i] = body[pos[0]].Args[pos[1]].Const()
+		}
+		for sl, pos := range p.slotAt {
+			x.names[sl] = body[pos[0]].Args[pos[1]].Name
+		}
+	} else {
+		for i, pos := range p.constAt {
+			x.consts[i] = s.Resolve(body[pos[0]].Args[pos[1]]).Const()
+		}
+		for sl, pos := range p.slotAt {
+			x.names[sl] = s.Resolve(body[pos[0]].Args[pos[1]]).Name
+		}
+	}
+
+	// Lock planning: for each relation (name order) lock the parts the
+	// body can reach — all of them when any atom leaves the hash column
+	// variable, only the constant-owned ones otherwise.
+	x.locked = x.locked[:0]
+	for ri := range p.rels {
+		r := &p.rels[ri]
+		if r.needsAll || len(r.parts) == 1 {
+			x.relParts[ri] = r.parts
+			for _, pt := range r.parts {
+				pt.mu.RLock()
+				x.locked = append(x.locked, pt)
+			}
+			continue
+		}
+		k := len(r.parts)
+		if cap(x.needBuf) < k {
+			x.needBuf = make([]bool, k)
+		}
+		need := x.needBuf[:k]
+		for i := range need {
+			need[i] = false
+		}
+		for _, cix := range r.routes {
+			need[shardIndex(x.consts[cix], k)] = true
+		}
+		np := x.ownParts[ri][:0]
+		for i := 0; i < k; i++ {
+			if need[i] {
+				r.parts[i].mu.RLock()
+				x.locked = append(x.locked, r.parts[i])
+				np = append(np, r.parts[i])
+			}
+		}
+		x.ownParts[ri] = np
+		x.relParts[ri] = np
+	}
+
+	// Probe resolution, under the read locks: for each step and part,
+	// the first statically-bound column with a live hash index.
+	for si := range p.steps {
+		st := &p.steps[si]
+		if st.route == routeConst {
+			r := &p.rels[st.rel]
+			x.singles[si][0] = r.parts[shardIndex(x.consts[st.routeIx], len(r.parts))]
+			x.parts[si] = x.singles[si][:]
+		} else {
+			// routeFrame steps only arise when the relation needs every
+			// part, so relParts is the full shard-ordered part list and
+			// run() can index it by hash directly.
+			x.parts[si] = x.relParts[st.rel]
+		}
+		pb := x.probes[si][:0]
+		for _, pt := range x.parts[si] {
+			var pr probeRef
+			if useIndexes {
+				for _, bc := range st.bound {
+					if idx, ok := pt.indexes[bc.col]; ok {
+						pr = probeRef{idx: idx, src: bc.src}
+						break
+					}
+				}
+			}
+			pb = append(pb, pr)
+		}
+		x.probes[si] = pb
+	}
+	return x
+}
+
+// release unlocks every part and returns the exec to the plan's pool.
+func (x *exec) release() {
+	for i := len(x.locked) - 1; i >= 0; i-- {
+		x.locked[i].mu.RUnlock()
+	}
+	x.results = nil
+	x.fn = nil
+	x.reuse = nil
+	x.p.pool.Put(x)
+}
+
+// run executes the join from the given step, returning false when the
+// caller should stop (limit reached, stream cancelled, existence
+// proven).
+func (x *exec) run(depth int) bool {
+	if depth == len(x.p.steps) {
+		return x.emit()
+	}
+	st := &x.p.steps[depth]
+	parts := x.parts[depth]
+	if st.route == routeFrame {
+		i := shardIndex(x.frame[st.routeIx], len(parts))
+		return x.runPart(depth, st, parts[i], x.probes[depth][i])
+	}
+	for i, pt := range parts {
+		if !x.runPart(depth, st, pt, x.probes[depth][i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (x *exec) runPart(depth int, st *planStep, pt *Relation, pr probeRef) bool {
+	if pr.idx != nil {
+		var v eq.Value
+		if pr.src.kind == opConst {
+			v = x.consts[pr.src.ix]
+		} else {
+			v = x.frame[pr.src.ix]
+		}
+		for _, row := range pr.idx[v] {
+			if x.match(st, pt.tuples[row]) && !x.run(depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	// No usable index: iterate the tuples directly — no candidate row
+	// list is materialised (the seed evaluator allocated an O(|rel|)
+	// []int per unindexed probe).
+	for ti := range pt.tuples {
+		if x.match(st, pt.tuples[ti]) && !x.run(depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// match tests one tuple against a step. opBind writes are never undone:
+// a slot is only read by steps that run strictly after the one that
+// binds it, so stale values from a failed branch are overwritten before
+// they can be observed.
+func (x *exec) match(st *planStep, t Tuple) bool {
+	for i, a := range st.args {
+		switch a.kind {
+		case opConst:
+			if t[i] != x.consts[a.ix] {
+				return false
+			}
+		case opCheck:
+			if t[i] != x.frame[a.ix] {
+				return false
+			}
+		default: // opBind
+			x.frame[a.ix] = t[i]
+		}
+	}
+	return true
+}
+
+// emit delivers one full assignment. Binding maps are materialised only
+// here — the API boundary — never inside the join.
+func (x *exec) emit() bool {
+	if x.exists {
+		x.found = true
+		return false
+	}
+	if x.fn != nil {
+		b := x.reuse
+		for s, v := range x.frame {
+			b[x.names[s]] = v
+		}
+		return x.fn(b)
+	}
+	b := make(Binding, len(x.frame))
+	for s, v := range x.frame {
+		b[x.names[s]] = v
+	}
+	x.results = append(x.results, b)
+	return x.limit <= 0 || len(x.results) < x.limit
+}
+
+// solve runs the plan and materialises up to limit bindings (limit <= 0
+// means all), with the same answer multiset as the seed evaluator.
+func (p *plan) solve(body []eq.Atom, s *unify.Subst, limit int, useIndexes bool) []Binding {
+	x := p.bind(body, s, useIndexes)
+	x.limit = limit
+	x.run(0)
+	res := x.results
+	x.release()
+	return res
+}
+
+// stream runs the plan in streaming mode: every answer goes to fn in a
+// Binding that is reused between calls; fn returns false to stop.
+func (p *plan) stream(body []eq.Atom, useIndexes bool, fn func(Binding) bool) {
+	x := p.bind(body, nil, useIndexes)
+	x.fn = fn
+	x.reuse = make(Binding, p.nSlots)
+	x.run(0)
+	x.release()
+}
+
+// satisfiable runs the plan in existence mode: no bindings are
+// materialised at all.
+func (p *plan) satisfiable(body []eq.Atom, useIndexes bool) bool {
+	x := p.bind(body, nil, useIndexes)
+	x.exists = true
+	x.run(0)
+	found := x.found
+	x.release()
+	return found
+}

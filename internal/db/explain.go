@@ -19,17 +19,25 @@ import (
 // returns.
 func (in *Instance) SolveFunc(body []eq.Atom, fn func(Binding) bool) error {
 	in.countQuery()
-	rels, err := in.relsFor(body)
+	if in.DisableCompiledPlans {
+		rels, err := in.relsFor(body)
+		if err != nil {
+			return err
+		}
+		defer readLockAll(rels)()
+		e := &evaluator{useIndexes: in.UseIndexes, rels: viewsOf(rels), body: body, bound: Binding{}, yield: fn}
+		e.run()
+		return nil
+	}
+	p, err := in.planFor(body, nil)
 	if err != nil {
 		return err
 	}
-	defer readLockAll(rels)()
-	e := &evaluator{useIndexes: in.UseIndexes, rels: viewsOf(rels), body: body, bound: Binding{}, yield: fn}
-	e.run()
+	p.stream(body, in.UseIndexes, fn)
 	return nil
 }
 
-// PlanStep describes one join step of an evaluation plan.
+// PlanStep describes one join step of a compiled evaluation plan.
 type PlanStep struct {
 	Atom eq.Atom
 	// Access is "index(col)" for an index probe or "scan".
@@ -41,56 +49,35 @@ type PlanStep struct {
 	Rows int
 }
 
-// Explain returns the join order the evaluator would choose for the
-// body, without touching the data. It mirrors the greedy most-bound
-// heuristic of the executor, so the output is the true plan.
+// Explain returns the plan the executor runs for the body, without
+// touching the data. It is derived from the same compiled plan object
+// (shared through the plan cache) that Solve/SolveAll execute, so the
+// output is the true plan: the frozen join order, each step's statically
+// bound columns, and the index each step would probe right now.
 func (in *Instance) Explain(body []eq.Atom) ([]PlanStep, error) {
-	rels, err := in.relsFor(body)
+	p, err := in.planFor(body, nil)
 	if err != nil {
 		return nil, err
 	}
-	defer readLockAll(rels)()
-	used := make([]bool, len(body))
-	bound := map[string]bool{}
-	var plan []PlanStep
-	for range body {
-		best, bestScore := -1, -1
-		for i, a := range body {
-			if used[i] {
-				continue
-			}
-			score := 0
-			for _, t := range a.Args {
-				if !t.IsVar() || bound[t.Name] {
-					score++
-				}
-			}
-			if score > bestScore || (score == bestScore && len(rels[a.Rel].tuples) < len(rels[body[best].Rel].tuples)) {
-				best, bestScore = i, score
-			}
-		}
-		a := body[best]
-		used[best] = true
-		rel := rels[a.Rel]
+	steps := make([]PlanStep, len(p.steps))
+	for i := range p.steps {
+		st := &p.steps[i]
+		pt := p.rels[st.rel].parts[0]
+		pt.mu.RLock()
 		access := "scan"
 		if in.UseIndexes {
-			for col, t := range a.Args {
-				if !t.IsVar() || bound[t.Name] {
-					if _, has := rel.indexes[col]; has {
-						access = fmt.Sprintf("index(%s)", rel.Attrs[col])
-						break
-					}
+			for _, bc := range st.bound {
+				if _, has := pt.indexes[bc.col]; has {
+					access = fmt.Sprintf("index(%s)", pt.Attrs[bc.col])
+					break
 				}
 			}
 		}
-		plan = append(plan, PlanStep{Atom: a, Access: access, BoundArgs: bestScore, Rows: len(rel.tuples)})
-		for _, t := range a.Args {
-			if t.IsVar() {
-				bound[t.Name] = true
-			}
-		}
+		rows := len(pt.tuples)
+		pt.mu.RUnlock()
+		steps[i] = PlanStep{Atom: body[st.atom], Access: access, BoundArgs: len(st.bound), Rows: rows}
 	}
-	return plan, nil
+	return steps, nil
 }
 
 // RenderPlan formats an Explain result as indented text.

@@ -1,0 +1,417 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"entangled/internal/eq"
+	"entangled/internal/unify"
+)
+
+// This file implements compiled query plans: the join strategy for a
+// conjunctive body is derived once per body *shape* and reused across
+// every query that shares the shape, instead of being re-derived inside
+// the backtracking loop of every call (the seed evaluator's pickAtom
+// re-scored every remaining atom at every search node — the single
+// hottest function in the coordination profiles).
+//
+// A shape abstracts the parts of a body that do not affect strategy:
+// constants are reduced to a placeholder (their values only matter at
+// execution time) and variables are numbered by first occurrence (their
+// names only matter at the API boundary). Everything the evaluator used
+// to look up dynamically is frozen into the plan:
+//
+//   - the atom join order, chosen by the same greedy heuristic the seed
+//     evaluator applied per call (most bound arguments first, ties to
+//     the smaller relation);
+//   - an integer slot for every variable, so the hot loop runs over a
+//     []eq.Value frame with no map operations and no per-match
+//     newVars allocations — a slot is written by the step that first
+//     binds it and only ever read by later steps, so backtracking needs
+//     no unbinding at all;
+//   - per-step probe candidates: the columns statically known to be
+//     bound when the step runs, in the same positional order the seed
+//     evaluator scanned, so index selection is a precomputed list walk;
+//   - the sorted relation lock order and, for sharded stores, the
+//     hash-column routing mode of every step (constant, frame slot, or
+//     scatter over all parts).
+//
+// Plans are cached per store (Instance and ShardedInstance each carry a
+// planCache) and validated against schema versions on every hit, so
+// AddRelation/CreateRelation and BuildIndex invalidate affected plans
+// without any coordination on the write path. See exec.go for the
+// runtime that binds a plan to one call's constants and runs it.
+
+// opKind classifies how one atom column is handled during a join step.
+type opKind uint8
+
+const (
+	// opConst: the column must equal one of the call's constants.
+	opConst opKind = iota
+	// opBind: first occurrence of a variable — write the frame slot.
+	opBind
+	// opCheck: the column must equal an already-written frame slot.
+	opCheck
+)
+
+// planArg is one column's operation: kind plus an index into the call's
+// constant table (opConst) or the variable frame (opBind/opCheck).
+type planArg struct {
+	kind opKind
+	ix   int
+}
+
+// routeKind classifies how a step narrows a sharded relation to parts.
+type routeKind uint8
+
+const (
+	// routeAll probes every locked part (unsharded, or hash col unbound
+	// when the step runs).
+	routeAll routeKind = iota
+	// routeConst probes the single part owning a constant hash value,
+	// resolved once per call at bind time.
+	routeConst
+	// routeFrame probes the single part owning the hash value a prior
+	// step bound, resolved per search node from the frame.
+	routeFrame
+)
+
+// boundCol is a column whose value is known before its step runs —
+// an index-probe candidate.
+type boundCol struct {
+	col int
+	src planArg // opConst or opCheck
+}
+
+// planStep is one joined atom in execution order.
+type planStep struct {
+	atom int // index into the caller's body
+	rel  int // index into plan.rels
+	args []planArg
+	// bound lists the probe-candidate columns in positional order; the
+	// executor probes the first one with a live hash index, exactly as
+	// the seed evaluator's candidateRows scan did.
+	bound   []boundCol
+	route   routeKind
+	routeIx int // const index (routeConst) or frame slot (routeFrame)
+}
+
+// planRel is one distinct relation of the body, with everything the
+// lock planner needs precomputed.
+type planRel struct {
+	name  string
+	parts []*Relation // 1 part for an Instance, K for a ShardedInstance
+	key   int         // hash column, -1 when unsharded
+	arity int
+	size  int // tuple count at compile time (join-order tie-break)
+	// needsAll is true when some atom leaves the hash column variable:
+	// every part is reachable and must be locked. Otherwise routes
+	// holds the const-table indexes of the hash values the body pins,
+	// and only the owning parts are locked.
+	needsAll bool
+	routes   []int
+	versions []uint64 // per-part Relation versions at compile time
+}
+
+// plan is a compiled conjunctive query: shared, immutable after
+// compile, safe for any number of concurrent executions.
+type plan struct {
+	shape  string
+	steps  []planStep
+	rels   []planRel // sorted by name — the global lock order
+	nSlots int
+	// constAt maps const index -> (atom, arg) position in the body, so
+	// each call fills its own constant values into the shared plan.
+	constAt [][2]int
+	// slotAt maps slot -> (atom, arg) of the variable's first
+	// occurrence, for materialising Binding names at the API boundary.
+	slotAt [][2]int
+	// instVersions are the owning store's schema versions at compile
+	// time; a mismatch on lookup retires the plan.
+	instVersions []uint64
+
+	pool sync.Pool // *exec, reused across calls
+}
+
+// shapeBuf holds the reusable scratch for computing a body's shape key,
+// pooled so cache hits — the serving steady state — allocate nothing.
+type shapeBuf struct {
+	key   []byte
+	names []string
+}
+
+var shapeBufPool = sync.Pool{New: func() any { return new(shapeBuf) }}
+
+// build fills sb.key with the canonical shape of body, resolved under s
+// when s is non-nil (the SolveUnder path: a variable the substitution
+// binds is a constant of the shape, and unified variables share one
+// number). Relation names are length-prefixed so arbitrary names cannot
+// collide, constants are abstracted to a placeholder, and variables are
+// numbered by first occurrence. Two bodies with the same key share one
+// compiled plan.
+func (sb *shapeBuf) build(body []eq.Atom, s *unify.Subst) {
+	b := sb.key[:0]
+	names := sb.names[:0]
+	for ai := range body {
+		a := &body[ai]
+		if ai > 0 {
+			b = append(b, '|')
+		}
+		b = strconv.AppendInt(b, int64(len(a.Rel)), 10)
+		b = append(b, ':')
+		b = append(b, a.Rel...)
+		b = append(b, '(')
+		for j := range a.Args {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			t := a.Args[j]
+			if t.IsVar() && s != nil {
+				t = s.Resolve(t)
+			}
+			if t.IsVar() {
+				id := -1
+				for k, n := range names { // small bodies: linear scan beats a map
+					if n == t.Name {
+						id = k
+						break
+					}
+				}
+				if id < 0 {
+					id = len(names)
+					names = append(names, t.Name)
+				}
+				b = strconv.AppendInt(b, int64(id), 10)
+			} else {
+				b = append(b, 'c')
+			}
+		}
+		b = append(b, ')')
+	}
+	sb.key = b
+	sb.names = names
+}
+
+// compilePlan builds the plan for one body shape. src resolves a
+// relation name to its shard parts and hash column (key -1 and a single
+// part for a plain instance). The errors match the seed evaluator's, so
+// callers surface identical messages on unknown relations and arity
+// mismatches.
+func compilePlan(shape string, body []eq.Atom, instVersions []uint64, src func(name string) (parts []*Relation, key int, err error)) (*plan, error) {
+	p := &plan{shape: shape, instVersions: instVersions}
+
+	// Pass 1: resolve relations, assign constant and slot indexes in
+	// body order (slot numbering matches the shape key's variable
+	// numbering).
+	relIx := map[string]int{}
+	rels := []planRel{}
+	atomRel := make([]int, len(body))
+	slotOf := map[string]int{}
+	argPlan := make([][]planArg, len(body))
+	for ai, a := range body {
+		ri, ok := relIx[a.Rel]
+		if !ok {
+			parts, key, err := src(a.Rel)
+			if err != nil {
+				return nil, err
+			}
+			versions := make([]uint64, len(parts))
+			size := 0
+			for i, pt := range parts {
+				versions[i] = pt.version.Load()
+				size += pt.Len()
+			}
+			ri = len(rels)
+			rels = append(rels, planRel{
+				name: a.Rel, parts: parts, key: key,
+				arity: parts[0].Arity(), size: size, versions: versions,
+			})
+			relIx[a.Rel] = ri
+		}
+		if rels[ri].arity != len(a.Args) {
+			return nil, fmt.Errorf("db: atom %s has arity %d, relation has %d", a, len(a.Args), rels[ri].arity)
+		}
+		atomRel[ai] = ri
+		args := make([]planArg, len(a.Args))
+		for j, t := range a.Args {
+			if t.IsVar() {
+				s, ok := slotOf[t.Name]
+				if !ok {
+					s = len(p.slotAt)
+					slotOf[t.Name] = s
+					p.slotAt = append(p.slotAt, [2]int{ai, j})
+				}
+				// Provisional: the order pass decides bind vs check.
+				args[j] = planArg{kind: opBind, ix: s}
+			} else {
+				c := len(p.constAt)
+				p.constAt = append(p.constAt, [2]int{ai, j})
+				args[j] = planArg{kind: opConst, ix: c}
+			}
+		}
+		argPlan[ai] = args
+		// Lock-plan routing: a constant hash column pins one part; a
+		// variable one makes every part reachable.
+		r := &rels[ri]
+		if r.key >= 0 && r.key < len(a.Args) && !a.Args[r.key].IsVar() {
+			r.routes = append(r.routes, args[r.key].ix)
+		} else if r.key >= 0 {
+			r.needsAll = true
+		} else {
+			r.needsAll = true // unsharded: the single part is always needed
+		}
+	}
+
+	// Pass 2: fix the join order with the seed evaluator's greedy
+	// heuristic — most bound arguments first (constants and variables
+	// bound by earlier steps), ties to the smaller relation — and
+	// classify every column against the frozen order.
+	n := len(body)
+	used := make([]bool, n)
+	slotBound := make([]bool, len(p.slotAt))
+	p.steps = make([]planStep, 0, n)
+	for len(p.steps) < n {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, a := range argPlan[i] {
+				if a.kind == opConst || slotBound[a.ix] {
+					score++
+				}
+			}
+			if score > bestScore || (score == bestScore && rels[atomRel[i]].size < rels[atomRel[best]].size) {
+				best, bestScore = i, score
+			}
+		}
+		st := planStep{atom: best, rel: atomRel[best]}
+		args := make([]planArg, len(argPlan[best]))
+		var boundThis []int // slots first bound by this step
+		for j, a := range argPlan[best] {
+			switch {
+			case a.kind == opConst:
+				args[j] = a
+				st.bound = append(st.bound, boundCol{col: j, src: a})
+			case slotBound[a.ix]:
+				args[j] = planArg{kind: opCheck, ix: a.ix}
+				st.bound = append(st.bound, boundCol{col: j, src: args[j]})
+			case containsInt(boundThis, a.ix):
+				// Repeated variable within the atom: the earlier column
+				// writes the slot, this one checks it. Not a probe
+				// candidate — the slot is unset when the step probes.
+				args[j] = planArg{kind: opCheck, ix: a.ix}
+			default:
+				args[j] = planArg{kind: opBind, ix: a.ix}
+				boundThis = append(boundThis, a.ix)
+			}
+		}
+		st.args = args
+		// Shard routing mirrors the seed partsFor: only values bound
+		// before the step probes (constants and earlier-step slots) can
+		// narrow the part set.
+		if r := &rels[st.rel]; r.key >= 0 && len(r.parts) > 1 && r.key < len(args) {
+			switch a := args[r.key]; {
+			case a.kind == opConst:
+				st.route, st.routeIx = routeConst, a.ix
+			case a.kind == opCheck && slotBound[a.ix]:
+				st.route, st.routeIx = routeFrame, a.ix
+			}
+		}
+		for _, s := range boundThis {
+			slotBound[s] = true
+		}
+		used[best] = true
+		p.steps = append(p.steps, st)
+	}
+	p.nSlots = len(p.slotAt)
+
+	// Sort relations by name: bind() acquires read locks in rels order,
+	// giving the same deterministic (name, shard) total order as the
+	// seed lock planners.
+	order := make([]int, len(rels))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return rels[order[a]].name < rels[order[b]].name })
+	perm := make([]int, len(rels))
+	sorted := make([]planRel, len(rels))
+	for newIx, oldIx := range order {
+		sorted[newIx] = rels[oldIx]
+		perm[oldIx] = newIx
+	}
+	for i := range p.steps {
+		p.steps[i].rel = perm[p.steps[i].rel]
+	}
+	p.rels = sorted
+	return p, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// planFor returns the compiled plan for the body (resolved under s when
+// s is non-nil), compiling and caching it on a miss or when a schema
+// change retired the cached entry. The hit path allocates nothing: the
+// shape key is built in a pooled buffer and looked up without
+// conversion.
+func (in *Instance) planFor(body []eq.Atom, s *unify.Subst) (*plan, error) {
+	sb := shapeBufPool.Get().(*shapeBuf)
+	sb.build(body, s)
+	if p := in.plans.get(sb.key); p != nil && p.instVersions[0] == in.version.Load() && p.relsValid() {
+		in.plans.hits.Add(1)
+		shapeBufPool.Put(sb)
+		return p, nil
+	}
+	in.plans.miss.Add(1)
+	shape := string(sb.key)
+	shapeBufPool.Put(sb)
+	// Read the version before resolving relations: a concurrent
+	// AddRelation between the two can only make the new plan look
+	// stale (recompiled on next use), never let a stale pointer pass
+	// validation.
+	iv := in.version.Load()
+	resolved := body
+	if s != nil {
+		resolved = s.ApplyAll(body)
+	}
+	p, err := compilePlan(shape, resolved, []uint64{iv}, func(name string) ([]*Relation, int, error) {
+		r, ok := in.Relation(name)
+		if !ok {
+			return nil, 0, fmt.Errorf("db: unknown relation %s", name)
+		}
+		return []*Relation{r}, -1, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	in.plans.put(shape, p)
+	return p, nil
+}
+
+// PlanStats reports the instance's plan-cache counters.
+func (in *Instance) PlanStats() PlanCacheStats { return in.plans.stats() }
+
+// relsValid reports whether every relation the plan compiled against is
+// still current (no BuildIndex since compile, and — combined with the
+// store-version check the caller performs — no replacement).
+func (p *plan) relsValid() bool {
+	for i := range p.rels {
+		r := &p.rels[i]
+		for j, pt := range r.parts {
+			if pt.version.Load() != r.versions[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

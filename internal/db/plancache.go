@@ -1,0 +1,59 @@
+package db
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// planCacheMax bounds the number of cached plans per store; reaching it
+// drops the whole map (shapes churn only in adversarial workloads —
+// coordination traffic re-issues a small family of shapes).
+const planCacheMax = 1 << 14
+
+// planCache is a concurrency-safe shape -> *plan map. Reads take an
+// RLock (the serving hot path: many goroutines hitting the same hot
+// shapes); compiles take the write lock. Invalidation is lazy: entries
+// carry the schema versions they compiled against and every hit is
+// validated against the live store, so writers never touch the cache.
+type planCache struct {
+	mu   sync.RWMutex
+	m    map[string]*plan
+	hits atomic.Int64
+	miss atomic.Int64
+}
+
+// get looks a shape up without allocating: the []byte key is converted
+// in the map index expression, which the compiler performs without
+// copying.
+func (c *planCache) get(shape []byte) *plan {
+	c.mu.RLock()
+	p := c.m[string(shape)]
+	c.mu.RUnlock()
+	return p
+}
+
+func (c *planCache) put(shape string, p *plan) {
+	c.mu.Lock()
+	if c.m == nil || len(c.m) >= planCacheMax {
+		c.m = make(map[string]*plan)
+	}
+	c.m[shape] = p
+	c.mu.Unlock()
+}
+
+// PlanCacheStats reports plan-cache effectiveness for one store:
+// Hits/Misses count lookups (a miss includes both cold shapes and
+// entries retired by schema invalidation), Entries is the current
+// number of cached plans.
+type PlanCacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return PlanCacheStats{Hits: c.hits.Load(), Misses: c.miss.Load(), Entries: n}
+}

@@ -20,7 +20,8 @@ func (in *Instance) Project(rel string, cols []int, where map[int]eq.Value) ([]T
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	rows := in.filterRows(r, where)
-	seen := map[string]bool{}
+	seen := map[string]struct{}{}
+	var key []byte
 	var out []Tuple
 	for _, row := range rows {
 		t := r.tuples[row]
@@ -34,16 +35,16 @@ func (in *Instance) Project(rel string, cols []int, where map[int]eq.Value) ([]T
 		if !match {
 			continue
 		}
+		key = appendTupleKey(key[:0], t, cols)
+		if _, dup := seen[string(key)]; dup {
+			continue
+		}
+		seen[string(key)] = struct{}{}
 		proj := make(Tuple, len(cols))
-		key := ""
 		for i, c := range cols {
 			proj[i] = t[c]
-			key += string(t[c]) + "\x00"
 		}
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, proj)
-		}
+		out = append(out, proj)
 	}
 	return out, nil
 }

@@ -47,9 +47,15 @@ type ShardedInstance struct {
 	shards []*Instance
 	keys   map[string]int // relation name -> hash column
 
-	useIndexes bool
-	latency    time.Duration
-	queries    int64 // cross-shard conjunctive queries answered (atomic)
+	useIndexes   bool
+	disablePlans bool
+	latency      time.Duration
+	queries      int64 // cross-shard conjunctive queries answered (atomic)
+
+	// version counts schema changes (CreateRelation); cross-shard
+	// compiled plans record it and retire themselves when it moves.
+	version atomic.Uint64
+	plans   planCache
 }
 
 // NewShardedInstance returns an empty instance partitioned across k
@@ -91,6 +97,21 @@ func (sh *ShardedInstance) SetSimulatedLatency(d time.Duration) {
 	}
 }
 
+// SetDisableCompiledPlans routes queries through the seed evaluator on
+// the cross-shard path and on every shard (see
+// Instance.DisableCompiledPlans). Configure before sharing.
+func (sh *ShardedInstance) SetDisableCompiledPlans(v bool) {
+	sh.disablePlans = v
+	for _, s := range sh.shards {
+		s.DisableCompiledPlans = v
+	}
+}
+
+// PlanStats reports the cross-shard plan-cache counters (routed
+// single-shard queries hit the owning shard's cache; see
+// Instance.PlanStats).
+func (sh *ShardedInstance) PlanStats() PlanCacheStats { return sh.plans.stats() }
+
 // ShardedRelation is the write handle for one hash-partitioned
 // relation: it owns the name, the hash column and the K per-shard
 // parts, and routes every inserted tuple to the part its hash-column
@@ -115,6 +136,7 @@ func (sh *ShardedInstance) CreateRelation(name string, hashCol int, attrs ...str
 	sh.mu.Lock()
 	sh.keys[name] = hashCol
 	sh.mu.Unlock()
+	sh.version.Add(1)
 	return &ShardedRelation{Name: name, Key: hashCol, parts: parts}
 }
 
@@ -239,23 +261,57 @@ func (sh *ShardedInstance) SolveAll(body []eq.Atom, limit int) ([]Binding, error
 	return sh.solve(body, limit)
 }
 
-// Satisfiable reports whether the body has at least one answer.
+// Satisfiable reports whether the body has at least one answer. On the
+// compiled path it runs the plan in existence mode: no binding is
+// materialised.
 func (sh *ShardedInstance) Satisfiable(body []eq.Atom) (bool, error) {
-	_, ok, err := sh.Solve(body)
-	return ok, err
+	sh.countQuery()
+	if sh.disablePlans {
+		res, err := sh.legacySolve(body, 1)
+		return len(res) > 0, err
+	}
+	p, err := sh.planFor(body, nil)
+	if err != nil {
+		return false, err
+	}
+	return p.satisfiable(body, sh.useIndexes), nil
 }
 
-// SolveUnder answers the body resolved under a substitution.
+// SolveUnder answers the body resolved under a substitution; like
+// Instance.SolveUnder, the compiled path resolves terms at bind time
+// instead of materialising a substituted body.
 func (sh *ShardedInstance) SolveUnder(body []eq.Atom, s *unify.Subst) (Binding, bool, error) {
-	return sh.Solve(s.ApplyAll(body))
+	sh.countQuery()
+	if sh.disablePlans {
+		res, err := sh.legacySolve(s.ApplyAll(body), 1)
+		return first(res, err)
+	}
+	p, err := sh.planFor(body, s)
+	if err != nil {
+		return nil, false, err
+	}
+	return first(p.solve(body, s, 1, sh.useIndexes), nil)
 }
 
-// solve runs the backtracking join across shard parts. Parts that no
-// atom can reach (every atom over the relation pins the hash column to
-// a constant routing elsewhere) are neither locked nor probed, so
-// writers to those parts never wait on this query.
+// solve runs the compiled plan for the body shape across shard parts.
+// Parts that no atom can reach (every atom over the relation pins the
+// hash column to a constant routing elsewhere) are neither locked nor
+// probed, so writers to those parts never wait on this query.
 func (sh *ShardedInstance) solve(body []eq.Atom, limit int) ([]Binding, error) {
 	sh.countQuery()
+	if sh.disablePlans {
+		return sh.legacySolve(body, limit)
+	}
+	p, err := sh.planFor(body, nil)
+	if err != nil {
+		return nil, err
+	}
+	return p.solve(body, nil, limit, sh.useIndexes), nil
+}
+
+// legacySolve is the seed cross-shard evaluation path (see
+// Instance.legacySolve).
+func (sh *ShardedInstance) legacySolve(body []eq.Atom, limit int) ([]Binding, error) {
 	views, unlock, err := sh.viewsFor(body)
 	if err != nil {
 		return nil, err
@@ -264,6 +320,70 @@ func (sh *ShardedInstance) solve(body []eq.Atom, limit int) ([]Binding, error) {
 	e := &evaluator{useIndexes: sh.useIndexes, rels: views, body: body, limit: limit, bound: Binding{}}
 	e.run()
 	return e.results, nil
+}
+
+// planFor returns the compiled cross-shard plan for the body (resolved
+// under s when non-nil), compiling and caching it on a miss or after
+// schema invalidation. Plans resolve every relation's parts across all
+// shards once; narrowing to the parts one call can reach happens at
+// bind time from the call's constants.
+func (sh *ShardedInstance) planFor(body []eq.Atom, s *unify.Subst) (*plan, error) {
+	sb := shapeBufPool.Get().(*shapeBuf)
+	sb.build(body, s)
+	if p := sh.plans.get(sb.key); p != nil && sh.planValid(p) {
+		sh.plans.hits.Add(1)
+		shapeBufPool.Put(sb)
+		return p, nil
+	}
+	sh.plans.miss.Add(1)
+	shape := string(sb.key)
+	shapeBufPool.Put(sb)
+	// Versions are read before resolution so a concurrent schema change
+	// can only make the fresh plan look stale, never validate a stale
+	// pointer (see Instance.planFor).
+	vers := make([]uint64, len(sh.shards)+1)
+	vers[0] = sh.version.Load()
+	for i, s := range sh.shards {
+		vers[i+1] = s.version.Load()
+	}
+	resolved := body
+	if s != nil {
+		resolved = s.ApplyAll(body)
+	}
+	p, err := compilePlan(shape, resolved, vers, func(name string) ([]*Relation, int, error) {
+		key, ok := sh.keyOf(name)
+		if !ok {
+			return nil, 0, fmt.Errorf("db: unknown relation %s", name)
+		}
+		parts := make([]*Relation, len(sh.shards))
+		for i, s := range sh.shards {
+			r, ok := s.Relation(name)
+			if !ok {
+				return nil, 0, fmt.Errorf("db: relation %s missing from shard %d", name, i)
+			}
+			parts[i] = r
+		}
+		return parts, key, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sh.plans.put(shape, p)
+	return p, nil
+}
+
+// planValid checks a cached plan against the sharded store's schema
+// versions and every compiled-against part's version.
+func (sh *ShardedInstance) planValid(p *plan) bool {
+	if len(p.instVersions) != len(sh.shards)+1 || p.instVersions[0] != sh.version.Load() {
+		return false
+	}
+	for i, s := range sh.shards {
+		if p.instVersions[i+1] != s.version.Load() {
+			return false
+		}
+	}
+	return p.relsValid()
 }
 
 // shardRelInfo is the per-relation lock plan of one cross-shard query.

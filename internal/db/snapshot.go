@@ -67,7 +67,10 @@ func (in *Instance) Save(dir string) error {
 	return os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644)
 }
 
-// Load reads an instance previously written by Save.
+// Load reads an instance previously written by Save. It builds the
+// instance through the ordinary CreateRelation/BuildIndex surface, so
+// the schema-version counters the compiled-plan cache validates
+// against are advanced exactly as for a hand-built instance.
 func Load(dir string) (*Instance, error) {
 	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {

@@ -32,4 +32,16 @@
 // requests cannot pollute each other's counts. The store's aggregate
 // QueriesIssued still totals all traffic and remains the right way to
 // meter a whole batch.
+//
+// # Compiled plans
+//
+// The engine adds nothing for query planning, by design: compiled
+// query plans live on the store (db.Instance / db.ShardedInstance
+// carry a per-store plan cache keyed by body shape), so every
+// CoordinateMany worker — and every routed shard view and per-request
+// db.Meter wrapped around the store — shares the same hot plans across
+// requests. A serving fleet re-issuing the workload's body shapes
+// compiles each shape once per schema version, not once per request;
+// db.Instance.PlanStats exposes the hit rate (cmd/coordserve prints
+// it).
 package engine

@@ -15,93 +15,124 @@ var ErrClash = errors.New("unify: constant clash")
 // Subst is a substitution: a union-find forest over variable names, each
 // class optionally bound to a constant. The zero value is not usable;
 // call New.
+//
+// Variable names are interned to dense integer ids on first sight, so
+// the forest lives in one flat node slice: find/union touch no maps
+// beyond the one name -> id lookup, and path compression is a slice
+// store instead of a map assignment. This matters because the SCC walk
+// re-unifies every reachable component per candidate — union-find is a
+// top entry in the coordination profiles.
 type Subst struct {
-	parent map[string]string
-	rank   map[string]int
-	bound  map[string]eq.Value // root -> constant binding
+	ids   map[string]int // variable name -> dense id
+	names []string       // id -> name
+	nodes []node         // id -> forest node
+}
+
+// node is one union-find entry: parent link, union-by-rank rank
+// (log2(#vars) fits an int8 easily) and, on roots, the class's constant
+// binding.
+type node struct {
+	parent int32
+	rank   int8
+	bok    bool
+	val    eq.Value
 }
 
 // New returns an empty substitution.
 func New() *Subst {
+	return &Subst{ids: map[string]int{}}
+}
+
+// NewSized returns an empty substitution with capacity for about n
+// variables preallocated, sparing the incremental growth when the
+// caller knows the scale (the SCC walk sizes it from the candidate
+// set).
+func NewSized(n int) *Subst {
 	return &Subst{
-		parent: map[string]string{},
-		rank:   map[string]int{},
-		bound:  map[string]eq.Value{},
+		ids:   make(map[string]int, n),
+		names: make([]string, 0, n),
+		nodes: make([]node, 0, n),
 	}
 }
 
 // Clone returns an independent deep copy of s.
 func (s *Subst) Clone() *Subst {
 	c := &Subst{
-		parent: make(map[string]string, len(s.parent)),
-		rank:   make(map[string]int, len(s.rank)),
-		bound:  make(map[string]eq.Value, len(s.bound)),
+		ids:   make(map[string]int, len(s.ids)),
+		names: append([]string(nil), s.names...),
+		nodes: append([]node(nil), s.nodes...),
 	}
-	for k, v := range s.parent {
-		c.parent[k] = v
-	}
-	for k, v := range s.rank {
-		c.rank[k] = v
-	}
-	for k, v := range s.bound {
-		c.bound[k] = v
+	for k, v := range s.ids {
+		c.ids[k] = v
 	}
 	return c
 }
 
-func (s *Subst) find(v string) string {
-	p, ok := s.parent[v]
+// id interns a variable name, recording it in the forest on first
+// sight (its own singleton class).
+func (s *Subst) id(v string) int {
+	i, ok := s.ids[v]
 	if !ok {
-		s.parent[v] = v
-		return v
+		i = len(s.names)
+		s.ids[v] = i
+		s.names = append(s.names, v)
+		s.nodes = append(s.nodes, node{parent: int32(i)})
 	}
-	if p == v {
-		return v
+	return i
+}
+
+// findID returns the root of i's class, halving the path on the way.
+func (s *Subst) findID(i int) int {
+	for int(s.nodes[i].parent) != i {
+		next := int(s.nodes[i].parent)
+		s.nodes[i].parent = s.nodes[next].parent // path halving
+		i = next
 	}
-	root := s.find(p)
-	s.parent[v] = root // path compression
-	return root
+	return i
+}
+
+func (s *Subst) find(v string) string {
+	return s.names[s.findID(s.id(v))]
 }
 
 // union merges the classes of variables a and b, keeping constant
 // bindings consistent.
 func (s *Subst) union(a, b string) error {
-	ra, rb := s.find(a), s.find(b)
+	ra, rb := s.findID(s.id(a)), s.findID(s.id(b))
 	if ra == rb {
 		return nil
 	}
-	ca, haveA := s.bound[ra]
-	cb, haveB := s.bound[rb]
-	if haveA && haveB && ca != cb {
-		return fmt.Errorf("%w: %s=%s vs %s=%s", ErrClash, a, ca, b, cb)
+	na, nb := &s.nodes[ra], &s.nodes[rb]
+	if na.bok && nb.bok && na.val != nb.val {
+		return fmt.Errorf("%w: %s=%s vs %s=%s", ErrClash, a, na.val, b, nb.val)
 	}
-	if s.rank[ra] < s.rank[rb] {
+	if na.rank < nb.rank {
 		ra, rb = rb, ra
-		cb, haveB = ca, haveA
+		na, nb = nb, na
 	}
-	s.parent[rb] = ra
-	if s.rank[ra] == s.rank[rb] {
-		s.rank[ra]++
+	nb.parent = int32(ra)
+	if na.rank == nb.rank {
+		na.rank++
 	}
 	// The merged class keeps whichever constant either side had (they
 	// are equal when both exist); the binding must live on the new root.
-	if haveB {
-		s.bound[ra] = cb
+	if nb.bok {
+		na.bok, na.val = true, nb.val
 	}
-	delete(s.bound, rb)
+	nb.bok, nb.val = false, ""
 	return nil
 }
 
 // bindConst binds variable v's class to constant c.
 func (s *Subst) bindConst(v string, c eq.Value) error {
-	r := s.find(v)
-	if cur, ok := s.bound[r]; ok {
-		if cur != c {
-			return fmt.Errorf("%w: %s bound to %s, cannot bind %s", ErrClash, v, cur, c)
+	n := &s.nodes[s.findID(s.id(v))]
+	if n.bok {
+		if n.val != c {
+			return fmt.Errorf("%w: %s bound to %s, cannot bind %s", ErrClash, v, n.val, c)
 		}
 		return nil
 	}
-	s.bound[r] = c
+	n.bok, n.val = true, c
 	return nil
 }
 
@@ -150,11 +181,11 @@ func (s *Subst) Resolve(t eq.Term) eq.Term {
 	if !t.IsVar() {
 		return t
 	}
-	r := s.find(t.Name)
-	if c, ok := s.bound[r]; ok {
-		return eq.C(c)
+	r := s.findID(s.id(t.Name))
+	if n := &s.nodes[r]; n.bok {
+		return eq.C(n.val)
 	}
-	return eq.V(r)
+	return eq.V(s.names[r])
 }
 
 // Apply returns a copy of atom a with every term resolved under s.
@@ -177,22 +208,22 @@ func (s *Subst) ApplyAll(as []eq.Atom) []eq.Atom {
 
 // Value returns the constant bound to variable v, if any.
 func (s *Subst) Value(v string) (eq.Value, bool) {
-	c, ok := s.bound[s.find(v)]
-	return c, ok
+	n := &s.nodes[s.findID(s.id(v))]
+	return n.val, n.bok
 }
 
 // SameClass reports whether variables a and b have been unified.
 func (s *Subst) SameClass(a, b string) bool {
-	return s.find(a) == s.find(b)
+	return s.findID(s.id(a)) == s.findID(s.id(b))
 }
 
 // Bindings returns all variable -> constant bindings induced by s,
 // covering every variable s has seen whose class is bound.
 func (s *Subst) Bindings() map[string]eq.Value {
 	out := map[string]eq.Value{}
-	for v := range s.parent {
-		if c, ok := s.bound[s.find(v)]; ok {
-			out[v] = c
+	for i, v := range s.names {
+		if n := &s.nodes[s.findID(i)]; n.bok {
+			out[v] = n.val
 		}
 	}
 	return out
@@ -200,10 +231,7 @@ func (s *Subst) Bindings() map[string]eq.Value {
 
 // Vars returns every variable name recorded in s, sorted.
 func (s *Subst) Vars() []string {
-	out := make([]string, 0, len(s.parent))
-	for v := range s.parent {
-		out = append(out, v)
-	}
+	out := append([]string(nil), s.names...)
 	sort.Strings(out)
 	return out
 }
@@ -248,17 +276,17 @@ func MGU(pairs [][2]eq.Atom) (*Subst, error) {
 // (e.g. each binds a shared variable to a different constant). other is
 // not modified logically (only its internal path compression advances).
 func (s *Subst) MergeFrom(other *Subst) error {
-	for v := range other.parent {
-		r := other.find(v)
-		if v != r {
-			if err := s.union(v, r); err != nil {
+	for i, v := range other.names {
+		r := other.findID(i)
+		if i != r {
+			if err := s.union(v, other.names[r]); err != nil {
 				return err
 			}
 		} else {
-			s.find(v) // make sure lone variables are recorded
+			s.id(v) // make sure lone variables are recorded
 		}
-		if c, ok := other.bound[r]; ok {
-			if err := s.bindConst(v, c); err != nil {
+		if n := &other.nodes[r]; n.bok {
+			if err := s.bindConst(v, n.val); err != nil {
 				return err
 			}
 		}
