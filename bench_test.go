@@ -25,6 +25,7 @@ import (
 	"entangled/internal/engine"
 	"entangled/internal/eq"
 	"entangled/internal/netgen"
+	"entangled/internal/stream"
 	"entangled/internal/workload"
 )
 
@@ -492,6 +493,140 @@ func BenchmarkShardedCoordinateMany(b *testing.B) {
 				}
 				<-done
 			}
+		})
+	}
+}
+
+// The BenchmarkStream* family measures streaming sessions (PR 4): what
+// incremental re-coordination costs per arrival, against the
+// recompute-from-scratch baseline the batch path would pay for the same
+// event. The headline metric is dbq/op — database queries per arrival,
+// the paper's cost measure — which is size-independent for the delta
+// path and linear in session size for full recompute.
+
+// streamBenchSession grows a session to size live queries (chains of 16
+// across size/16 scenarios) and returns it with the per-cluster next
+// indices.
+func streamBenchSession(b *testing.B, store db.Store, size int) (*stream.Session, []int) {
+	b.Helper()
+	s := stream.New(store, stream.Options{})
+	clusters := (size + 15) / 16
+	next := make([]int, clusters)
+	for i := 0; i < size; i++ {
+		c := i % clusters
+		if _, err := s.Join(workload.ChainQuery(c, next[c], benchTableRows)); err != nil {
+			b.Fatal(err)
+		}
+		next[c]++
+	}
+	return s, next
+}
+
+// BenchmarkStreamJoin measures one arrival onto a live session at a
+// steady size: each iteration joins a new chain tail and immediately
+// departs it, so the session neither grows nor shrinks. dbq/op stays
+// flat as size grows — the arrival's dirty region is one component
+// regardless of how many other scenarios the session holds. Sessions
+// never reuse slots (each join-leave pair tombstones one), so the
+// session is rebuilt outside the timer every few hundred iterations to
+// keep the measurement at a steady slot count instead of drifting with
+// b.N.
+func BenchmarkStreamJoin(b *testing.B) {
+	const rebuildEvery = 512
+	for _, size := range []int{64, 256} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			inst := db.NewInstance()
+			workload.UserTable(inst, benchTableRows)
+			s, next := streamBenchSession(b, inst, size)
+			clusters := len(next)
+			baseline := s.Totals().DBQueries
+			var dbq int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 && i%rebuildEvery == 0 {
+					b.StopTimer()
+					dbq += s.Totals().DBQueries - baseline
+					s, next = streamBenchSession(b, inst, size)
+					baseline = s.Totals().DBQueries
+					b.StartTimer()
+				}
+				c := i % clusters
+				q := workload.ChainQuery(c, next[c], benchTableRows)
+				if _, err := s.Join(q); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Leave(q.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			dbq += s.Totals().DBQueries - baseline
+			b.ReportMetric(float64(dbq)/float64(b.N), "dbq/op")
+		})
+	}
+}
+
+// BenchmarkStreamFullRecompute is the baseline the delta path replaces:
+// the same arrival served by recomputing the whole session from
+// scratch with batch SCCCoordinate. dbq/op is ~2x the session size
+// (one satisfiability probe per query plus one grounding per
+// component), where the streaming session pays a constant 2.
+func BenchmarkStreamFullRecompute(b *testing.B) {
+	for _, size := range []int{64, 256} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			inst := db.NewInstance()
+			workload.UserTable(inst, benchTableRows)
+			clusters := (size + 15) / 16
+			qs := make([]eq.Query, 0, size+1)
+			for i := 0; i < size; i++ {
+				qs = append(qs, workload.ChainQuery(i%clusters, i/clusters, benchTableRows))
+			}
+			// The arriving query the delta path would process.
+			qs = append(qs, workload.ChainQuery(0, size/clusters, benchTableRows))
+			var dbq int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := coord.SCCCoordinate(qs, inst, coord.Options{})
+				if err != nil || res == nil {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+				dbq += res.DBQueries
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(dbq)/float64(b.N), "dbq/op")
+		})
+	}
+}
+
+// BenchmarkStreamArrivals drains a full generated arrival sequence
+// (256 events) through a fresh session, one sub-benchmark per pattern —
+// the end-to-end event-loop throughput including session growth,
+// departures and the pruning cascade.
+func BenchmarkStreamArrivals(b *testing.B) {
+	const n = 256
+	for _, p := range workload.Patterns() {
+		arrivals := workload.Arrivals(p, n, benchTableRows, 17)
+		b.Run(fmt.Sprintf("pattern=%s", p), func(b *testing.B) {
+			inst := db.NewInstance()
+			workload.UserTable(inst, benchTableRows)
+			var dbq int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := stream.New(inst, stream.Options{})
+				for _, a := range arrivals {
+					ev := stream.Event{Kind: stream.JoinEvent, Query: a.Query}
+					if a.Leave {
+						ev = stream.Event{Kind: stream.LeaveEvent, ID: a.ID}
+					}
+					if _, err := s.Apply(ev); err != nil {
+						b.Fatal(err)
+					}
+				}
+				dbq += s.Totals().DBQueries
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(dbq)/float64(b.N*n), "dbq/event")
+			b.ReportMetric(float64(n), "events/op")
 		})
 	}
 }

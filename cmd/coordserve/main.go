@@ -7,6 +7,7 @@
 // Usage:
 //
 //	coordserve [-requests N] [-queries N] [-rows N] [-workers N] [-batch N] [-shards K] [-latency D] [-compare]
+//	coordserve -stream [-events N] [-pattern steady|bursty|churn] [-rate R] [-seed S] [-park] [-rows N] [-shards K] [-latency D]
 //
 // -queries is the mean per-request query-set size (requests vary around
 // it so the load is not uniform). -latency adds a simulated
@@ -17,6 +18,15 @@
 // the same load single-threaded and prints the speedup; both timings
 // cover only the serving loop (request generation and engine setup are
 // excluded), so the reported throughput and speedup are honest.
+//
+// -stream switches from batch serving to a streaming coordination
+// session: -events arrivals following -pattern (see workload.Arrivals)
+// are paced at a mean of -rate events/second (0 = full speed) and
+// applied one at a time with incremental re-coordination, printing
+// per-event latency and database-query histograms. -park parks unsafe
+// arrivals for retry instead of rejecting them. SIGINT drains
+// gracefully: the event in flight finishes and the session state is
+// reported before exit.
 package main
 
 import (
@@ -24,8 +34,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"syscall"
 	"time"
 
 	"entangled/internal/coord"
@@ -43,6 +55,12 @@ func main() {
 	shards := flag.Int("shards", 1, "hash-partition the queried table across this many shards (1 = one shared instance)")
 	latency := flag.Duration("latency", 0, "simulated per-database-query latency")
 	compare := flag.Bool("compare", false, "also serve the load on one worker and report the speedup")
+	streamMode := flag.Bool("stream", false, "serve a streaming session instead of a batch load")
+	events := flag.Int("events", 512, "stream mode: number of join/leave events")
+	pattern := flag.String("pattern", "steady", "stream mode: arrival pattern (steady, bursty, churn)")
+	rate := flag.Float64("rate", 0, "stream mode: mean arrival rate in events/second (0 = full speed)")
+	seed := flag.Int64("seed", 1, "stream mode: arrival-sequence seed")
+	park := flag.Bool("park", false, "stream mode: park unsafe arrivals for retry instead of rejecting")
 	flag.Parse()
 	if *requests <= 0 || *queries < 2 || *batch <= 0 || *workers <= 0 || *shards <= 0 {
 		fmt.Fprintln(os.Stderr, "coordserve: -requests, -batch, -workers and -shards must be positive and -queries >= 2")
@@ -50,6 +68,41 @@ func main() {
 	}
 
 	store := workload.NewStore(*shards, *rows, *latency)
+
+	if *streamMode {
+		if *events <= 0 {
+			fmt.Fprintln(os.Stderr, "coordserve: -events must be positive")
+			os.Exit(2)
+		}
+		valid := false
+		for _, p := range workload.Patterns() {
+			if workload.Pattern(*pattern) == p {
+				valid = true
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "coordserve: unknown -pattern %q (valid: %v)\n", *pattern, workload.Patterns())
+			os.Exit(2)
+		}
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer cancel()
+		e := engine.New(store, engine.Options{Workers: *workers, Coord: coord.Options{}})
+		fmt.Printf("streaming %d %s events over a %d-row table (%d shard(s)), rate=%v/s seed=%d\n",
+			*events, *pattern, *rows, *shards, *rate, *seed)
+		if _, err := runStream(ctx, e, streamConfig{
+			events:  *events,
+			pattern: workload.Pattern(*pattern),
+			rate:    *rate,
+			seed:    *seed,
+			rows:    *rows,
+			park:    *park,
+		}, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
+			os.Exit(1)
+		}
+		reportPlans(store)
+		return
+	}
 
 	fmt.Printf("serving %d requests (~%d queries each) over a %d-row table (%d shard(s)), %d workers, batches of %d\n",
 		*requests, *queries, *rows, *shards, *workers, *batch)

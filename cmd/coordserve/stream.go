@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"entangled/internal/engine"
+	"entangled/internal/stream"
+	"entangled/internal/workload"
+)
+
+// streamConfig is the -stream mode configuration.
+type streamConfig struct {
+	events  int
+	pattern workload.Pattern
+	rate    float64 // mean arrival rate in events/second; 0 = full speed
+	seed    int64
+	rows    int // table rows the generated bodies draw from
+	park    bool
+}
+
+// runStream serves one streaming session: a producer goroutine paces
+// the generated arrival sequence onto a channel (inter-event gaps scale
+// the pattern's relative gaps to the target rate) and the session
+// drains it, recording per-event latency and database-query cost.
+//
+// Cancelling ctx (coordserve wires SIGINT to it) is a graceful drain:
+// the producer stops feeding, the event in flight finishes — events
+// are atomic — the channel closes, and the final session state is
+// reported like on a clean finish. The producer goroutine always exits
+// before runStream returns, so repeated runs leak nothing.
+func runStream(ctx context.Context, e *engine.Engine, cfg streamConfig, w io.Writer) (stream.Totals, error) {
+	arrivals := workload.Arrivals(cfg.pattern, cfg.events, cfg.rows, cfg.seed)
+
+	var perEvent []stream.Update
+	sess := e.NewSession(stream.Options{
+		ParkUnsafe: cfg.park,
+		OnUpdate:   func(u stream.Update) { perEvent = append(perEvent, u) },
+	})
+
+	meanGap := time.Duration(0)
+	if cfg.rate > 0 {
+		meanGap = time.Duration(float64(time.Second) / cfg.rate)
+	}
+	events := make(chan stream.Event)
+	producerDone := make(chan struct{})
+	go func() {
+		defer close(producerDone)
+		defer close(events)
+		for _, a := range arrivals {
+			if meanGap > 0 {
+				wait := time.Duration(a.Gap * float64(meanGap))
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return
+				}
+			}
+			ev := stream.Event{Kind: stream.JoinEvent, Query: a.Query}
+			if a.Leave {
+				ev = stream.Event{Kind: stream.LeaveEvent, ID: a.ID}
+			}
+			select {
+			case events <- ev:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	totals, err := sess.Run(ctx, events)
+	elapsed := time.Since(start)
+	<-producerDone // no goroutine outlives the run
+
+	// Report interruption off the context, not Run's error alone: the
+	// producer reacts to the same cancel by closing the channel, and
+	// either side of that race is a correctly drained stream.
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		fmt.Fprintf(w, "stream interrupted after %d/%d events (%v); draining finished cleanly\n",
+			totals.Events, len(arrivals), err)
+	}
+	reportStream(w, totals, perEvent, elapsed)
+	res, rerr := sess.Result()
+	if rerr != nil {
+		return totals, rerr
+	}
+	fmt.Fprintf(w, "  final session: %d live queries, team of %d, %d parked\n",
+		sess.Size(), res.Size(), sess.ParkedCount())
+	return totals, nil
+}
+
+// reportStream prints the streaming run's statistics: event throughput,
+// per-event latency percentiles, the per-event database-query
+// histogram (the delta-cost distribution — the whole point of
+// incremental re-coordination), and the splice rate.
+func reportStream(w io.Writer, totals stream.Totals, ups []stream.Update, elapsed time.Duration) {
+	fmt.Fprintf(w, "  %d events in %v (%.1f events/s): %d joins, %d leaves, %d rejected, %d parked\n",
+		totals.Events, elapsed.Round(time.Millisecond),
+		float64(totals.Events)/elapsed.Seconds(),
+		totals.Joins, totals.Leaves, totals.Rejected, totals.Parked)
+	if len(ups) == 0 {
+		return
+	}
+	lat := make([]time.Duration, 0, len(ups))
+	dbq := make([]int64, 0, len(ups))
+	for _, u := range ups {
+		lat = append(lat, u.Elapsed)
+		dbq = append(dbq, u.Stats.DBQueries)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	sort.Slice(dbq, func(i, j int) bool { return dbq[i] < dbq[j] })
+	pct := func(p float64) int { return int(p * float64(len(ups)-1)) }
+	fmt.Fprintf(w, "  per-event latency: p50=%v p95=%v max=%v\n",
+		lat[pct(0.50)].Round(time.Microsecond), lat[pct(0.95)].Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
+	fmt.Fprintf(w, "  per-event DB queries: p50=%d p95=%d max=%d total=%d\n",
+		dbq[pct(0.50)], dbq[pct(0.95)], dbq[len(dbq)-1], totals.DBQueries)
+	if solved := totals.Dirty + totals.Reused; solved > 0 {
+		fmt.Fprintf(w, "  components: %d re-solved, %d spliced from cache (%.1f%% splice rate)\n",
+			totals.Dirty, totals.Reused, 100*float64(totals.Reused)/float64(solved))
+	}
+}

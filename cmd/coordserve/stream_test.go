@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"entangled/internal/engine"
+	"entangled/internal/workload"
+)
+
+// TestStreamDrainOnCancel exercises the graceful-drain path under the
+// race detector: cancel fires mid-stream, in-flight work finishes, the
+// session state is still reported, and no goroutine outlives the run.
+func TestStreamDrainOnCancel(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	store := workload.NewStore(2, 32, 50*time.Microsecond)
+	e := engine.New(store, engine.Options{Workers: 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	var out strings.Builder
+	// A paced run long enough (~4s at 1000 events/s) that the cancel
+	// always lands mid-stream.
+	totals, err := runStream(ctx, e, streamConfig{
+		events:  4000,
+		pattern: workload.Churn,
+		rate:    1000,
+		seed:    3,
+		rows:    32,
+	}, &out)
+	if err != nil {
+		t.Fatalf("runStream: %v", err)
+	}
+	if totals.Events <= 0 || totals.Events >= 4000 {
+		t.Fatalf("cancel did not land mid-stream: %+v", totals)
+	}
+	if !strings.Contains(out.String(), "stream interrupted") ||
+		!strings.Contains(out.String(), "final session") {
+		t.Fatalf("drain report incomplete:\n%s", out.String())
+	}
+
+	// The producer goroutine must be gone; allow the runtime a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("goroutine leak after drain: %d > %d at start", n, baseline)
+	}
+}
+
+// TestStreamCleanFinish runs a short stream to completion and checks
+// the report accounts for every event.
+func TestStreamCleanFinish(t *testing.T) {
+	store := workload.NewStore(1, 16, 0)
+	e := engine.New(store, engine.Options{Workers: 1})
+	var out strings.Builder
+	totals, err := runStream(context.Background(), e, streamConfig{
+		events:  64,
+		pattern: workload.Steady,
+		seed:    9,
+		rows:    16,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.Events != 64 || totals.Joins != 64 {
+		t.Fatalf("totals %+v", totals)
+	}
+	if strings.Contains(out.String(), "interrupted") {
+		t.Fatalf("clean finish reported an interruption:\n%s", out.String())
+	}
+}

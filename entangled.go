@@ -18,6 +18,8 @@
 //     (internal/db),
 //   - the concurrent serving engine with per-shard request routing
 //     (internal/engine),
+//   - streaming coordination sessions with incremental ingest and
+//     delta re-coordination (internal/stream),
 //   - the SCC Coordination Algorithm for safe but non-unique sets (§4),
 //   - the Consistent Coordination Algorithm for unsafe, A-consistent
 //     sets (§5),
@@ -33,6 +35,7 @@ import (
 	"entangled/internal/db"
 	"entangled/internal/engine"
 	"entangled/internal/eq"
+	"entangled/internal/stream"
 	"entangled/internal/system"
 )
 
@@ -101,6 +104,17 @@ type (
 	Coordinator = system.Coordinator
 	// Outcome reports what an online submission achieved.
 	Outcome = system.Outcome
+
+	// Session is a streaming coordination session: queries join and
+	// leave one at a time with incremental re-coordination and exact
+	// per-event metering.
+	Session = stream.Session
+	// SessionOptions configures NewSession.
+	SessionOptions = stream.Options
+	// SessionEvent is one streaming input (a join or a leave).
+	SessionEvent = stream.Event
+	// SessionUpdate reports one processed event's outcome and cost.
+	SessionUpdate = stream.Update
 )
 
 // C builds a constant term.
@@ -128,6 +142,11 @@ func NewShardedInstance(k int) *ShardedInstance { return db.NewShardedInstance(k
 
 // NewEngine creates a concurrent serving engine over a shared store.
 func NewEngine(store Store, opts EngineOptions) *Engine { return engine.New(store, opts) }
+
+// NewSession opens a streaming coordination session over a shared
+// store: arrivals and departures re-coordinate incrementally, touching
+// only the components their event dirties (see internal/stream).
+func NewSession(store Store, opts SessionOptions) *Session { return stream.New(store, opts) }
 
 // Coordinate runs the SCC Coordination Algorithm (§4) on a safe set of
 // entangled queries: it finds a coordinating set whenever one exists and

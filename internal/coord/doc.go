@@ -25,4 +25,18 @@
 // many runs share one store concurrently (engine.CoordinateMany).
 // Reading a delta of the store's aggregate counter — the pre-metering
 // design — is wrong under concurrency and is not used anywhere.
+//
+// # Incremental coordination
+//
+// The batch entry points coordinate a finished set; Incremental is the
+// resumable form for streaming traffic (internal/stream): queries Add
+// and Remove one at a time, the extended graph is maintained
+// incrementally (IncrementalGraph — the batch ExtendedGraph is its
+// one-shot special case), and after each event only the condensation
+// components whose reachable set changed are re-solved, with cached
+// witnesses spliced for the rest. DeltaStats meters each event
+// exactly; a quiesced Incremental matches a batch run over its live
+// queries observationally (team, values, trace). Arrivals that would
+// make the set unsafe are refused with ErrUnsafeArrival before any
+// state changes.
 package coord

@@ -12,7 +12,6 @@ import (
 
 	"entangled/internal/eq"
 	"entangled/internal/graph"
-	"entangled/internal/unify"
 )
 
 // ExtendedEdge is one edge of the extended coordination graph: the
@@ -25,58 +24,24 @@ type ExtendedEdge struct {
 
 // ExtendedGraph computes all edges of the extended coordination graph of
 // qs: one edge per unifiable (postcondition atom, head atom) pair,
-// including pairs within a single query.
+// including pairs within a single query. Edges come back in the
+// canonical (FromQ, PostIdx, ToQ, HeadIdx) order.
 //
-// Head atoms are bucketed by relation and by the constant in their first
+// The computation is the batch special case of IncrementalGraph — add
+// every query, read the edges once — so the streaming sessions that
+// grow the graph one arrival at a time and this one-shot path share a
+// single code path and produce identical edge lists. Head and post
+// atoms are bucketed by relation and by the constant in their first
 // argument, so a postcondition with a constant first argument (the
 // common "R(User, x)" pattern) only probes the handful of heads that
 // could match instead of all of them; Figure 6's graph-construction
 // sweep relies on this being near-linear in practice.
 func ExtendedGraph(qs []eq.Query) []ExtendedEdge {
-	type headRef struct {
-		q, h int
-		atom eq.Atom
+	g := NewIncrementalGraph()
+	for _, q := range qs {
+		g.Add(q)
 	}
-	// Per relation: heads keyed by their first-argument constant, plus
-	// heads whose first argument is a variable (they match any post).
-	byConst := map[string]map[string][]headRef{}
-	varHead := map[string][]headRef{}
-	allHead := map[string][]headRef{}
-	for j, q := range qs {
-		for hi, h := range q.Head {
-			ref := headRef{j, hi, h}
-			allHead[h.Rel] = append(allHead[h.Rel], ref)
-			if len(h.Args) > 0 && !h.Args[0].IsVar() {
-				m := byConst[h.Rel]
-				if m == nil {
-					m = map[string][]headRef{}
-					byConst[h.Rel] = m
-				}
-				m[h.Args[0].Name] = append(m[h.Args[0].Name], ref)
-			} else {
-				varHead[h.Rel] = append(varHead[h.Rel], ref)
-			}
-		}
-	}
-	var edges []ExtendedEdge
-	probe := func(i, pi int, p eq.Atom, cands []headRef) {
-		for _, c := range cands {
-			if unify.Unifiable(p, c.atom) {
-				edges = append(edges, ExtendedEdge{i, pi, c.q, c.h})
-			}
-		}
-	}
-	for i, q := range qs {
-		for pi, p := range q.Post {
-			if len(p.Args) > 0 && !p.Args[0].IsVar() {
-				probe(i, pi, p, byConst[p.Rel][p.Args[0].Name])
-				probe(i, pi, p, varHead[p.Rel])
-			} else {
-				probe(i, pi, p, allHead[p.Rel])
-			}
-		}
-	}
-	return edges
+	return g.Edges()
 }
 
 // CoordinationGraph collapses the extended graph's parallel edges into

@@ -1,0 +1,544 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"entangled/internal/db"
+	"entangled/internal/eq"
+	"entangled/internal/graph"
+	"entangled/internal/unify"
+)
+
+// ErrUnsafeArrival is returned by Incremental.Add when admitting the
+// query would make the session's set unsafe (some postcondition would
+// unify with more than one head, Definition 2). The set is left
+// unchanged; the caller can reject the arrival or park it and retry
+// after a departure clears the conflict.
+var ErrUnsafeArrival = errors.New("coord: arrival would make the query set unsafe")
+
+// ErrNoQuery is returned by Incremental.Remove for a slot that holds no
+// live query.
+var ErrNoQuery = errors.New("coord: no live query in slot")
+
+// DeltaStats reports what one incremental event (arrival or departure)
+// cost: how much of the condensation DAG was dirty — re-unified and
+// re-grounded — versus spliced from the previous pass's cache, and the
+// exact number of database queries the event issued (counted on a
+// private db.Meter, like every other coord entry point).
+type DeltaStats struct {
+	// Slot is the slot the event touched.
+	Slot int
+	// Components is the number of strongly connected components of the
+	// live, unpruned set after the event.
+	Components int
+	// Dirty counts components whose reachable set changed, so their MGU
+	// and grounding had to be recomputed (one database query each, when
+	// unification succeeds).
+	Dirty int
+	// Reused counts components spliced from the previous pass: their
+	// reachable set is untouched, so the cached outcome — witness,
+	// binding, or failure — is still exact.
+	Reused int
+	// DBQueries is the exact number of conjunctive queries this event
+	// issued: one body-satisfiability probe on an arrival plus one
+	// grounding query per dirty component that unified.
+	DBQueries int64
+}
+
+// compOutcome is the cached result of searching one component: the
+// outcome of unifying its reachable set and grounding the combination.
+// It is a pure function of (reachable live query slots, store
+// contents), so it stays valid for splicing as long as neither changes;
+// the dirty-region invariant in DESIGN.md spells this out.
+type compOutcome struct {
+	status   string // "grounded", "unification failed", "no tuple"
+	set      []int  // reachable query slots, sorted ascending
+	subst    *unify.Subst
+	binding  db.Binding
+	combined string
+	grounded bool
+	failed   bool
+}
+
+// Incremental is the resumable state of the SCC Coordination Algorithm
+// over a query set that changes one query at a time. It is the core of
+// the streaming sessions in internal/stream: Add and Remove maintain
+// the extended coordination graph incrementally (edges only ever appear
+// or disappear with their endpoint queries), re-prune from cached
+// per-query body-satisfiability, recondense — pure graph work, no
+// database traffic — and then re-solve only the components whose
+// reachable set changed, splicing cached witnesses for everything else.
+//
+// Queries live in slots: Add assigns the next slot, Remove tombstones
+// one. Slots are never reused, so a query's alpha-renaming prefix is
+// stable for the life of the session and cached substitutions never go
+// stale. A quiesced Incremental reports exactly what a batch
+// SCCCoordinate over its live queries (in slot order) would: same
+// team, same trace, same witness values.
+//
+// Incremental is not safe for concurrent use; stream.Session adds the
+// locking.
+type Incremental struct {
+	store db.Store
+	opts  Options
+
+	g       *IncrementalGraph
+	queries []eq.Query // by slot
+	renamed []eq.Query // by slot, prefix q<slot>.
+	bodySat []bool     // by slot: cached body-satisfiability probe
+	// Liveness lives in g (IncrementalGraph.Live): one bitmap, no
+	// lockstep copy to desynchronize.
+
+	cache map[string]*compOutcome // reachable-set signature -> outcome
+
+	// State of the last reconcile pass.
+	pruned []PruneEvent
+	events []ComponentEvent
+	cands  []Candidate
+	last   DeltaStats
+	total  int64 // lifetime database queries
+}
+
+// NewIncremental returns an empty resumable coordinator over store.
+// opts.Select chooses among candidates in Result; SkipPruning and
+// SkipSafetyCheck have their batch meanings (SkipSafetyCheck disables
+// the Add-time admission check); Trace, IncrementalUnify and
+// Parallelism are ignored — the trace is available from Trace(), and
+// events re-solve only the dirty region, which is the incremental
+// strategy taken to its conclusion.
+func NewIncremental(store db.Store, opts Options) *Incremental {
+	return &Incremental{
+		store: store,
+		opts:  opts,
+		g:     NewIncrementalGraph(),
+		cache: map[string]*compOutcome{},
+	}
+}
+
+// Len returns the number of live queries.
+func (inc *Incremental) Len() int {
+	n := 0
+	for i := range inc.queries {
+		if inc.g.Live(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveSlots returns the live slots in ascending order.
+func (inc *Incremental) LiveSlots() []int {
+	var out []int
+	for i := range inc.queries {
+		if inc.g.Live(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LiveQueries returns the live queries in slot order — the set a batch
+// run would be given to reproduce this state.
+func (inc *Incremental) LiveQueries() []eq.Query {
+	var out []eq.Query
+	for i, q := range inc.queries {
+		if inc.g.Live(i) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Query returns the query in a slot (live or not). It panics on a slot
+// never assigned.
+func (inc *Incremental) Query(slot int) eq.Query { return inc.queries[slot] }
+
+// Add admits one arriving query: it extends the extended graph with the
+// newcomer's incident edges, probes the newcomer's body satisfiability
+// (the §6.1 pruning input — one database query, cached for the life of
+// the slot), and re-coordinates the dirty region. It returns the
+// assigned slot and the event's cost.
+//
+// When the arrival would make the set unsafe the set is left untouched
+// and ErrUnsafeArrival is returned (unless opts.SkipSafetyCheck trusts
+// the caller). Safety is checked on the delta only: the incremental
+// fanout counters make it O(newcomer's edges), not O(n²).
+func (inc *Incremental) Add(q eq.Query) (int, DeltaStats, error) {
+	var slot int
+	if inc.opts.SkipSafetyCheck {
+		slot, _ = inc.g.Add(q)
+	} else {
+		// One probe serves both the admission check and the commit.
+		edges, unsafe := inc.g.Probe(q)
+		if len(unsafe) > 0 {
+			return -1, DeltaStats{}, fmt.Errorf("%w %s: would make queries %v unsafe", ErrUnsafeArrival, q.ID, unsafe)
+		}
+		slot, _ = inc.g.commit(q, edges)
+	}
+	m := db.NewMeter(inc.store)
+	inc.queries = append(inc.queries, q)
+	inc.renamed = append(inc.renamed, q.Rename(varPrefix(slot)))
+	sat := true
+	if !inc.opts.SkipPruning {
+		var err error
+		sat, err = m.Satisfiable(inc.renamed[slot].Body)
+		if err != nil {
+			inc.g.Remove(slot)
+			inc.bodySat = append(inc.bodySat, false)
+			inc.total += m.Count()
+			return -1, DeltaStats{Slot: -1, DBQueries: m.Count()}, err
+		}
+	}
+	inc.bodySat = append(inc.bodySat, sat)
+	d, err := inc.reconcile(m)
+	d.Slot = slot
+	inc.last = d
+	return slot, d, err
+}
+
+// Remove departs the query in a slot: its incident edges leave the
+// graph with it, pruning is redone from cached probes (a departure can
+// strand postconditions that the cascade then removes), and only
+// components that could reach the departed query are re-solved.
+// Departures issue database queries only for those dirty components.
+func (inc *Incremental) Remove(slot int) (DeltaStats, error) {
+	if !inc.g.Live(slot) {
+		return DeltaStats{}, fmt.Errorf("%w %d", ErrNoQuery, slot)
+	}
+	inc.g.Remove(slot)
+	m := db.NewMeter(inc.store)
+	d, err := inc.reconcile(m)
+	d.Slot = slot
+	inc.last = d
+	return d, err
+}
+
+// Result returns the coordinating set selected from the current
+// candidate family (opts.Select, MaxSize by default), or nil when
+// nothing grounds. Asking costs no database queries — the answer is
+// assembled from cached state — and Result.DBQueries reports the
+// marginal cost of the event that produced this state, the streaming
+// analogue of the paper's per-run cost metric.
+func (inc *Incremental) Result() (*Result, error) {
+	if len(inc.cands) == 0 {
+		return nil, nil
+	}
+	sel := inc.opts.Select
+	if sel == nil {
+		sel = MaxSize
+	}
+	win := inc.cands[sel(inc.cands)]
+	fallback, err := pickFallback(inc.queries, win.Set, win.subst, win.binding, inc.store)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Set:       win.Set,
+		Values:    extractValues(inc.queries, win.Set, win.subst, win.binding, fallback),
+		DBQueries: inc.last.DBQueries,
+	}, nil
+}
+
+// TeamSize returns the size of the coordinating set Result would
+// select, without materialising the witness values.
+func (inc *Incremental) TeamSize() int {
+	if len(inc.cands) == 0 {
+		return 0
+	}
+	sel := inc.opts.Select
+	if sel == nil {
+		sel = MaxSize
+	}
+	return len(inc.cands[sel(inc.cands)].Set)
+}
+
+// Candidates returns the current candidate family in processing order,
+// like AllCandidates for a batch run, without issuing database queries.
+func (inc *Incremental) Candidates() ([]CandidateSet, error) {
+	out := make([]CandidateSet, 0, len(inc.cands))
+	for _, c := range inc.cands {
+		fallback, err := pickFallback(inc.queries, c.Set, c.subst, c.binding, inc.store)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CandidateSet{
+			Set:    c.Set,
+			Values: extractValues(inc.queries, c.Set, c.subst, c.binding, fallback),
+		})
+	}
+	return out, nil
+}
+
+// Trace returns the step-by-step record of the current state, in the
+// shape a traced batch run over the live set would produce: pruning
+// events then per-component outcomes in reverse topological order.
+// Query indices are slots.
+func (inc *Incremental) Trace() *Trace {
+	return &Trace{
+		Pruned:     append([]PruneEvent(nil), inc.pruned...),
+		Components: append([]ComponentEvent(nil), inc.events...),
+	}
+}
+
+// LastDelta returns the cost of the most recent event.
+func (inc *Incremental) LastDelta() DeltaStats { return inc.last }
+
+// TotalDBQueries returns the lifetime database-query count across every
+// event of this coordinator.
+func (inc *Incremental) TotalDBQueries() int64 { return inc.total }
+
+// Refresh rebuilds every store-dependent part of the state: cached
+// component outcomes are dropped, body-satisfiability probes are redone
+// for all live queries, and the whole condensation is re-solved. This
+// is the escape hatch from the dirty-region invariant — cached
+// witnesses assume the store's contents have not changed since they
+// were computed, so a caller that interleaves writes with a session
+// calls Refresh (with writers paused) to resynchronise. It costs what
+// a batch run costs.
+func (inc *Incremental) Refresh() (DeltaStats, error) {
+	m := db.NewMeter(inc.store)
+	inc.cache = map[string]*compOutcome{}
+	if !inc.opts.SkipPruning {
+		for i := range inc.queries {
+			if !inc.g.Live(i) {
+				continue
+			}
+			sat, err := m.Satisfiable(inc.renamed[i].Body)
+			if err != nil {
+				return DeltaStats{}, err
+			}
+			inc.bodySat[i] = sat
+		}
+	}
+	d, err := inc.reconcile(m)
+	d.Slot = -1
+	inc.last = d
+	return d, err
+}
+
+// reconcile brings the coordination state up to date after a graph
+// change. Pruning and condensation are recomputed from cached inputs —
+// pure graph work. The component walk mirrors runSCC exactly, except
+// that a component whose reachable set matches a cached outcome splices
+// it instead of re-unifying and re-grounding. Live slots are compacted
+// before condensation so the walk is index-for-index identical to a
+// batch run over the live queries in slot order: same Tarjan numbering,
+// same topological order, same candidate order, same tie-breaks.
+func (inc *Incremental) reconcile(m *db.Meter) (DeltaStats, error) {
+	defer func() { inc.total += m.Count() }()
+	n := len(inc.queries)
+	edges := inc.g.Edges()
+
+	// §6.1 pruning from cached body-satisfiability probes, then the
+	// provider cascade — same rounds, same order, no database traffic.
+	alive := make([]bool, n)
+	inc.pruned = inc.pruned[:0]
+	for i := 0; i < n; i++ {
+		if !inc.g.Live(i) {
+			continue
+		}
+		if inc.bodySat[i] || inc.opts.SkipPruning {
+			alive[i] = true
+		} else {
+			inc.pruned = append(inc.pruned, PruneEvent{Query: i, Reason: "unsatisfiable body"})
+		}
+	}
+	if !inc.opts.SkipPruning {
+		for {
+			changed := false
+			providers := map[[2]int]int{}
+			for _, e := range edges {
+				if alive[e.FromQ] && alive[e.ToQ] {
+					providers[[2]int{e.FromQ, e.PostIdx}]++
+				}
+			}
+			for i := 0; i < n; i++ {
+				if !alive[i] {
+					continue
+				}
+				for pi := range inc.queries[i].Post {
+					if providers[[2]int{i, pi}] == 0 {
+						alive[i] = false
+						changed = true
+						inc.pruned = append(inc.pruned, PruneEvent{Query: i, Reason: "unsatisfiable postcondition"})
+						break
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	// Compact live slots and condense. Compaction is monotone, so the
+	// graph is isomorphic to the batch one with identical adjacency
+	// order.
+	live := make([]int, 0, n)
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		if inc.g.Live(i) {
+			idx[i] = len(live)
+			live = append(live, i)
+		}
+	}
+	cg := graph.New(len(live))
+	for _, e := range edges {
+		if alive[e.FromQ] && alive[e.ToQ] {
+			cg.AddEdge(idx[e.FromQ], idx[e.ToQ])
+		}
+	}
+	dag, _, members := cg.Condense()
+	order, err := dag.TopoOrder()
+	if err != nil {
+		return DeltaStats{}, err // cannot happen: condensation is a DAG
+	}
+	reverse(order)
+
+	nc := dag.N()
+	reach := make([][]bool, nc)
+	failed := make([]bool, nc)
+	newCache := make(map[string]*compOutcome, nc)
+	inc.events = inc.events[:0]
+	inc.cands = inc.cands[:0]
+	d := DeltaStats{Components: nc}
+
+	for _, c := range order {
+		slots := make([]int, len(members[c]))
+		for j, mcj := range members[c] {
+			slots[j] = live[mcj]
+		}
+		ev := ComponentEvent{Members: slots}
+		if !alive[slots[0]] {
+			failed[c] = true
+			ev.Status = "pruned"
+			inc.events = append(inc.events, ev)
+			continue
+		}
+		r := make([]bool, nc)
+		r[c] = true
+		ok := true
+		for _, succ := range dag.Succ(c) {
+			if failed[succ] {
+				ok = false
+				break
+			}
+			for i, b := range reach[succ] {
+				if b {
+					r[i] = true
+				}
+			}
+		}
+		reach[c] = r
+		if !ok {
+			failed[c] = true
+			ev.Status = "successor failed"
+			inc.events = append(inc.events, ev)
+			continue
+		}
+
+		// The reachable set, in ascending component order like runSCC
+		// (the combined body is assembled in this order, so the frozen
+		// join plan — and with it the chosen witness — matches batch).
+		var set []int
+		for cc := 0; cc < nc; cc++ {
+			if r[cc] {
+				for _, mcc := range members[cc] {
+					set = append(set, live[mcc])
+				}
+			}
+		}
+		sig := sigOf(set)
+		out := inc.cache[sig]
+		if out == nil {
+			out, err = inc.solve(set, edges, m)
+			if err != nil {
+				return d, err
+			}
+			d.Dirty++
+		} else {
+			d.Reused++
+		}
+		newCache[sig] = out
+		failed[c] = out.failed
+		ev.Status = out.status
+		ev.Set = out.set
+		ev.Combined = out.combined
+		if out.grounded {
+			ev.SetSize = len(out.set)
+			inc.cands = append(inc.cands, Candidate{Set: out.set, subst: out.subst, binding: out.binding})
+		}
+		inc.events = append(inc.events, ev)
+	}
+	inc.cache = newCache
+	d.DBQueries = m.Count()
+	return d, nil
+}
+
+// solve runs one component's search exactly as the batch walk does:
+// unify every edge inside the reachable set (edges arrive in canonical
+// order, so the union sequence — and the resulting substitution — is
+// the one a batch run computes) and ground the combined body with a
+// single database query.
+func (inc *Incremental) solve(set []int, edges []ExtendedEdge, m *db.Meter) (*compOutcome, error) {
+	inSet := make([]bool, len(inc.queries))
+	for _, i := range set {
+		inSet[i] = true
+	}
+	s := unify.NewSized(2*len(set) + 4)
+	for _, e := range edges {
+		if !inSet[e.FromQ] || !inSet[e.ToQ] {
+			continue
+		}
+		p := inc.renamed[e.FromQ].Post[e.PostIdx]
+		h := inc.renamed[e.ToQ].Head[e.HeadIdx]
+		if err := s.UnifyAtoms(p, h); err != nil {
+			return &compOutcome{status: "unification failed", set: sortedCopy(set), failed: true}, nil
+		}
+	}
+	nAtoms := 0
+	for _, i := range set {
+		nAtoms += len(inc.renamed[i].Body)
+	}
+	body := make([]eq.Atom, 0, nAtoms)
+	for _, i := range set {
+		body = append(body, inc.renamed[i].Body...)
+	}
+	bind, found, err := m.SolveUnder(body, s)
+	if err != nil {
+		return nil, err
+	}
+	out := &compOutcome{
+		set:      sortedCopy(set),
+		subst:    s,
+		combined: renderCombined(s.ApplyAll(body)),
+	}
+	if !found {
+		out.status = "no tuple"
+		out.failed = true
+		return out, nil
+	}
+	out.status = "grounded"
+	out.grounded = true
+	out.binding = bind
+	return out, nil
+}
+
+// sigOf builds the cache key of a reachable slot set in assembly
+// order, NOT sorted: the combined body is concatenated in this order,
+// and the frozen join plan — hence the chosen witness and the rendered
+// combined query — depends on it. A departure elsewhere in the graph
+// can renumber Tarjan components and reorder an otherwise unchanged
+// reachable set; keying on the ordered sequence makes that a cache
+// miss (re-solve, stay exact) instead of a stale splice. Slots are
+// stable for the life of a session, so signatures are too.
+func sigOf(set []int) string {
+	buf := make([]byte, 0, 4*len(set))
+	for _, s := range set {
+		buf = strconv.AppendInt(buf, int64(s), 10)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}

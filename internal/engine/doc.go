@@ -44,4 +44,13 @@
 // compiles each shape once per schema version, not once per request;
 // db.Instance.PlanStats exposes the hit rate (cmd/coordserve prints
 // it).
+//
+// # Streaming sessions
+//
+// NewSession opens a stream.Session over the engine's store for
+// traffic that arrives one query at a time rather than as a finished
+// batch: joins and leaves re-coordinate incrementally (only the dirty
+// region of the condensation DAG is re-solved), with exact per-event
+// metering. Sessions are not shard-routed — their query set
+// accumulates over time, so no single shard is pinned up front.
 package engine

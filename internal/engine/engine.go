@@ -8,6 +8,7 @@ import (
 	"entangled/internal/coord"
 	"entangled/internal/db"
 	"entangled/internal/eq"
+	"entangled/internal/stream"
 )
 
 // Options configures an Engine.
@@ -154,6 +155,23 @@ func (e *Engine) serve(ctx context.Context, req *Request) Response {
 	opts.Parallelism = 0
 	res, err := coord.SCCCoordinate(req.Queries, e.routed(req.Queries), opts)
 	return Response{ID: req.ID, Result: res, Err: err}
+}
+
+// NewSession opens a streaming coordination session over the engine's
+// shared store: queries join and leave one at a time, and coordination
+// state is maintained incrementally (only the condensation components
+// whose reachable set an event touches are re-solved; see
+// internal/stream). The engine's base coordination options replace
+// opts.Coord, so every session coordinates the way the engine's batch
+// paths do; callers needing different per-session options use
+// stream.New directly. Sessions run against the whole store, not a
+// routed shard — a session's queries accumulate over time, so no single
+// shard is pinned up front; per-request routing remains a batch-path
+// optimisation.
+func (e *Engine) NewSession(opts stream.Options) *stream.Session {
+	opts.Coord = e.base
+	opts.Coord.Parallelism = 0
+	return stream.New(e.store, opts)
 }
 
 // BruteForceExists runs the exponential existence oracle with the

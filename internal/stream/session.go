@@ -1,0 +1,455 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"entangled/internal/coord"
+	"entangled/internal/db"
+	"entangled/internal/eq"
+)
+
+// ErrDuplicateID is returned by Join when a live query with the same ID
+// is already in the session.
+var ErrDuplicateID = errors.New("stream: duplicate query ID")
+
+// ErrUnknownID is returned by Leave for an ID with no live query.
+var ErrUnknownID = errors.New("stream: unknown query ID")
+
+// EventKind discriminates stream events.
+type EventKind uint8
+
+const (
+	// JoinEvent carries an arriving query.
+	JoinEvent EventKind = iota
+	// LeaveEvent names a departing query by ID.
+	LeaveEvent
+)
+
+// Event is one unit of streaming input: a query joining the session or
+// a previously joined query leaving it.
+type Event struct {
+	Kind  EventKind
+	Query eq.Query // Join: the arriving query
+	ID    string   // Leave: the departing query's ID
+}
+
+// String renders the event compactly for logs.
+func (e Event) String() string {
+	if e.Kind == JoinEvent {
+		return "join " + e.Query.ID
+	}
+	return "leave " + e.ID
+}
+
+// Update reports the outcome of one processed event.
+type Update struct {
+	// Seq numbers events in processing order, starting at 1.
+	Seq int
+	// Event is the input that produced this update.
+	Event Event
+	// Admitted is true when the event changed the session (a join was
+	// accepted, or a leave found its query).
+	Admitted bool
+	// Parked is true when an unsafe arrival was parked for retry
+	// (Options.ParkUnsafe) instead of rejected.
+	Parked bool
+	// Err carries the rejection or failure; admission rejections wrap
+	// coord.ErrUnsafeArrival.
+	Err error
+	// Stats is the event's incremental cost (zero when not admitted).
+	Stats coord.DeltaStats
+	// TeamSize is the size of the currently selected coordinating set
+	// after the event (0 when nothing grounds).
+	TeamSize int
+	// Elapsed is the wall-clock time the session spent on the event,
+	// including any parked retries it triggered.
+	Elapsed time.Duration
+}
+
+// Totals accumulates session-lifetime statistics.
+type Totals struct {
+	Events    int   // processed events (including rejected ones)
+	Joins     int   // admitted arrivals
+	Leaves    int   // admitted departures
+	Rejected  int   // unsafe arrivals rejected
+	Parked    int   // unsafe arrivals parked (may later be admitted)
+	Dirty     int   // components re-solved across all events
+	Reused    int   // components spliced from cache across all events
+	DBQueries int64 // database queries across all events
+}
+
+// Options configures a Session.
+type Options struct {
+	// Coord carries the coordination configuration (selector, pruning
+	// and safety toggles) applied to the session's incremental state;
+	// Trace, IncrementalUnify and Parallelism are ignored.
+	Coord coord.Options
+	// ParkUnsafe parks arrivals that would make the set unsafe instead
+	// of rejecting them; parked queries are retried after each
+	// departure.
+	ParkUnsafe bool
+	// OnUpdate, when non-nil, observes every processed event (called
+	// synchronously from the processing goroutine, in order, with the
+	// session lock held — the callback must not call back into the
+	// Session, or it will deadlock; read the Update it is handed
+	// instead).
+	OnUpdate func(Update)
+}
+
+// Session is a streaming coordination session over a shared store. All
+// methods are safe for concurrent use; events are serialised on an
+// internal lock, so updates observe a total order.
+type Session struct {
+	opts Options
+
+	mu     sync.Mutex
+	inc    *coord.Incremental
+	byID   map[string]int // live query ID -> slot
+	parked []eq.Query
+	seq    int
+	totals Totals
+}
+
+// New opens an empty session over store.
+func New(store db.Store, opts Options) *Session {
+	return &Session{
+		opts: opts,
+		inc:  coord.NewIncremental(store, opts.Coord),
+		byID: map[string]int{},
+	}
+}
+
+// Join admits one arriving query. The returned update reports the
+// event's incremental cost; admission failures (unsafe arrival,
+// duplicate ID) come back in both the update and the error.
+func (s *Session) Join(q eq.Query) (Update, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.process(Event{Kind: JoinEvent, Query: q})
+}
+
+// Leave departs the live query with the given ID. Parked queries are
+// retried afterwards: a departure is the only event that can clear the
+// fanout conflict that parked them.
+func (s *Session) Leave(id string) (Update, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.process(Event{Kind: LeaveEvent, ID: id})
+}
+
+// Apply processes one event of either kind.
+func (s *Session) Apply(ev Event) (Update, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.process(ev)
+}
+
+// process handles one event under the lock.
+func (s *Session) process(ev Event) (Update, error) {
+	start := time.Now()
+	s.seq++
+	up := Update{Seq: s.seq, Event: ev}
+	switch ev.Kind {
+	case JoinEvent:
+		s.join(ev.Query, &up)
+	case LeaveEvent:
+		s.leave(ev.ID, &up)
+	default:
+		up.Err = fmt.Errorf("stream: unknown event kind %d", ev.Kind)
+	}
+	s.totals.Events++
+	s.totals.Dirty += up.Stats.Dirty
+	s.totals.Reused += up.Stats.Reused
+	s.totals.DBQueries += up.Stats.DBQueries
+	up.TeamSize = s.teamSize()
+	up.Elapsed = time.Since(start)
+	if s.opts.OnUpdate != nil {
+		s.opts.OnUpdate(up)
+	}
+	return up, up.Err
+}
+
+// join admits one query into the incremental state, parking unsafe
+// arrivals when configured. IDs are unique across live AND parked
+// queries — a parked arrival reserves its ID, so a departure's retry
+// can never admit a query over (or resurrect one alongside) another
+// holder of the same ID.
+func (s *Session) join(q eq.Query, up *Update) {
+	if _, dup := s.byID[q.ID]; dup {
+		up.Err = fmt.Errorf("%w: %s", ErrDuplicateID, q.ID)
+		return
+	}
+	for _, p := range s.parked {
+		if p.ID == q.ID {
+			up.Err = fmt.Errorf("%w: %s is parked", ErrDuplicateID, q.ID)
+			return
+		}
+	}
+	slot, d, err := s.inc.Add(q)
+	up.Stats = d // exact even on failure: probes count, admission doesn't
+	if slot >= 0 {
+		// The query is live in the incremental state — record it even
+		// when the event's reconcile failed (a store error mid-pass), or
+		// it could never be departed and its ID would stay claimable.
+		// The next event re-reconciles from scratch, so a failed pass
+		// heals rather than poisons.
+		s.byID[q.ID] = slot
+		s.totals.Joins++
+		up.Admitted = true
+	}
+	if err != nil {
+		if errors.Is(err, coord.ErrUnsafeArrival) {
+			if s.opts.ParkUnsafe {
+				s.parked = append(s.parked, q)
+				s.totals.Parked++
+				up.Parked = true
+				return
+			}
+			s.totals.Rejected++
+		}
+		up.Err = err
+	}
+}
+
+// leave departs one query and retries parked arrivals. Retry costs are
+// folded into the update's stats so per-event metering stays exact.
+func (s *Session) leave(id string, up *Update) {
+	slot, ok := s.byID[id]
+	if !ok {
+		up.Err = fmt.Errorf("%w: %s", ErrUnknownID, id)
+		return
+	}
+	d, err := s.inc.Remove(slot)
+	up.Stats = d
+	if err != nil && errors.Is(err, coord.ErrNoQuery) {
+		up.Err = err
+		return
+	}
+	// Past the ErrNoQuery check the slot is tombstoned even if the
+	// event's reconcile failed, so the ID mapping must go with it; the
+	// next event re-reconciles from scratch.
+	delete(s.byID, id)
+	s.totals.Leaves++
+	up.Admitted = true
+	if err != nil {
+		up.Err = err
+		return
+	}
+	// Departures can clear fanout conflicts: retry parked arrivals in
+	// arrival order. A retry that still conflicts stays parked. Retry
+	// costs fold into the update's stats so per-event metering stays
+	// exact, and non-admission failures surface on the update. The
+	// taken check is defensive: join reserves IDs across live and
+	// parked queries, so a collision here should be impossible.
+	if len(s.parked) == 0 {
+		return
+	}
+	still := s.parked[:0]
+	for _, q := range s.parked {
+		if _, taken := s.byID[q.ID]; taken {
+			still = append(still, q)
+			continue
+		}
+		slot, dq, err := s.inc.Add(q)
+		up.Stats.Dirty += dq.Dirty
+		up.Stats.Reused += dq.Reused
+		up.Stats.DBQueries += dq.DBQueries
+		if slot >= 0 {
+			// Committed — map it even if the pass itself failed, like
+			// join does, so the query stays removable.
+			s.byID[q.ID] = slot
+			s.totals.Joins++
+		} else {
+			still = append(still, q)
+		}
+		if err != nil && !errors.Is(err, coord.ErrUnsafeArrival) && up.Err == nil {
+			up.Err = fmt.Errorf("stream: parked retry of %s: %w", q.ID, err)
+		}
+	}
+	s.parked = still
+}
+
+// teamSize reads the selected candidate's size without building the
+// full Result.
+func (s *Session) teamSize() int { return s.inc.TeamSize() }
+
+// Run drains events until the channel closes or the context is
+// cancelled, whichever comes first. The event being processed when the
+// context fires always finishes — events are atomic — so cancellation
+// is a graceful drain: no partial coordination state, and the returned
+// totals account for every processed event. Run returns ctx.Err() on
+// cancellation and nil on a clean channel close; per-event failures are
+// reported through updates (Options.OnUpdate), not Run's error, so one
+// bad arrival doesn't tear down the session.
+func (s *Session) Run(ctx context.Context, events <-chan Event) (Totals, error) {
+	for {
+		// Check cancellation first: when the producer reacts to the same
+		// context by closing the channel, both select arms become ready
+		// at once, and a drain must still report the cancellation.
+		if err := ctx.Err(); err != nil {
+			return s.Totals(), err
+		}
+		select {
+		case <-ctx.Done():
+			return s.Totals(), ctx.Err()
+		case ev, ok := <-events:
+			if !ok {
+				return s.Totals(), nil
+			}
+			// Errors are carried by the update; Apply's error return is
+			// for direct callers.
+			_, _ = s.Apply(ev)
+		}
+	}
+}
+
+// Refresh resynchronises the session with the store after external
+// writes: cached witnesses are dropped, pruning probes are redone, and
+// the full condensation is re-solved at batch cost. Callers that
+// interleave store writers with a session pause them and Refresh; see
+// the dirty-region invariant in DESIGN.md.
+func (s *Session) Refresh() (coord.DeltaStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, err := s.inc.Refresh()
+	s.totals.Dirty += d.Dirty
+	s.totals.Reused += d.Reused
+	s.totals.DBQueries += d.DBQueries
+	return d, err
+}
+
+// Size returns the number of live queries.
+func (s *Session) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inc.Len()
+}
+
+// ParkedCount returns the number of arrivals currently parked.
+func (s *Session) ParkedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.parked)
+}
+
+// Totals returns the session-lifetime statistics.
+func (s *Session) Totals() Totals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totals
+}
+
+// Queries returns the live queries in arrival order — the set a batch
+// run would be given to reproduce the session's state.
+func (s *Session) Queries() []eq.Query {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inc.LiveQueries()
+}
+
+// Result returns the currently selected coordinating set (nil when
+// nothing grounds) without issuing database queries. Set indices are
+// positions in Queries(); Result.DBQueries is the marginal cost of the
+// event that produced this state.
+func (s *Session) Result() (*coord.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.inc.Result()
+	if err != nil || res == nil {
+		return res, err
+	}
+	// Translate stable slots to live positions so the indices line up
+	// with Queries(), the way batch callers expect.
+	pos := map[int]int{}
+	for j, slot := range s.inc.LiveSlots() {
+		pos[slot] = j
+	}
+	set := make([]int, len(res.Set))
+	values := make(map[int]map[string]eq.Value, len(res.Values))
+	for i, slot := range res.Set {
+		set[i] = pos[slot]
+		values[pos[slot]] = res.Values[slot]
+	}
+	return &coord.Result{Set: set, Values: values, DBQueries: res.DBQueries}, nil
+}
+
+// Trace returns the current state's step-by-step record with query
+// indices mapped to positions in Queries(), matching what a traced
+// batch run over those queries reports.
+func (s *Session) Trace() *coord.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr := s.inc.Trace()
+	pos := map[int]int{}
+	for j, slot := range s.inc.LiveSlots() {
+		pos[slot] = j
+	}
+	for i := range tr.Pruned {
+		tr.Pruned[i].Query = pos[tr.Pruned[i].Query]
+	}
+	for i := range tr.Components {
+		tr.Components[i].Members = remap(tr.Components[i].Members, pos)
+		tr.Components[i].Set = remap(tr.Components[i].Set, pos)
+		tr.Components[i].Combined = renumberPrefixes(tr.Components[i].Combined, pos)
+	}
+	return tr
+}
+
+func remap(xs []int, pos map[int]int) []int {
+	if xs == nil {
+		return nil
+	}
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = pos[x]
+	}
+	return out
+}
+
+// renumberPrefixes rewrites the alpha-renaming prefixes in a rendered
+// combined query ("q<slot>.") from session slots to live positions, so
+// the trace reads exactly like a batch trace over Queries(). Matches
+// preceded by a quote are constants, not prefixes — the atom renderer
+// quotes every constant that could lex as a variable (anything
+// starting with a lowercase letter), so 'q2.west' is left alone. A
+// database relation literally named like a prefix remains ambiguous in
+// the rendered text; coordination traces are diagnostics, so that
+// corner is accepted rather than guarded with a full re-parse.
+var prefixRe = regexp.MustCompile(`q(\d+)\.`)
+
+func renumberPrefixes(s string, pos map[int]int) string {
+	matches := prefixRe.FindAllStringSubmatchIndex(s, -1)
+	if matches == nil {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	last := 0
+	for _, m := range matches {
+		start, end := m[0], m[1]
+		sb.WriteString(s[last:start])
+		last = start
+		if start > 0 && s[start-1] == '\'' {
+			continue // quoted constant, not a renaming prefix
+		}
+		slot, err := strconv.Atoi(s[m[2]:m[3]])
+		if err != nil {
+			continue
+		}
+		p, ok := pos[slot]
+		if !ok {
+			continue
+		}
+		sb.WriteString("q" + strconv.Itoa(p) + ".")
+		last = end
+	}
+	sb.WriteString(s[last:])
+	return sb.String()
+}

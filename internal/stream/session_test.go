@@ -1,0 +1,330 @@
+package stream_test
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+
+	"entangled/internal/coord"
+	"entangled/internal/db"
+	"entangled/internal/eq"
+	"entangled/internal/stream"
+	"entangled/internal/workload"
+)
+
+// toEvent converts a generated workload arrival into a session event.
+func toEvent(a workload.Arrival) stream.Event {
+	if a.Leave {
+		return stream.Event{Kind: stream.LeaveEvent, ID: a.ID}
+	}
+	return stream.Event{Kind: stream.JoinEvent, Query: a.Query}
+}
+
+func chainStore(rows int) *db.Instance {
+	in := db.NewInstance()
+	t := in.CreateRelation("T", "key", "val")
+	for i := 0; i < rows; i++ {
+		t.Insert(eq.Value("t"+strconv.Itoa(i)), eq.Value("c"+strconv.Itoa(i)))
+	}
+	t.BuildIndex(1)
+	return in
+}
+
+func TestSessionJoinLeave(t *testing.T) {
+	s := stream.New(chainStore(4), stream.Options{})
+	for i := 0; i < 4; i++ {
+		up, err := s.Join(workload.ChainQuery(0, i, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !up.Admitted || up.TeamSize != i+1 {
+			t.Fatalf("join %d: %+v", i, up)
+		}
+		if up.Stats.Dirty != 1 {
+			t.Fatalf("chain join %d dirtied %d components", i, up.Stats.Dirty)
+		}
+	}
+	if s.Size() != 4 {
+		t.Fatalf("size %d", s.Size())
+	}
+	// Departing the tail shrinks the team by one; nothing else is dirty.
+	up, err := s.Leave("c0.u3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Admitted || up.TeamSize != 3 {
+		t.Fatalf("leave: %+v", up)
+	}
+	if _, err := s.Leave("c0.u3"); !errors.Is(err, stream.ErrUnknownID) {
+		t.Fatalf("double leave: %v", err)
+	}
+	if _, err := s.Join(workload.ChainQuery(0, 2, 4)); !errors.Is(err, stream.ErrDuplicateID) {
+		t.Fatalf("duplicate join: %v", err)
+	}
+}
+
+func TestSessionInteriorLeavePrunesSuffix(t *testing.T) {
+	s := stream.New(chainStore(4), stream.Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := s.Join(workload.ChainQuery(0, i, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Removing u1 strands u2's postcondition; the cascade prunes u2,
+	// u3, u4 and the team collapses to {u0}.
+	up, err := s.Leave("c0.u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.TeamSize != 1 {
+		t.Fatalf("team after interior leave: %+v", up)
+	}
+	tr := s.Trace()
+	if len(tr.Pruned) != 3 {
+		t.Fatalf("pruned %v", tr.Pruned)
+	}
+}
+
+func TestSessionParkUnsafe(t *testing.T) {
+	mk := func(id, user string, post string) eq.Query {
+		q := eq.Query{
+			ID:   id,
+			Head: []eq.Atom{eq.NewAtom("R", eq.C(eq.Value(user)), eq.V("x"))},
+			Body: []eq.Atom{eq.NewAtom("T", eq.V("x"), eq.C("c0"))},
+		}
+		if post != "" {
+			q.Post = []eq.Atom{eq.NewAtom("R", eq.C(eq.Value(post)), eq.V("y"))}
+		}
+		return q
+	}
+	s := stream.New(chainStore(1), stream.Options{ParkUnsafe: true})
+	if _, err := s.Join(mk("a", "A", "")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Join(mk("b", "A", "")); err != nil {
+		t.Fatal(err)
+	}
+	// c posts to user A, who has two heads: unsafe, parked.
+	up, err := s.Join(mk("c", "C", "A"))
+	if err != nil || !up.Parked {
+		t.Fatalf("want parked, got %+v err %v", up, err)
+	}
+	if s.ParkedCount() != 1 || s.Size() != 2 {
+		t.Fatalf("parked %d size %d", s.ParkedCount(), s.Size())
+	}
+	// b departs; the retry admits c and the team becomes {a, c}.
+	up, err = s.Leave("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ParkedCount() != 0 || s.Size() != 2 || up.TeamSize != 2 {
+		t.Fatalf("after departure: parked %d size %d update %+v", s.ParkedCount(), s.Size(), up)
+	}
+}
+
+// TestSessionParkedIDReservation: a parked arrival reserves its ID —
+// joins reusing it are rejected (live or parked holder alike), so a
+// departure's retry can never admit a query over another holder or
+// resurrect a double-parked copy.
+func TestSessionParkedIDReservation(t *testing.T) {
+	head := func(id, user string) eq.Query {
+		return eq.Query{
+			ID:   id,
+			Head: []eq.Atom{eq.NewAtom("R", eq.C(eq.Value(user)), eq.V("x"))},
+			Body: []eq.Atom{eq.NewAtom("T", eq.V("x"), eq.C("c0"))},
+		}
+	}
+	poster := func(id, user, to string) eq.Query {
+		q := head(id, user)
+		q.Post = []eq.Atom{eq.NewAtom("R", eq.C(eq.Value(to)), eq.V("y"))}
+		return q
+	}
+	s := stream.New(chainStore(1), stream.Options{ParkUnsafe: true})
+	if _, err := s.Join(head("a", "A")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Join(head("b", "A")); err != nil {
+		t.Fatal(err)
+	}
+	// "x" posts to the doubly-headed user A: unsafe, parked.
+	if up, err := s.Join(poster("x", "X", "A")); err != nil || !up.Parked {
+		t.Fatalf("want parked: %+v %v", up, err)
+	}
+	// The parked "x" reserves the ID: both a second unsafe copy and a
+	// perfectly safe query reusing it are duplicates.
+	if _, err := s.Join(poster("x", "X", "A")); !errors.Is(err, stream.ErrDuplicateID) {
+		t.Fatalf("double-park allowed: %v", err)
+	}
+	if _, err := s.Join(head("x", "Y")); !errors.Is(err, stream.ErrDuplicateID) {
+		t.Fatalf("live join over a parked ID allowed: %v", err)
+	}
+	if s.ParkedCount() != 1 || s.Size() != 2 {
+		t.Fatalf("parked=%d size=%d", s.ParkedCount(), s.Size())
+	}
+	// The departure clears the conflict and the single parked copy lands.
+	if _, err := s.Leave("b"); err != nil {
+		t.Fatal(err)
+	}
+	if s.ParkedCount() != 0 || s.Size() != 2 {
+		t.Fatalf("after departure: parked=%d size=%d", s.ParkedCount(), s.Size())
+	}
+}
+
+func TestSessionRejectUnsafeWithoutParking(t *testing.T) {
+	s := stream.New(chainStore(1), stream.Options{})
+	head := func(id string) eq.Query {
+		return eq.Query{
+			ID:   id,
+			Head: []eq.Atom{eq.NewAtom("R", eq.C("A"), eq.V("x"))},
+			Body: []eq.Atom{eq.NewAtom("T", eq.V("x"), eq.C("c0"))},
+		}
+	}
+	if _, err := s.Join(head("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Join(head("b")); err != nil {
+		t.Fatal(err)
+	}
+	q := eq.Query{
+		ID:   "c",
+		Post: []eq.Atom{eq.NewAtom("R", eq.C("A"), eq.V("y"))},
+		Head: []eq.Atom{eq.NewAtom("R", eq.C("C"), eq.V("x"))},
+		Body: []eq.Atom{eq.NewAtom("T", eq.V("x"), eq.C("c0"))},
+	}
+	if _, err := s.Join(q); !errors.Is(err, coord.ErrUnsafeArrival) {
+		t.Fatalf("want ErrUnsafeArrival, got %v", err)
+	}
+	if tot := s.Totals(); tot.Rejected != 1 {
+		t.Fatalf("totals %+v", tot)
+	}
+}
+
+// TestSessionStoreErrorStaysConsistent: a store error mid-pass (a body
+// over an unknown relation, surfacing in the dirty component's
+// grounding query when pruning is skipped) must not desynchronise the
+// session — the offending query stays tracked, can be departed, and
+// the session heals.
+func TestSessionStoreErrorStaysConsistent(t *testing.T) {
+	s := stream.New(chainStore(2), stream.Options{
+		Coord: coord.Options{SkipPruning: true},
+	})
+	if _, err := s.Join(workload.ChainQuery(0, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	bad := eq.Query{
+		ID:   "bad",
+		Head: []eq.Atom{eq.NewAtom("R", eq.C("B"), eq.V("x"))},
+		Body: []eq.Atom{eq.NewAtom("Nope", eq.V("x"))},
+	}
+	if _, err := s.Join(bad); err == nil {
+		t.Fatal("want a store error for an unknown relation")
+	}
+	// The query committed before the pass failed: it is live, visible,
+	// and — critically — removable.
+	if s.Size() != 2 {
+		t.Fatalf("size %d after failed pass", s.Size())
+	}
+	if _, err := s.Join(bad); !errors.Is(err, stream.ErrDuplicateID) {
+		t.Fatalf("ID of the failed join not reserved: %v", err)
+	}
+	if _, err := s.Leave("bad"); err != nil {
+		t.Fatalf("failed join cannot be departed: %v", err)
+	}
+	if s.Size() != 1 {
+		t.Fatalf("size %d after departure", s.Size())
+	}
+	// The session is healthy again: new events coordinate normally.
+	up, err := s.Join(workload.ChainQuery(0, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.TeamSize != 2 {
+		t.Fatalf("team %d after recovery", up.TeamSize)
+	}
+}
+
+// TestSessionRunDrains feeds a generated arrival sequence through Run
+// and checks the channel-driven path matches direct Apply calls.
+func TestSessionRunDrains(t *testing.T) {
+	arrivals := workload.Arrivals(workload.Churn, 60, 8, 42)
+
+	direct := stream.New(chainStore(8), stream.Options{})
+	for _, a := range arrivals {
+		_, _ = direct.Apply(toEvent(a))
+	}
+
+	var updates []stream.Update
+	run := stream.New(chainStore(8), stream.Options{
+		OnUpdate: func(u stream.Update) { updates = append(updates, u) },
+	})
+	events := make(chan stream.Event)
+	go func() {
+		defer close(events)
+		for _, a := range arrivals {
+			events <- toEvent(a)
+		}
+	}()
+	totals, err := run.Run(context.Background(), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals != direct.Totals() {
+		t.Fatalf("totals diverge:\nrun    %+v\ndirect %+v", totals, direct.Totals())
+	}
+	if len(updates) != len(arrivals) {
+		t.Fatalf("%d updates for %d events", len(updates), len(arrivals))
+	}
+	for i, u := range updates {
+		if u.Seq != i+1 {
+			t.Fatalf("update %d has seq %d", i, u.Seq)
+		}
+	}
+}
+
+// TestSessionRunGracefulCancel cancels mid-stream and checks the drain
+// contract: Run returns ctx.Err(), every update that was issued is
+// complete and ordered, and the session remains usable afterwards.
+func TestSessionRunGracefulCancel(t *testing.T) {
+	arrivals := workload.Arrivals(workload.Steady, 200, 8, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var mu sync.Mutex
+	var seen int
+	s := stream.New(chainStore(8), stream.Options{
+		OnUpdate: func(u stream.Update) {
+			mu.Lock()
+			seen++
+			if seen == 50 {
+				cancel() // cancel from inside event 50: events stay atomic
+			}
+			mu.Unlock()
+		},
+	})
+	events := make(chan stream.Event)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer close(events)
+		for _, a := range arrivals {
+			select {
+			case events <- toEvent(a):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	totals, err := s.Run(ctx, events)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	<-done
+	if totals.Events < 50 {
+		t.Fatalf("cancelled before the in-flight event finished: %+v", totals)
+	}
+	// The session still accepts events after a cancelled Run.
+	if _, err := s.Join(workload.ChainQuery(900, 0, 8)); err != nil {
+		t.Fatal(err)
+	}
+}

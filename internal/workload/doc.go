@@ -4,4 +4,11 @@
 // (Figures 4-6) and the flight-coordination workloads driving the
 // Consistent Coordination Algorithm (Figures 7-8), plus randomized
 // workloads used by the test suite.
+//
+// For the streaming paths it also generates arrival sequences:
+// Arrivals produces deterministic join/leave event streams (steady,
+// bursty, or churn-heavy) over backward-chain scenarios (ChainQuery),
+// consumed by stream.Session, cmd/coordserve -stream and the
+// BenchmarkStream* family. Arrival is stream-agnostic so this package
+// stays below internal/stream in the import graph.
 package workload

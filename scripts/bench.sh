@@ -3,7 +3,7 @@
 # machine-readable trajectory point.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR3.json
+#   scripts/bench.sh                 # writes BENCH_PR4.json
 #   OUT=out.json scripts/bench.sh    # custom output path
 #   BASELINE=old.json scripts/bench.sh
 #                                    # embed an earlier run for before/after
@@ -12,11 +12,13 @@
 # The output JSON carries the parsed per-benchmark numbers plus the raw
 # `go test -bench` text (benchstat-compatible: save two runs' "raw"
 # fields to files and feed them to benchstat for significance testing).
+# BenchmarkStream* rows carry dbq/op — database queries per arrival —
+# in their extra metrics; the raw text preserves them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_PR3.json}"
-PATTERN="${PATTERN:-BenchmarkFigure4List|BenchmarkAblationIndexes|BenchmarkParallelCoordinateMany|BenchmarkSolveCompiled}"
+OUT="${OUT:-BENCH_PR4.json}"
+PATTERN="${PATTERN:-BenchmarkFigure4List|BenchmarkAblationIndexes|BenchmarkParallelCoordinateMany|BenchmarkSolveCompiled|BenchmarkStream}"
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
 BASELINE="${BASELINE:-}"
