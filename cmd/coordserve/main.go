@@ -1,13 +1,23 @@
-// Command coordserve demonstrates the concurrent coordination engine
-// under a serving load: a producer enqueues many independent
-// coordination requests (distinct entangled query sets over one shared
-// store) and a pool of workers drains the queue in batches through
-// engine.CoordinateMany, printing throughput and latency statistics.
+// Command coordserve is the coordination service and its load driver.
+//
+// With -listen it serves the HTTP/JSON coordination API
+// (internal/server) over a shared store: the batch endpoint, streaming
+// sessions, /healthz and /metrics, with a graceful drain on
+// SIGINT/SIGTERM.
+//
+// Without -listen it generates load: many independent coordination
+// requests (distinct entangled query sets over one shared store)
+// served in batches, or a streaming session fed one event at a time.
+// By default the load runs in-process against engine.CoordinateMany;
+// with -target URL the same load is sent over the network to a running
+// coordserve -listen instance, so throughput, latency and -compare
+// measure real end-to-end serving.
 //
 // Usage:
 //
-//	coordserve [-requests N] [-queries N] [-rows N] [-workers N] [-batch N] [-shards K] [-latency D] [-compare]
-//	coordserve -stream [-events N] [-pattern steady|bursty|churn] [-rate R] [-seed S] [-park] [-rows N] [-shards K] [-latency D]
+//	coordserve -listen :8080 [-rows N] [-shards K] [-workers N] [-latency D]
+//	coordserve [-requests N] [-queries N] [-rows N] [-workers N] [-batch N] [-shards K] [-latency D] [-compare] [-target URL]
+//	coordserve -stream [-events N] [-pattern steady|bursty|churn] [-rate R] [-seed S] [-park] [-rows N] [-shards K] [-latency D] [-target URL]
 //
 // -queries is the mean per-request query-set size (requests vary around
 // it so the load is not uniform). -latency adds a simulated
@@ -27,6 +37,12 @@
 // arrivals for retry instead of rejecting them. SIGINT drains
 // gracefully: the event in flight finishes and the session state is
 // reported before exit.
+//
+// With -target, the generator does not build a store: the remote
+// server owns the data, and -rows must match the server's so generated
+// bodies ground (both default to 20000). -compare with -target serves
+// the identical load in-process on an identically built local store
+// and reports the HTTP layer's overhead.
 package main
 
 import (
@@ -47,6 +63,8 @@ import (
 )
 
 func main() {
+	listen := flag.String("listen", "", "serve the HTTP coordination API on this address instead of generating load")
+	target := flag.String("target", "", "send the generated load to the coordination service at this URL instead of serving in-process")
 	requests := flag.Int("requests", 256, "number of coordination requests to serve")
 	queries := flag.Int("queries", 25, "mean entangled-query count per request")
 	rows := flag.Int("rows", 20000, "rows in the shared queried table")
@@ -67,7 +85,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	store := workload.NewStore(*shards, *rows, *latency)
+	if *listen != "" {
+		store := workload.NewStore(*shards, *rows, *latency)
+		fmt.Printf("serving a %d-row table across %d shard(s), %d workers\n", *rows, *shards, *workers)
+		if err := runServe(*listen, store, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *streamMode {
 		if *events <= 0 {
@@ -86,17 +112,28 @@ func main() {
 		}
 		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer cancel()
-		e := engine.New(store, engine.Options{Workers: *workers, Coord: coord.Options{}})
-		fmt.Printf("streaming %d %s events over a %d-row table (%d shard(s)), rate=%v/s seed=%d\n",
-			*events, *pattern, *rows, *shards, *rate, *seed)
-		if _, err := runStream(ctx, e, streamConfig{
+		cfg := streamConfig{
 			events:  *events,
 			pattern: workload.Pattern(*pattern),
 			rate:    *rate,
 			seed:    *seed,
 			rows:    *rows,
 			park:    *park,
-		}, os.Stdout); err != nil {
+		}
+		if *target != "" {
+			fmt.Printf("streaming %d %s events to %s, rate=%v/s seed=%d\n",
+				*events, *pattern, *target, *rate, *seed)
+			if err := runStreamRemote(ctx, *target, cfg, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		store := workload.NewStore(*shards, *rows, *latency)
+		e := engine.New(store, engine.Options{Workers: *workers, Coord: coord.Options{}})
+		fmt.Printf("streaming %d %s events over a %d-row table (%d shard(s)), rate=%v/s seed=%d\n",
+			*events, *pattern, *rows, *shards, *rate, *seed)
+		if _, err := runStream(ctx, e, cfg, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
 			os.Exit(1)
 		}
@@ -104,9 +141,34 @@ func main() {
 		return
 	}
 
+	batches := produce(*requests, *queries, *rows, *batch)
+
+	if *target != "" {
+		fmt.Printf("serving %d requests (~%d queries each) end-to-end against %s, %d client workers, batches of %d\n",
+			*requests, *queries, *target, *workers, *batch)
+		served, elapsed, err := drainRemote(*target, batches, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
+			os.Exit(1)
+		}
+		report(served, elapsed, *workers)
+		if *compare {
+			// The same materialised load through the engine directly, on
+			// an identically built local store: the ratio is the HTTP
+			// layer's end-to-end overhead.
+			store := workload.NewStore(*shards, *rows, *latency)
+			fmt.Println("in-process baseline over an identical local store:")
+			served1, elapsed1 := drain(store, batches, *workers)
+			report(served1, elapsed1, *workers)
+			fmt.Printf("HTTP serving overhead at %d workers: %.2fx\n",
+				*workers, elapsed.Seconds()/elapsed1.Seconds())
+		}
+		return
+	}
+
+	store := workload.NewStore(*shards, *rows, *latency)
 	fmt.Printf("serving %d requests (~%d queries each) over a %d-row table (%d shard(s)), %d workers, batches of %d\n",
 		*requests, *queries, *rows, *shards, *workers, *batch)
-	batches := produce(*requests, *queries, *rows, *batch)
 	served, elapsed := drain(store, batches, *workers)
 	report(served, elapsed, *workers)
 	reportPlans(store)

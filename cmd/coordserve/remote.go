@@ -1,0 +1,226 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"entangled/internal/client"
+	"entangled/internal/engine"
+	"entangled/internal/workload"
+)
+
+// toWire converts one produced batch to the client's request shape.
+func toWire(batch []engine.Request) []client.Request {
+	out := make([]client.Request, len(batch))
+	for i, r := range batch {
+		out[i] = client.Request{ID: r.ID, Queries: r.Queries}
+	}
+	return out
+}
+
+// drainRemote serves the pre-built load against a remote coordination
+// service: `workers` client goroutines pull whole batches from the
+// queue and send each as one CoordinateBatch call, so the wire carries
+// the same batch boundaries the in-process drain uses. Latencies are
+// batch-amortised like drain's, and the wall clock covers the serving
+// loop alone — end-to-end numbers honest enough to compare with the
+// in-process path.
+func drainRemote(target string, batches [][]engine.Request, workers int) ([]time.Duration, time.Duration, error) {
+	c, err := client.New(target, client.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	wire := make([][]client.Request, len(batches))
+	for i, b := range batches {
+		wire[i] = toWire(b)
+	}
+
+	type timing struct {
+		batch int
+		per   time.Duration
+	}
+	timings := make(chan timing, len(wire))
+	idx := make(chan int)
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A failed worker keeps draining the queue (as no-ops) so the
+			// feeder never blocks.
+			for i := range idx {
+				if failed() {
+					continue
+				}
+				bStart := time.Now()
+				resps, err := c.CoordinateBatch(context.Background(), wire[i])
+				if err != nil {
+					fail(fmt.Errorf("batch %d: %w", i, err))
+					continue
+				}
+				bad := false
+				for _, r := range resps {
+					if r.Err != nil {
+						fail(fmt.Errorf("batch %d, request %s: %w", i, r.ID, r.Err))
+						bad = true
+						break
+					}
+				}
+				if !bad {
+					timings <- timing{batch: i, per: time.Since(bStart) / time.Duration(len(wire[i]))}
+				}
+			}
+		}()
+	}
+	for i := range wire {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(timings)
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	var latencies []time.Duration
+	for tm := range timings {
+		for range wire[tm.batch] {
+			latencies = append(latencies, tm.per)
+		}
+	}
+	return latencies, elapsed, nil
+}
+
+// runStreamRemote drives one remote streaming session: the arrival
+// sequence is paced exactly like the in-process stream mode, but every
+// event is a join/leave round trip against the service, so the
+// reported latencies are end-to-end. SIGINT (via ctx) stops feeding
+// and reports what was served; the remote session is closed either
+// way.
+func runStreamRemote(ctx context.Context, target string, cfg streamConfig, w io.Writer) error {
+	c, err := client.New(target, client.Options{})
+	if err != nil {
+		return err
+	}
+	sess, err := c.CreateSession(ctx, "", cfg.park)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := sess.Close(cctx); err != nil {
+			fmt.Fprintf(w, "closing session %s: %v\n", sess.ID, err)
+		}
+	}()
+	fmt.Fprintf(w, "remote session %s on %s\n", sess.ID, target)
+
+	arrivals := workload.Arrivals(cfg.pattern, cfg.events, cfg.rows, cfg.seed)
+	meanGap := time.Duration(0)
+	if cfg.rate > 0 {
+		meanGap = time.Duration(float64(time.Second) / cfg.rate)
+	}
+
+	var (
+		lat    []time.Duration
+		dbq    []int64
+		dirty  int
+		reused int
+		served int
+	)
+	start := time.Now()
+loop:
+	for _, a := range arrivals {
+		if meanGap > 0 {
+			select {
+			case <-time.After(time.Duration(a.Gap * float64(meanGap))):
+			case <-ctx.Done():
+				break loop
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		evStart := time.Now()
+		var up = struct {
+			Dirty, Reused int
+			DBQueries     int64
+		}{}
+		if a.Leave {
+			u, err := sess.Leave(ctx, a.ID)
+			if err != nil {
+				if ctx.Err() != nil {
+					break // interrupted mid-flight: report, don't error
+				}
+				return fmt.Errorf("leave %s: %w", a.ID, err)
+			}
+			up.Dirty, up.Reused, up.DBQueries = u.Stats.Dirty, u.Stats.Reused, u.Stats.DBQueries
+		} else {
+			u, err := sess.Join(ctx, a.Query)
+			if err != nil {
+				if ctx.Err() != nil {
+					break
+				}
+				return fmt.Errorf("join %s: %w", a.Query.ID, err)
+			}
+			up.Dirty, up.Reused, up.DBQueries = u.Stats.Dirty, u.Stats.Reused, u.Stats.DBQueries
+		}
+		served++
+		lat = append(lat, time.Since(evStart))
+		dbq = append(dbq, up.DBQueries)
+		dirty += up.Dirty
+		reused += up.Reused
+	}
+	elapsed := time.Since(start)
+
+	if served < len(arrivals) {
+		fmt.Fprintf(w, "stream interrupted after %d/%d events; session closed cleanly\n", served, len(arrivals))
+	}
+	if served == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "  %d events in %v (%.1f events/s) end-to-end\n",
+		served, elapsed.Round(time.Millisecond), float64(served)/elapsed.Seconds())
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	sort.Slice(dbq, func(i, j int) bool { return dbq[i] < dbq[j] })
+	pct := func(p float64) int { return int(p * float64(served-1)) }
+	var total int64
+	for _, q := range dbq {
+		total += q
+	}
+	fmt.Fprintf(w, "  per-event round trip: p50=%v p95=%v max=%v\n",
+		lat[pct(0.50)].Round(time.Microsecond), lat[pct(0.95)].Round(time.Microsecond), lat[served-1].Round(time.Microsecond))
+	fmt.Fprintf(w, "  per-event DB queries: p50=%d p95=%d max=%d total=%d\n",
+		dbq[pct(0.50)], dbq[pct(0.95)], dbq[served-1], total)
+	if solved := dirty + reused; solved > 0 {
+		fmt.Fprintf(w, "  components: %d re-solved, %d spliced from cache (%.1f%% splice rate)\n",
+			dirty, reused, 100*float64(reused)/float64(solved))
+	}
+	st, err := sess.Status(ctx, false)
+	if err == nil {
+		fmt.Fprintf(w, "  final session: %d live queries, team of %d, %d parked\n",
+			st.Live, st.TeamSize, st.Parked)
+	}
+	return nil
+}

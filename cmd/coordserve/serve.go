@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"entangled/internal/coord"
+	"entangled/internal/db"
+	"entangled/internal/engine"
+	"entangled/internal/server"
+)
+
+// runServe boots the coordination service on addr over the given store
+// and blocks until SIGINT/SIGTERM, then drains gracefully: the HTTP
+// server stops accepting and waits for in-flight connections, the batch
+// queue serves what it admitted, and every session's mailbox drains
+// before its goroutine exits (the PR 4 contract — events are atomic, so
+// a drain never leaves partial coordination state).
+func runServe(addr string, store db.Store, workers int) error {
+	e := engine.New(store, engine.Options{Workers: workers, Coord: coord.Options{}})
+	srv := server.New(e, server.Options{})
+	hs := &http.Server{Addr: addr, Handler: srv}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("coordination service listening on %s (%s)\n", addr, srv)
+	fmt.Printf("  POST /v1/coordinate · POST /v1/sessions · GET /healthz · GET /metrics\n")
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err // immediate listen failure
+	case <-ctx.Done():
+	}
+	fmt.Println("\ndraining: closing listener, finishing admitted work ...")
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutCancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "coordserve: shutdown: %v\n", err)
+	}
+	srv.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	reportPlans(store)
+	fmt.Println("drained cleanly")
+	return nil
+}

@@ -20,6 +20,8 @@
 //     (internal/engine),
 //   - streaming coordination sessions with incremental ingest and
 //     delta re-coordination (internal/stream),
+//   - the HTTP/JSON coordination service and its typed client
+//     (internal/server, internal/client; wire format in internal/api),
 //   - the SCC Coordination Algorithm for safe but non-unique sets (§4),
 //   - the Consistent Coordination Algorithm for unsafe, A-consistent
 //     sets (§5),
@@ -30,11 +32,13 @@
 package entangled
 
 import (
+	"entangled/internal/client"
 	"entangled/internal/consistent"
 	"entangled/internal/coord"
 	"entangled/internal/db"
 	"entangled/internal/engine"
 	"entangled/internal/eq"
+	"entangled/internal/server"
 	"entangled/internal/stream"
 	"entangled/internal/system"
 )
@@ -115,6 +119,20 @@ type (
 	SessionEvent = stream.Event
 	// SessionUpdate reports one processed event's outcome and cost.
 	SessionUpdate = stream.Update
+
+	// Server exposes an Engine over HTTP/JSON: batch coordination,
+	// named streaming sessions behind a concurrent registry, and the
+	// /healthz + /metrics operational surface (internal/server).
+	Server = server.Server
+	// ServerOptions configures NewServer (batch caps, queue and
+	// mailbox bounds, session idle timeout).
+	ServerOptions = server.Options
+	// Client is the typed Go client for the coordination service; its
+	// errors reconstruct the in-process sentinels across the network
+	// (internal/client).
+	Client = client.Client
+	// ClientOptions configures NewClient.
+	ClientOptions = client.Options
 )
 
 // C builds a constant term.
@@ -147,6 +165,17 @@ func NewEngine(store Store, opts EngineOptions) *Engine { return engine.New(stor
 // store: arrivals and departures re-coordinate incrementally, touching
 // only the components their event dirties (see internal/stream).
 func NewSession(store Store, opts SessionOptions) *Session { return stream.New(store, opts) }
+
+// NewServer exposes an engine over HTTP/JSON. Serve the returned
+// http.Handler with any http.Server and call its Close on shutdown to
+// drain admitted work.
+func NewServer(e *Engine, opts ServerOptions) *Server { return server.New(e, opts) }
+
+// NewClient returns a typed client for a coordination service at
+// baseURL (e.g. "http://127.0.0.1:8080").
+func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
+	return client.New(baseURL, opts)
+}
 
 // Coordinate runs the SCC Coordination Algorithm (§4) on a safe set of
 // entangled queries: it finds a coordinating set whenever one exists and

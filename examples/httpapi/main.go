@@ -1,0 +1,140 @@
+// HTTP API walkthrough: the coordination service end to end in one
+// process — a server over a loopback listener, then the typed client
+// driving one batch coordination call and one streaming session. The
+// program exits non-zero on any failure, so CI uses it as the service
+// smoke test. Run:
+//
+//	go run ./examples/httpapi
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"entangled/internal/client"
+	"entangled/internal/coord"
+	"entangled/internal/db"
+	"entangled/internal/engine"
+	"entangled/internal/eq"
+	"entangled/internal/server"
+	"entangled/internal/stream"
+)
+
+func main() {
+	// Flights(fid, dest): the shared table every query grounds against.
+	in := db.NewInstance()
+	fl := in.CreateRelation("Flights", "fid", "dest")
+	fl.Insert("f1", "Paris")
+	fl.Insert("f2", "Tokyo")
+
+	// Boot the service on a loopback listener.
+	srv := server.New(engine.New(in, engine.Options{}), server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer func() { _ = hs.Close(); srv.Close() }()
+
+	c, err := client.New("http://"+ln.Addr().String(), client.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// user builds "name flies wherever buddy flies" (no buddy: any
+	// flight will do).
+	user := func(name, buddy string) eq.Query {
+		q := eq.Query{
+			ID:   name,
+			Head: []eq.Atom{eq.NewAtom("Go", eq.C(eq.Value(name)), eq.V("d"))},
+			Body: []eq.Atom{eq.NewAtom("Flights", eq.V("f"), eq.V("d"))},
+		}
+		if buddy != "" {
+			q.Post = []eq.Atom{eq.NewAtom("Go", eq.C(eq.Value(buddy)), eq.V("e"))}
+		}
+		return q
+	}
+
+	// --- Batch endpoint: two independent requests in one call. ------
+	resps, err := c.CoordinateBatch(ctx, []client.Request{
+		{ID: "pair", Queries: []eq.Query{user("ana", "bo"), user("bo", "ana")}},
+		{ID: "solo", Queries: []eq.Query{user("cy", "")}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range resps {
+		if r.Err != nil {
+			log.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		fmt.Printf("batch %-4s -> team of %d, %d DB queries\n", r.ID, r.Result.Size(), r.Result.DBQueries)
+	}
+
+	// --- Streaming session: users join one at a time. ---------------
+	sess, err := c.CreateSession(ctx, "trip", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range []struct{ name, buddy string }{
+		{"dee", ""}, {"eli", "dee"}, {"fay", "eli"},
+	} {
+		up, err := sess.Join(ctx, user(u.name, u.buddy))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("join  %-4s -> team of %d (dirty=%d spliced=%d, %d DB queries)\n",
+			u.name, up.TeamSize, up.Stats.Dirty, up.Stats.Reused, up.Stats.DBQueries)
+	}
+
+	// Departures strand dependants; typed errors cross the wire.
+	if _, err := sess.Leave(ctx, "eli"); err != nil {
+		log.Fatal(err)
+	}
+	st, err := sess.Status(ctx, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("leave eli  -> %d live, team of %d (fay's postcondition stranded)\n", st.Live, st.TeamSize)
+	if _, err := sess.Leave(ctx, "nobody"); err == nil {
+		log.Fatal("leave of an unknown ID succeeded")
+	} else {
+		fmt.Printf("leave nobody -> typed error: errors.Is(err, stream.ErrUnknownID) = %v\n",
+			errors.Is(err, stream.ErrUnknownID))
+	}
+
+	// The wire result matches what Definition 1 demands.
+	st, err = sess.Status(ctx, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st.Result != nil {
+		if err := coord.Verify(st.Queries, st.Result.Set, st.Result.Values, in); err != nil {
+			log.Fatalf("wire witness fails Definition 1: %v", err)
+		}
+		fmt.Println("wire witness verifies against Definition 1")
+	}
+	if err := sess.Close(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Operational surface. ---------------------------------------
+	h, err := c.Health(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if m.Coordinate.Batches < 1 || m.Coordinate.Batches > m.Coordinate.Requests {
+		log.Fatalf("implausible dispatch count: %d batches for %d requests", m.Coordinate.Batches, m.Coordinate.Requests)
+	}
+	fmt.Printf("health %s · %d coordinate requests · %d session events\n",
+		h.Status, m.Coordinate.Requests, m.Sessions.Events)
+}

@@ -1,0 +1,322 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+
+	"entangled/internal/coord"
+	"entangled/internal/eq"
+	"entangled/internal/stream"
+)
+
+// Codes the service layer adds on top of the coord taxonomy
+// (coord.Code*). Like those, they are part of the public wire contract.
+const (
+	// CodeDuplicateID names stream.ErrDuplicateID: a join reused a live
+	// or parked query ID.
+	CodeDuplicateID = "duplicate_id"
+	// CodeUnknownID names stream.ErrUnknownID: a leave targeted an ID
+	// with no live query.
+	CodeUnknownID = "unknown_id"
+	// CodeSessionExists rejects creating a session under a taken name.
+	CodeSessionExists = "session_exists"
+	// CodeSessionNotFound rejects operations on an unknown (or evicted)
+	// session.
+	CodeSessionNotFound = "session_not_found"
+	// CodeSessionClosed reports a session torn down (deleted, evicted,
+	// or server drain) while the operation was in flight.
+	CodeSessionClosed = "session_closed"
+	// CodeMailboxFull applies backpressure: the session's bounded
+	// mailbox had no room for the operation.
+	CodeMailboxFull = "mailbox_full"
+	// CodeOverloaded applies backpressure on the batch path: the
+	// admission queue was full.
+	CodeOverloaded = "overloaded"
+	// CodeDraining rejects new work while the server shuts down.
+	CodeDraining = "draining"
+	// CodeBadRequest reports a malformed payload.
+	CodeBadRequest = "bad_request"
+	// CodeInternal reports an unclassified server-side failure.
+	CodeInternal = "internal"
+)
+
+// Error is the wire shape of every error the service reports, nested
+// under "error" in error response bodies.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface on the wire shape itself.
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+// CodeOf classifies an error into its stable wire code: the coord
+// taxonomy first, then the stream sentinels, then CodeInternal.
+func CodeOf(err error) string {
+	if c := coord.Code(err); c != "" {
+		return c
+	}
+	switch {
+	case errors.Is(err, stream.ErrDuplicateID):
+		return CodeDuplicateID
+	case errors.Is(err, stream.ErrUnknownID):
+		return CodeUnknownID
+	}
+	return CodeInternal
+}
+
+// Sentinel returns the sentinel error a code names, or nil for codes
+// that carry no sentinel (transport-level conditions and unknown
+// codes).
+func Sentinel(code string) error {
+	if s := coord.FromCode(code); s != nil {
+		return s
+	}
+	switch code {
+	case CodeDuplicateID:
+		return stream.ErrDuplicateID
+	case CodeUnknownID:
+		return stream.ErrUnknownID
+	}
+	return nil
+}
+
+// WireError renders an error for transport. Nil maps to nil.
+func WireError(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Code: CodeOf(err), Message: err.Error()}
+}
+
+// Err reconstructs a typed error from the wire shape: the message is
+// preserved and the named sentinel is attached, so errors.Is sees
+// through the network hop. Nil maps to nil.
+func (e *Error) Err() error {
+	if e == nil {
+		return nil
+	}
+	if s := Sentinel(e.Code); s != nil {
+		return &codedError{msg: e.Message, code: e.Code, sentinel: s}
+	}
+	return &codedError{msg: e.Message, code: e.Code}
+}
+
+// codedError is a decoded wire error: the remote message, its stable
+// code, and the sentinel the code names (when any) for errors.Is.
+type codedError struct {
+	msg      string
+	code     string
+	sentinel error
+}
+
+func (e *codedError) Error() string {
+	if e.msg != "" {
+		return e.msg
+	}
+	return e.code
+}
+
+func (e *codedError) Unwrap() error { return e.sentinel }
+
+// Request is one coordination request inside a batch call.
+type Request struct {
+	// ID is an opaque caller tag echoed in the response.
+	ID string `json:"id,omitempty"`
+	// Queries is the entangled query set to coordinate.
+	Queries []eq.Query `json:"queries"`
+}
+
+// CoordinateRequest is the body of POST /v1/coordinate.
+type CoordinateRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// Response is one request's outcome. Result is null when no
+// coordinating set exists or the request failed; Error carries the
+// failure. Result.DBQueries is the exact per-request cost, identical
+// to what an in-process run reports.
+type Response struct {
+	ID     string        `json:"id,omitempty"`
+	Result *coord.Result `json:"result"`
+	Error  *Error        `json:"error,omitempty"`
+}
+
+// CoordinateResponse is the body of a successful POST /v1/coordinate.
+type CoordinateResponse struct {
+	Responses []Response `json:"responses"`
+}
+
+// CreateSessionRequest is the body of POST /v1/sessions.
+type CreateSessionRequest struct {
+	// ID names the session; empty asks the server to generate one.
+	ID string `json:"id,omitempty"`
+	// ParkUnsafe parks unsafe arrivals for retry instead of rejecting
+	// them (stream.Options.ParkUnsafe).
+	ParkUnsafe bool `json:"park_unsafe,omitempty"`
+}
+
+// CreateSessionResponse is the body of a successful session creation.
+type CreateSessionResponse struct {
+	ID string `json:"id"`
+}
+
+// JoinRequest is the body of POST /v1/sessions/{id}/join.
+type JoinRequest struct {
+	Query eq.Query `json:"query"`
+}
+
+// LeaveRequest is the body of POST /v1/sessions/{id}/leave.
+type LeaveRequest struct {
+	// ID is the departing query's ID (eq.Query.ID, not the session
+	// name).
+	ID string `json:"id"`
+}
+
+// Update is the wire shape of one processed session event
+// (stream.Update).
+type Update struct {
+	Seq       int              `json:"seq"`
+	Admitted  bool             `json:"admitted"`
+	Parked    bool             `json:"parked,omitempty"`
+	TeamSize  int              `json:"team_size"`
+	Stats     coord.DeltaStats `json:"stats"`
+	ElapsedNS int64            `json:"elapsed_ns"`
+	Error     *Error           `json:"error,omitempty"`
+}
+
+// UpdateFrom converts a session update for transport.
+func UpdateFrom(u stream.Update) Update {
+	return Update{
+		Seq:       u.Seq,
+		Admitted:  u.Admitted,
+		Parked:    u.Parked,
+		TeamSize:  u.TeamSize,
+		Stats:     u.Stats,
+		ElapsedNS: u.Elapsed.Nanoseconds(),
+		Error:     WireError(u.Err),
+	}
+}
+
+// Totals is the wire shape of stream.Totals.
+type Totals struct {
+	Events    int   `json:"events"`
+	Joins     int   `json:"joins"`
+	Leaves    int   `json:"leaves"`
+	Rejected  int   `json:"rejected"`
+	Parked    int   `json:"parked"`
+	Dirty     int   `json:"dirty"`
+	Reused    int   `json:"reused"`
+	DBQueries int64 `json:"db_queries"`
+}
+
+// TotalsFrom converts session totals for transport.
+func TotalsFrom(t stream.Totals) Totals {
+	return Totals{
+		Events:    t.Events,
+		Joins:     t.Joins,
+		Leaves:    t.Leaves,
+		Rejected:  t.Rejected,
+		Parked:    t.Parked,
+		Dirty:     t.Dirty,
+		Reused:    t.Reused,
+		DBQueries: t.DBQueries,
+	}
+}
+
+// SessionStatus is the body of GET /v1/sessions/{id}. Result is the
+// currently selected coordinating set over Queries (indices are
+// positions in Queries, exactly like a batch run over that slice);
+// Trace is included only when the request asks for it (?trace=1).
+type SessionStatus struct {
+	ID       string        `json:"id"`
+	Live     int           `json:"live"`
+	Parked   int           `json:"parked"`
+	Queries  []eq.Query    `json:"queries"`
+	Result   *coord.Result `json:"result"`
+	Totals   Totals        `json:"totals"`
+	Trace    *coord.Trace  `json:"trace,omitempty"`
+	TeamSize int           `json:"team_size"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status   string  `json:"status"` // "ok" or "draining"
+	Sessions int     `json:"sessions"`
+	UptimeS  float64 `json:"uptime_s"`
+}
+
+// Histogram is a fixed-bucket latency histogram: Counts[i] holds
+// observations <= BucketsNS[i]; the final bucket is unbounded.
+type Histogram struct {
+	BucketsNS []int64 `json:"buckets_ns"`
+	Counts    []int64 `json:"counts"`
+	Count     int64   `json:"count"`
+	SumNS     int64   `json:"sum_ns"`
+}
+
+// CoordinateMetrics meters the batch endpoint.
+type CoordinateMetrics struct {
+	// Requests counts individual coordination requests admitted.
+	Requests int64 `json:"requests"`
+	// Batches counts CoordinateMany dispatches; Requests/Batches is the
+	// achieved cross-request batching factor.
+	Batches int64 `json:"batches"`
+	// Errors counts requests whose outcome was an error.
+	Errors int64 `json:"errors"`
+	// Rejected counts requests refused at admission (queue full or
+	// draining).
+	Rejected int64 `json:"rejected"`
+	// DBQueries totals the exact per-request costs served.
+	DBQueries int64 `json:"db_queries"`
+	// Latency is the submit-to-response distribution, queue wait
+	// included.
+	Latency Histogram `json:"latency"`
+}
+
+// SessionCounters is one live session's slice of /metrics — notably its
+// exact lifetime DBQueries.
+type SessionCounters struct {
+	ID        string `json:"id"`
+	Live      int    `json:"live"`
+	Parked    int    `json:"parked"`
+	Events    int    `json:"events"`
+	DBQueries int64  `json:"db_queries"`
+}
+
+// SessionMetrics meters the session resource.
+type SessionMetrics struct {
+	Open       int               `json:"open"`
+	Created    int64             `json:"created"`
+	Evicted    int64             `json:"evicted"`
+	Events     int64             `json:"events"`
+	DBQueries  int64             `json:"db_queries"`
+	Latency    Histogram         `json:"latency"`
+	PerSession []SessionCounters `json:"per_session,omitempty"`
+}
+
+// PlanCacheMetrics surfaces the store's compiled-plan cache counters.
+type PlanCacheMetrics struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Entries int64   `json:"entries"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Metrics is the body of GET /metrics.
+type Metrics struct {
+	UptimeS    float64           `json:"uptime_s"`
+	Coordinate CoordinateMetrics `json:"coordinate"`
+	Sessions   SessionMetrics    `json:"sessions"`
+	PlanCache  *PlanCacheMetrics `json:"plan_cache,omitempty"`
+}
+
+// ErrorEnvelope is the body of every non-2xx response.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// Errf builds a wire error with an explicit code.
+func Errf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}

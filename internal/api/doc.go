@@ -1,0 +1,21 @@
+// Package api defines the HTTP/JSON wire format of the coordination
+// service: request and response shapes for the batch endpoint
+// (POST /v1/coordinate), the streaming-session resource
+// (/v1/sessions/...), and the operational surface (/healthz, /metrics),
+// plus the error taxonomy shared by server and client.
+//
+// The package is deliberately dependency-light — DTOs and conversions
+// only — so internal/server and internal/client both build on one
+// schema and cannot drift apart. Domain types that already have
+// canonical JSON encodings (eq.Query, coord.Result, coord.DeltaStats,
+// coord.Trace) are embedded directly; golden tests pin the payload
+// bytes.
+//
+// Errors travel as {"code", "message"} pairs. Codes extend the stable
+// coord taxonomy (coord.Code / coord.FromCode) with the stream and
+// transport conditions the service adds; Sentinel maps a code back to
+// the sentinel error it names, so client-side errors.Is checks behave
+// exactly like in-process ones (e.g. errors.Is(err,
+// coord.ErrUnsafeArrival) after an admission rejection that crossed the
+// network).
+package api

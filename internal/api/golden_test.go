@@ -1,0 +1,194 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"entangled/internal/coord"
+	"entangled/internal/eq"
+	"entangled/internal/stream"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares v's indented JSON encoding with testdata/<name>.json
+// byte for byte; `go test ./internal/api -update` rewrites the files.
+// These payloads ARE the HTTP protocol: a diff here is a wire-format
+// change and must be deliberate.
+func golden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name+".json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/api -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("payload %s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+	// Every payload must round-trip through its own type.
+	back := newOf(v)
+	if err := json.Unmarshal(got, back); err != nil {
+		t.Fatalf("%s: decoding golden payload: %v", name, err)
+	}
+	again, err := json.MarshalIndent(back, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(append(again, '\n'), got) {
+		t.Fatalf("%s: decode/re-encode not stable:\n%s\nvs\n%s", name, again, got)
+	}
+}
+
+// newOf returns a fresh pointer to v's type for decoding.
+func newOf(v any) any {
+	switch v.(type) {
+	case CoordinateRequest:
+		return &CoordinateRequest{}
+	case CoordinateResponse:
+		return &CoordinateResponse{}
+	case CreateSessionRequest:
+		return &CreateSessionRequest{}
+	case Update:
+		return &Update{}
+	case SessionStatus:
+		return &SessionStatus{}
+	case ErrorEnvelope:
+		return &ErrorEnvelope{}
+	case Metrics:
+		return &Metrics{}
+	default:
+		panic("add the type to newOf")
+	}
+}
+
+func sampleQuery() eq.Query {
+	return eq.Query{
+		ID:   "u1",
+		Post: []eq.Atom{eq.NewAtom("R", eq.C("U2"), eq.V("y"))},
+		Head: []eq.Atom{eq.NewAtom("R", eq.C("U1"), eq.V("x"))},
+		Body: []eq.Atom{eq.NewAtom("T", eq.V("x"), eq.C("c0"))},
+	}
+}
+
+func TestGoldenCoordinateRequest(t *testing.T) {
+	golden(t, "coordinate_request", CoordinateRequest{
+		Requests: []Request{{ID: "r1", Queries: []eq.Query{sampleQuery()}}},
+	})
+}
+
+func TestGoldenCoordinateResponse(t *testing.T) {
+	golden(t, "coordinate_response", CoordinateResponse{
+		Responses: []Response{
+			{ID: "r1", Result: &coord.Result{
+				Set:       []int{0, 1},
+				Values:    map[int]map[string]eq.Value{0: {"x": "t0"}, 1: {"x": "t0", "y": "t0"}},
+				DBQueries: 2,
+			}},
+			{ID: "r2", Error: &Error{Code: coord.CodeUnsafe, Message: "coord: query set is not safe: unsafe queries [0]"}},
+		},
+	})
+}
+
+func TestGoldenCreateSessionRequest(t *testing.T) {
+	golden(t, "create_session_request", CreateSessionRequest{ID: "alpha", ParkUnsafe: true})
+}
+
+func TestGoldenUpdate(t *testing.T) {
+	golden(t, "session_update", UpdateFrom(stream.Update{
+		Seq:      3,
+		Admitted: true,
+		TeamSize: 2,
+		Stats:    coord.DeltaStats{Slot: 2, Components: 2, Dirty: 1, Reused: 1, DBQueries: 2},
+		Elapsed:  1500 * time.Microsecond,
+	}))
+}
+
+func TestGoldenSessionStatus(t *testing.T) {
+	golden(t, "session_status", SessionStatus{
+		ID:      "alpha",
+		Live:    1,
+		Queries: []eq.Query{sampleQuery()},
+		Result: &coord.Result{
+			Set:       []int{0},
+			Values:    map[int]map[string]eq.Value{0: {"x": "t0", "y": "t0"}},
+			DBQueries: 2,
+		},
+		Totals:   TotalsFrom(stream.Totals{Events: 4, Joins: 3, Leaves: 1, Dirty: 4, Reused: 2, DBQueries: 9}),
+		TeamSize: 1,
+		Trace: &coord.Trace{Components: []coord.ComponentEvent{
+			{Members: []int{0}, Set: []int{0}, Status: "grounded", SetSize: 1, Combined: "T(q0.x, 'c0')"},
+		}},
+	})
+}
+
+func TestGoldenErrorEnvelope(t *testing.T) {
+	golden(t, "error_envelope", ErrorEnvelope{
+		Error: &Error{Code: coord.CodeUnsafeArrival, Message: "coord: arrival would make the query set unsafe u9: would make queries [1 4] unsafe"},
+	})
+}
+
+func TestGoldenMetrics(t *testing.T) {
+	golden(t, "metrics", Metrics{
+		UptimeS: 12.5,
+		Coordinate: CoordinateMetrics{
+			Requests: 128, Batches: 9, Errors: 1, Rejected: 2, DBQueries: 640,
+			Latency: Histogram{BucketsNS: []int64{50_000, 100_000}, Counts: []int64{100, 20, 8}, Count: 128, SumNS: 7_300_000},
+		},
+		Sessions: SessionMetrics{
+			Open: 1, Created: 2, Evicted: 1, Events: 52, DBQueries: 104,
+			Latency:    Histogram{BucketsNS: []int64{50_000, 100_000}, Counts: []int64{40, 10, 2}, Count: 52, SumNS: 2_100_000},
+			PerSession: []SessionCounters{{ID: "alpha", Live: 12, Parked: 1, Events: 52, DBQueries: 104}},
+		},
+		PlanCache: &PlanCacheMetrics{Hits: 700, Misses: 9, Entries: 9, HitRate: 0.987306064880113},
+	})
+}
+
+// TestErrorRoundTrip checks the typed-error contract: the sentinel
+// survives WireError -> Err across every coded error, and unknown
+// codes degrade to plain messages.
+func TestErrorRoundTrip(t *testing.T) {
+	for _, err := range []error{
+		coord.ErrUnsafeArrival,
+		coord.ErrTooManyQueries,
+		coord.ErrUnsafe,
+		coord.ErrNoQuery,
+		coord.ErrNotUnique,
+		stream.ErrDuplicateID,
+		stream.ErrUnknownID,
+	} {
+		we := WireError(err)
+		if we == nil || we.Code == CodeInternal {
+			t.Fatalf("%v: wire error %+v lost its code", err, we)
+		}
+		back := we.Err()
+		if !errors.Is(back, err) {
+			t.Fatalf("decoded error %v does not wrap %v", back, err)
+		}
+	}
+	if (*Error)(nil).Err() != nil {
+		t.Fatal("nil wire error decoded to a non-nil error")
+	}
+	unknown := (&Error{Code: "mystery", Message: "huh"}).Err()
+	if unknown == nil || unknown.Error() != "huh" {
+		t.Fatalf("unknown code decoded badly: %v", unknown)
+	}
+}

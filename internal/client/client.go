@@ -1,0 +1,253 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"entangled/internal/api"
+	"entangled/internal/coord"
+	"entangled/internal/eq"
+)
+
+// Error is a typed service error: the HTTP status, the stable wire
+// code, and the remote message. It unwraps to the sentinel the code
+// names, so errors.Is(err, coord.ErrUnsafeArrival) (and friends) hold
+// across the network exactly as they do in-process.
+type Error struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("coordination service: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// Unwrap attaches the sentinel named by the wire code (nil for
+// transport-level codes, which stops the errors.Is chain).
+func (e *Error) Unwrap() error { return api.Sentinel(e.Code) }
+
+// Options configures a Client.
+type Options struct {
+	// HTTPClient overrides the transport; nil means
+	// http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// Client is a typed Go client for the coordination service
+// (internal/server). The zero value is not usable; construct with New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts Options) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(u.String(), "/"), hc: hc}, nil
+}
+
+// do runs one round trip: encode in (when non-nil), decode a 2xx body
+// into out (when non-nil), and turn every non-2xx into a typed *Error
+// from the wire envelope.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var env api.ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
+			return &Error{Status: resp.StatusCode, Code: api.CodeInternal,
+				Message: fmt.Sprintf("%s %s: HTTP %d with unreadable error body", method, path, resp.StatusCode)}
+		}
+		return &Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Request is one coordination request of a batch.
+type Request = api.Request
+
+// Response is one request's decoded outcome; Err is typed (errors.Is
+// sees the coord sentinels).
+type Response struct {
+	ID     string
+	Result *coord.Result
+	Err    error
+}
+
+// CoordinateBatch serves a batch of independent requests in one HTTP
+// call. Per-request failures come back in the matching Response.Err;
+// the returned error covers transport and envelope failures only.
+func (c *Client) CoordinateBatch(ctx context.Context, reqs []Request) ([]Response, error) {
+	var wire api.CoordinateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/coordinate", api.CoordinateRequest{Requests: reqs}, &wire); err != nil {
+		return nil, err
+	}
+	if len(wire.Responses) != len(reqs) {
+		return nil, fmt.Errorf("client: %d responses for %d requests", len(wire.Responses), len(reqs))
+	}
+	out := make([]Response, len(wire.Responses))
+	for i, r := range wire.Responses {
+		out[i] = Response{ID: r.ID, Result: r.Result, Err: inlineErr(r.Error)}
+	}
+	return out, nil
+}
+
+// inlineErr converts a per-request wire error into the same typed
+// *Error the transport path produces (Status 0: the call itself was
+// 200), so errors.Is/errors.As treatment is uniform for callers.
+func inlineErr(e *api.Error) error {
+	if e == nil {
+		return nil
+	}
+	return &Error{Code: e.Code, Message: e.Message}
+}
+
+// Coordinate serves one coordination request: the remote analogue of
+// engine.Coordinate. The result's DBQueries is the exact per-request
+// cost the server metered.
+func (c *Client) Coordinate(ctx context.Context, qs []eq.Query) (*coord.Result, error) {
+	resps, err := c.CoordinateBatch(ctx, []Request{{Queries: qs}})
+	if err != nil {
+		return nil, err
+	}
+	if resps[0].Err != nil {
+		return nil, resps[0].Err
+	}
+	return resps[0].Result, nil
+}
+
+// Session is a handle on a named remote streaming session.
+type Session struct {
+	c *Client
+	// ID is the session's name in the registry.
+	ID string
+}
+
+// CreateSession opens a streaming session on the server. An empty id
+// asks the server to pick a name; parkUnsafe selects park-and-retry
+// admission for unsafe arrivals.
+func (c *Client) CreateSession(ctx context.Context, id string, parkUnsafe bool) (*Session, error) {
+	var resp api.CreateSessionResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions",
+		api.CreateSessionRequest{ID: id, ParkUnsafe: parkUnsafe}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{c: c, ID: resp.ID}, nil
+}
+
+// Session returns a handle on an existing session by name, without a
+// round trip.
+func (c *Client) Session(id string) *Session { return &Session{c: c, ID: id} }
+
+// Join admits one arriving query. A parked arrival (HTTP 202) returns
+// the update with Parked set and a nil error; a rejected arrival
+// returns a typed error for which errors.Is(err,
+// coord.ErrUnsafeArrival) holds.
+func (s *Session) Join(ctx context.Context, q eq.Query) (api.Update, error) {
+	var up api.Update
+	err := s.c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(s.ID)+"/join",
+		api.JoinRequest{Query: q}, &up)
+	return up, err
+}
+
+// Leave departs the live query with the given query ID.
+func (s *Session) Leave(ctx context.Context, queryID string) (api.Update, error) {
+	var up api.Update
+	err := s.c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(s.ID)+"/leave",
+		api.LeaveRequest{ID: queryID}, &up)
+	return up, err
+}
+
+// Status reads the session's current state; includeTrace asks for the
+// full coordination trace (the one a traced batch run over the live
+// queries would produce).
+func (s *Session) Status(ctx context.Context, includeTrace bool) (*api.SessionStatus, error) {
+	path := "/v1/sessions/" + url.PathEscape(s.ID)
+	if includeTrace {
+		path += "?trace=1"
+	}
+	var st api.SessionStatus
+	if err := s.c.do(ctx, http.MethodGet, path, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Close deletes the session from the registry; its goroutine drains
+// and exits.
+func (s *Session) Close(ctx context.Context) error {
+	return s.c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(s.ID), nil, nil)
+}
+
+// Health reads /healthz; a draining server still answers 200 with
+// Status "draining" (the work endpoints are the ones that reject).
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var h api.Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Metrics reads /metrics.
+func (c *Client) Metrics(ctx context.Context) (*api.Metrics, error) {
+	var m api.Metrics
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// IsRetryable reports whether an error is a backpressure rejection
+// (queue or mailbox full) that a client may retry after a backoff.
+func IsRetryable(err error) bool {
+	var e *Error
+	if !errors.As(err, &e) {
+		return false
+	}
+	return e.Code == api.CodeOverloaded || e.Code == api.CodeMailboxFull
+}

@@ -1,0 +1,91 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"entangled/internal/api"
+	"entangled/internal/coord"
+)
+
+func TestNewValidatesBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "localhost:8080", "/just/a/path"} {
+		if _, err := New(bad, Options{}); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+	c, err := New("http://127.0.0.1:8080/", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.base != "http://127.0.0.1:8080" {
+		t.Fatalf("base %q not normalised", c.base)
+	}
+}
+
+// TestErrorDecoding drives do() against a stub server: the envelope
+// must come back as a typed *Error carrying status, code and message,
+// with the sentinel reattached for errors.Is.
+func TestErrorDecoding(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		_, _ = w.Write([]byte(`{"error":{"code":"unsafe_arrival","message":"nope"}}`))
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Coordinate(context.Background(), nil)
+	if err == nil {
+		t.Fatal("error envelope ignored")
+	}
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T is not *client.Error", err)
+	}
+	if ce.Status != http.StatusConflict || ce.Code != coord.CodeUnsafeArrival || ce.Message != "nope" {
+		t.Fatalf("decoded error %+v", ce)
+	}
+	if !errors.Is(err, coord.ErrUnsafeArrival) {
+		t.Fatalf("%v does not wrap coord.ErrUnsafeArrival", err)
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&Error{Code: api.CodeOverloaded}, true},
+		{&Error{Code: api.CodeMailboxFull}, true},
+		{&Error{Code: api.CodeDraining}, false},
+		{&Error{Code: coord.CodeUnsafeArrival}, false},
+		{errors.New("plain"), false},
+		{nil, false},
+	}
+	for _, tc := range cases {
+		if got := IsRetryable(tc.err); got != tc.want {
+			t.Errorf("IsRetryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestInlineErrTyped pins that per-request errors inside a 200 batch
+// response get the same typed treatment as transport errors.
+func TestInlineErrTyped(t *testing.T) {
+	err := inlineErr(&api.Error{Code: coord.CodeTooManyQueries, Message: "too big"})
+	if !errors.Is(err, coord.ErrTooManyQueries) {
+		t.Fatalf("inline error %v does not wrap coord.ErrTooManyQueries", err)
+	}
+	if !IsRetryable(inlineErr(&api.Error{Code: api.CodeOverloaded, Message: "busy"})) {
+		t.Fatal("inline overloaded error not retryable")
+	}
+	if inlineErr(nil) != nil {
+		t.Fatal("nil inline error became non-nil")
+	}
+}

@@ -1,0 +1,10 @@
+// Package client is the typed Go client for the coordination service
+// (internal/server): batch coordination, streaming sessions, and the
+// operational surface, over the wire format defined in internal/api.
+//
+// Errors reconstruct the service's stable codes as typed values:
+// errors.Is(err, coord.ErrUnsafeArrival), errors.Is(err,
+// stream.ErrUnknownID) and friends hold across the network exactly as
+// they do in-process, and IsRetryable identifies backpressure
+// rejections (full queue or mailbox) worth retrying after a backoff.
+package client

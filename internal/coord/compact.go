@@ -1,0 +1,85 @@
+package coord
+
+import (
+	"fmt"
+
+	"entangled/internal/db"
+	"entangled/internal/eq"
+)
+
+// Tombstones returns the number of dead slots: queries that were
+// admitted and have since departed (or failed mid-admission). Per-event
+// graph work is proportional to total slots ever handed out, so a
+// long-lived high-churn coordinator grows linearly in its history until
+// Compact is called; stream.Session compacts automatically once this
+// crosses its threshold.
+func (inc *Incremental) Tombstones() int {
+	n := 0
+	for i := range inc.queries {
+		if !inc.g.Live(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Compact renumbers the live queries into dense slots 0..len(live)-1,
+// dropping every tombstone, so subsequent events cost O(live queries)
+// instead of O(total slots ever). It returns the slot remapping (old
+// slot -> new slot, -1 for dead slots) and the cost of re-establishing
+// the coordination state.
+//
+// Renumbering changes every query's alpha-renaming prefix, so cached
+// component outcomes (whose substitutions and signatures are expressed
+// in old-slot variables) cannot be carried over: the next reconcile
+// re-solves every component, at batch grounding cost. Cached
+// body-satisfiability probes ARE carried over — they depend only on the
+// query body and the store — so compaction issues no pruning probes.
+// Compaction is amortised: triggered once tombstones exceed a
+// threshold, its one-off batch-shaped cost is spread over the departures
+// that created the garbage, exactly like a hash-table resize.
+//
+// A compacted coordinator is observably identical to a fresh one built
+// from the live queries in slot order: same team, same witness values,
+// same trace (the stream-vs-batch property tests run under aggressive
+// compaction to pin this).
+func (inc *Incremental) Compact() ([]int, DeltaStats, error) {
+	remap := make([]int, len(inc.queries))
+	live := make([]int, 0, len(inc.queries))
+	for i := range inc.queries {
+		if inc.g.Live(i) {
+			remap[i] = len(live)
+			live = append(live, i)
+		} else {
+			remap[i] = -1
+		}
+	}
+
+	g := NewIncrementalGraph()
+	newQueries := make([]eq.Query, 0, len(live))
+	newRenamed := make([]eq.Query, 0, len(live))
+	newSat := make([]bool, 0, len(live))
+	for _, old := range live {
+		q := inc.queries[old]
+		slot, _ := g.Add(q)
+		if slot != len(newQueries) {
+			return nil, DeltaStats{}, fmt.Errorf("coord: compaction slot skew: got %d, want %d", slot, len(newQueries))
+		}
+		newQueries = append(newQueries, q)
+		newRenamed = append(newRenamed, q.Rename(varPrefix(slot)))
+		newSat = append(newSat, inc.bodySat[old])
+	}
+	inc.g = g
+	inc.queries = newQueries
+	inc.renamed = newRenamed
+	inc.bodySat = newSat
+	// Outcome signatures and substitutions are slot-addressed; a dense
+	// renumbering invalidates all of them.
+	inc.cache = map[string]*compOutcome{}
+
+	m := db.NewMeter(inc.store)
+	d, err := inc.reconcile(m)
+	d.Slot = -1
+	inc.last = d
+	return remap, d, err
+}

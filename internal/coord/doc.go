@@ -38,5 +38,13 @@
 // exactly; a quiesced Incremental matches a batch run over its live
 // queries observationally (team, values, trace). Arrivals that would
 // make the set unsafe are refused with ErrUnsafeArrival before any
-// state changes.
+// state changes, and Compact renumbers away tombstoned slots so
+// long-lived streams stay O(live queries).
+//
+// The package's sentinel errors carry stable machine-readable codes
+// (Code / FromCode, e.g. "unsafe_arrival", "too_many_queries") shared
+// with the HTTP wire format, and Result, DeltaStats and Trace have
+// canonical JSON encodings, so coordination outcomes — including the
+// exact DBQueries cost — cross a network boundary unchanged
+// (internal/api, internal/server, internal/client).
 package coord

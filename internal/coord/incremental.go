@@ -27,24 +27,26 @@ var ErrNoQuery = errors.New("coord: no live query in slot")
 // re-grounded — versus spliced from the previous pass's cache, and the
 // exact number of database queries the event issued (counted on a
 // private db.Meter, like every other coord entry point).
+// The JSON tags define the canonical wire encoding used by the HTTP
+// service layer (internal/api).
 type DeltaStats struct {
 	// Slot is the slot the event touched.
-	Slot int
+	Slot int `json:"slot"`
 	// Components is the number of strongly connected components of the
 	// live, unpruned set after the event.
-	Components int
+	Components int `json:"components"`
 	// Dirty counts components whose reachable set changed, so their MGU
 	// and grounding had to be recomputed (one database query each, when
 	// unification succeeds).
-	Dirty int
+	Dirty int `json:"dirty"`
 	// Reused counts components spliced from the previous pass: their
 	// reachable set is untouched, so the cached outcome — witness,
 	// binding, or failure — is still exact.
-	Reused int
+	Reused int `json:"reused"`
 	// DBQueries is the exact number of conjunctive queries this event
 	// issued: one body-satisfiability probe on an arrival plus one
 	// grounding query per dirty component that unified.
-	DBQueries int64
+	DBQueries int64 `json:"db_queries"`
 }
 
 // compOutcome is the cached result of searching one component: the

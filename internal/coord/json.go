@@ -1,0 +1,54 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"entangled/internal/eq"
+)
+
+// The canonical JSON encoding of a Result. Values is keyed by query
+// index, and JSON object keys are strings, so indices are rendered in
+// decimal; encoding/json sorts object keys, which makes the encoding
+// deterministic — golden tests and the HTTP wire format rely on that.
+type resultJSON struct {
+	Set       []int                          `json:"set"`
+	Values    map[string]map[string]eq.Value `json:"values,omitempty"`
+	DBQueries int64                          `json:"db_queries"`
+}
+
+// MarshalJSON encodes the result as
+// {"set": [...], "values": {"<index>": {"<var>": "<value>"}}, "db_queries": N}.
+func (r Result) MarshalJSON() ([]byte, error) {
+	w := resultJSON{Set: r.Set, DBQueries: r.DBQueries}
+	if r.Values != nil {
+		w.Values = make(map[string]map[string]eq.Value, len(r.Values))
+		for qi, m := range r.Values {
+			w.Values[strconv.Itoa(qi)] = m
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the canonical result encoding.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w resultJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	r.Set = w.Set
+	r.DBQueries = w.DBQueries
+	r.Values = nil
+	if w.Values != nil {
+		r.Values = make(map[int]map[string]eq.Value, len(w.Values))
+		for k, m := range w.Values {
+			qi, err := strconv.Atoi(k)
+			if err != nil {
+				return fmt.Errorf("coord: result values key %q is not a query index", k)
+			}
+			r.Values[qi] = m
+		}
+	}
+	return nil
+}

@@ -14,28 +14,32 @@ import (
 // Trace records the steps the SCC Coordination Algorithm took, for
 // debugging and for coordctl's -explain flag. Populate it by passing a
 // non-nil Options.Trace to SCCCoordinate.
+// The JSON tags define the trace's wire encoding (internal/api): a
+// decoded trace is field-for-field equal to the one the server
+// rendered, so over-the-wire traces compare byte-for-byte against
+// local batch runs.
 type Trace struct {
 	// Pruned lists queries removed by the §6.1 preprocessing, with the
 	// reason ("body" or "postcondition").
-	Pruned []PruneEvent
+	Pruned []PruneEvent `json:"pruned,omitempty"`
 	// Components holds one event per strongly connected component, in
 	// the order processed (reverse topological).
-	Components []ComponentEvent
+	Components []ComponentEvent `json:"components,omitempty"`
 }
 
 // PruneEvent is one preprocessing removal.
 type PruneEvent struct {
-	Query  int
-	Reason string // "unsatisfiable body" or "unsatisfiable postcondition"
+	Query  int    `json:"query"`
+	Reason string `json:"reason"` // "unsatisfiable body" or "unsatisfiable postcondition"
 }
 
 // ComponentEvent is the outcome of processing one component.
 type ComponentEvent struct {
-	Members  []int  // queries in this component
-	Set      []int  // R(q): the full candidate set (members + reachable)
-	Status   string // "grounded", "unification failed", "no tuple", "successor failed", "pruned"
-	SetSize  int    // len(Set) when grounded
-	Combined string // the combined conjunctive query sent to the database (when any)
+	Members  []int  `json:"members"`            // queries in this component
+	Set      []int  `json:"set,omitempty"`      // R(q): the full candidate set (members + reachable)
+	Status   string `json:"status"`             // "grounded", "unification failed", "no tuple", "successor failed", "pruned"
+	SetSize  int    `json:"set_size,omitempty"` // len(Set) when grounded
+	Combined string `json:"combined,omitempty"` // the combined conjunctive query sent to the database (when any)
 }
 
 // WriteTo renders the trace as indented text, naming queries by ID.

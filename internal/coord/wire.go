@@ -1,0 +1,67 @@
+package coord
+
+import "errors"
+
+// Stable machine-readable codes for the package's sentinel errors. The
+// HTTP wire format (internal/api) transports errors as {code, message}
+// pairs, and clients reconstruct the sentinel from the code, so
+// errors.Is works identically on both sides of the network. Codes are
+// part of the public wire contract: renaming one is a breaking change.
+const (
+	// CodeUnsafe names ErrUnsafe: a batch algorithm requiring safety
+	// was given an unsafe set.
+	CodeUnsafe = "unsafe_set"
+	// CodeNotUnique names ErrNotUnique: the Gupta baseline was given a
+	// non-unique set.
+	CodeNotUnique = "not_unique"
+	// CodeUnsafeArrival names ErrUnsafeArrival: admitting the arriving
+	// query would make a streaming session's set unsafe.
+	CodeUnsafeArrival = "unsafe_arrival"
+	// CodeNoQuery names ErrNoQuery: a departure targeted a slot with no
+	// live query.
+	CodeNoQuery = "no_query"
+	// CodeTooManyQueries names ErrTooManyQueries: the brute-force
+	// oracles refuse sets larger than MaxBruteQueries.
+	CodeTooManyQueries = "too_many_queries"
+)
+
+// Code returns the stable code of the sentinel error err wraps, or ""
+// when err is nil or wraps no coord sentinel. ErrUnsafeArrival is
+// checked before ErrUnsafe so wrapped arrival rejections keep their
+// more specific code.
+func Code(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrUnsafeArrival):
+		return CodeUnsafeArrival
+	case errors.Is(err, ErrTooManyQueries):
+		return CodeTooManyQueries
+	case errors.Is(err, ErrNoQuery):
+		return CodeNoQuery
+	case errors.Is(err, ErrNotUnique):
+		return CodeNotUnique
+	case errors.Is(err, ErrUnsafe):
+		return CodeUnsafe
+	}
+	return ""
+}
+
+// FromCode returns the sentinel error a code names, or nil for a code
+// this package does not define. It is the decoding half of Code: for
+// every coord sentinel e, errors.Is(FromCode(Code(e)), e) holds.
+func FromCode(code string) error {
+	switch code {
+	case CodeUnsafe:
+		return ErrUnsafe
+	case CodeNotUnique:
+		return ErrNotUnique
+	case CodeUnsafeArrival:
+		return ErrUnsafeArrival
+	case CodeNoQuery:
+		return ErrNoQuery
+	case CodeTooManyQueries:
+		return ErrTooManyQueries
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package eq
 
-import "testing"
+import (
+	"encoding/json"
+	"testing"
+)
 
 // FuzzParseSet checks that the parser never panics and that whatever it
 // accepts survives a Format -> Parse round trip. Run with
@@ -39,6 +42,69 @@ func FuzzParseSet(f *testing.F) {
 		for i := range qs {
 			if qs[i].String() != back[i].String() {
 				t.Fatalf("round trip changed query %d:\n%s\n%s", i, qs[i], back[i])
+			}
+		}
+		// Accepted input must also survive the JSON wire format: the
+		// HTTP service ships query sets as EncodeSet payloads.
+		buf, err := EncodeSet(qs)
+		if err != nil {
+			t.Fatalf("EncodeSet: %v", err)
+		}
+		jback, err := DecodeSet(buf)
+		if err != nil {
+			t.Fatalf("DecodeSet rejected EncodeSet output: %v", err)
+		}
+		if len(jback) != len(qs) {
+			t.Fatalf("JSON round trip changed query count: %d vs %d", len(jback), len(qs))
+		}
+		for i := range qs {
+			if qs[i].String() != jback[i].String() {
+				t.Fatalf("JSON round trip changed query %d:\n%s\n%s", i, qs[i], jback[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeSet drives the JSON decoder with raw bytes: it must never
+// panic, and whatever it accepts must survive a decode -> encode ->
+// decode round trip with stable rendering — the property the HTTP wire
+// format relies on for arbitrary client payloads.
+func FuzzDecodeSet(f *testing.F) {
+	seeds := []string{
+		`[]`,
+		`[{"head":[{"rel":"R","args":["=U1","?x"]}]}]`,
+		`[{"id":"q","post":[{"rel":"R","args":["=U2","?y"]}],` +
+			`"head":[{"rel":"R","args":["=U1","?x"]}],` +
+			`"body":[{"rel":"T","args":["?x","=c0"]}]}]`,
+		`[{"head":[{"rel":"","args":[]}]}]`,
+		`[{"head":[{"rel":"R","args":["x"]}]}]`,
+		`[{"head":[{"rel":"R","args":["?"]}]}]`,
+		`not json`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		qs, err := DecodeSet(data)
+		if err != nil {
+			return
+		}
+		buf, err := EncodeSet(qs)
+		if err != nil {
+			t.Fatalf("EncodeSet rejected accepted set: %v", err)
+		}
+		back, err := DecodeSet(buf)
+		if err != nil {
+			t.Fatalf("DecodeSet rejected its own encoding: %v", err)
+		}
+		if len(back) != len(qs) {
+			t.Fatalf("round trip changed query count: %d vs %d", len(back), len(qs))
+		}
+		for i := range qs {
+			a, _ := json.Marshal(qs[i])
+			b, _ := json.Marshal(back[i])
+			if string(a) != string(b) {
+				t.Fatalf("round trip changed query %d:\n%s\n%s", i, a, b)
 			}
 		}
 	})

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"entangled/internal/engine"
+)
+
+// Batch-path admission errors, mapped to wire codes by the handlers.
+var (
+	// errOverloaded means the admission queue was full.
+	errOverloaded = errors.New("server: coordinate queue full")
+	// errDraining means the server is shutting down.
+	errDraining = errors.New("server: draining")
+)
+
+// batchItem is one admitted coordination request waiting for dispatch.
+type batchItem struct {
+	req   engine.Request
+	reply chan engine.Response // buffered(1): dispatch never blocks on it
+}
+
+// batcher turns many concurrent HTTP requests into few CoordinateMany
+// calls: admitted requests queue on a bounded channel, and one
+// dispatcher goroutine greedily drains whatever is queued — up to
+// maxBatch — into a single engine call. Under light load a request
+// dispatches alone with no added latency (the dispatcher is parked on
+// the channel); under heavy load batches form naturally and the
+// engine's worker pool serves them concurrently. The bounded queue is
+// the admission control: a full queue rejects with errOverloaded (wire
+// code "overloaded", inlined per request by the handler) instead of
+// building an unbounded backlog.
+type batcher struct {
+	e          *engine.Engine
+	queue      chan batchItem
+	maxBatch   int
+	onDispatch func(batchSize int) // observes every CoordinateMany dispatch
+	stop       chan struct{}       // closed by close(): reject new, drain queued
+	done       chan struct{}       // closed when the dispatcher exits
+	stopOnce   sync.Once
+}
+
+func newBatcher(e *engine.Engine, queueDepth, maxBatch int, onDispatch func(int)) *batcher {
+	b := &batcher{
+		e:          e,
+		queue:      make(chan batchItem, queueDepth),
+		maxBatch:   maxBatch,
+		onDispatch: onDispatch,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// submit admits one request and waits for its response. Admission is
+// non-blocking: a full queue or a draining server rejects immediately.
+// Cancelling ctx abandons the wait; the request still executes (it was
+// admitted) but the response is dropped.
+func (b *batcher) submit(ctx context.Context, req engine.Request) (engine.Response, error) {
+	it := batchItem{req: req, reply: make(chan engine.Response, 1)}
+	select {
+	case <-b.stop:
+		return engine.Response{}, errDraining
+	default:
+	}
+	select {
+	case b.queue <- it:
+	case <-b.stop:
+		return engine.Response{}, errDraining
+	default:
+		return engine.Response{}, errOverloaded
+	}
+	select {
+	case resp := <-it.reply:
+		return resp, nil
+	case <-b.done:
+		// done and reply can become ready together (the drain served
+		// this item just before exiting); a served request must never
+		// report errDraining, so re-check the reply first.
+		select {
+		case resp := <-it.reply:
+			return resp, nil
+		default:
+		}
+		// Drain raced the enqueue: the dispatcher exited without seeing
+		// this item.
+		return engine.Response{}, errDraining
+	case <-ctx.Done():
+		return engine.Response{}, ctx.Err()
+	}
+}
+
+// loop is the dispatcher: block for one item, then greedily collect
+// whatever else is already queued and serve the lot in one
+// CoordinateMany call. On stop it drains the queue — everything
+// admitted before the drain still gets served — then exits.
+func (b *batcher) loop() {
+	defer close(b.done)
+	for {
+		select {
+		case it := <-b.queue:
+			b.dispatch(it)
+		case <-b.stop:
+			for {
+				select {
+				case it := <-b.queue:
+					b.dispatch(it)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// dispatch collects a batch seeded with first and serves it.
+func (b *batcher) dispatch(first batchItem) {
+	items := []batchItem{first}
+	for len(items) < b.maxBatch {
+		select {
+		case it := <-b.queue:
+			items = append(items, it)
+		default:
+			goto serve
+		}
+	}
+serve:
+	if b.onDispatch != nil {
+		b.onDispatch(len(items))
+	}
+	reqs := make([]engine.Request, len(items))
+	for i, it := range items {
+		reqs[i] = it.req
+	}
+	for i, resp := range b.e.CoordinateMany(context.Background(), reqs) {
+		items[i].reply <- resp
+	}
+}
+
+// close stops admission and waits for the dispatcher to drain the
+// queued work.
+func (b *batcher) close() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	<-b.done
+}

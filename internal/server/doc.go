@@ -1,0 +1,28 @@
+// Package server is the coordination service: it exposes an
+// engine.Engine over HTTP/JSON so coordination requests cross a real
+// process boundary, the regime the paper's MySQL-backed prototype
+// serves and the one where coordination cost is measurable as
+// communication.
+//
+// Three pieces:
+//
+//   - the batch path: POST /v1/coordinate admits each request into a
+//     bounded queue, and one dispatcher greedily coalesces whatever is
+//     queued — across concurrent HTTP calls — into single
+//     engine.CoordinateMany dispatches (see batcher.go). A full queue
+//     rejects requests with the typed code "overloaded" (inline in the
+//     batch response) instead of building backlog.
+//   - the session registry: named stream.Sessions over the shared
+//     store, each serialized on its own goroutine behind a bounded
+//     mailbox, evicted after an idle timeout, drained (not dropped) on
+//     shutdown (see registry.go). Park/retry admission outcomes
+//     surface as typed wire errors.
+//   - the operational surface: /healthz, and /metrics with request
+//     throughput, latency histograms, plan-cache hit rate and exact
+//     per-session DBQueries.
+//
+// Wire shapes and the error taxonomy live in internal/api; the typed
+// Go client in internal/client. Result.DBQueries crosses the wire
+// unchanged, so the paper's cost metric is end-to-end exact (the
+// loopback integration tests pin this).
+package server

@@ -1,0 +1,294 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"entangled/internal/stream"
+)
+
+// Session-path errors, mapped to wire codes by the handlers.
+var (
+	errSessionExists   = errors.New("server: session name taken")
+	errSessionNotFound = errors.New("server: no such session")
+	errSessionClosed   = errors.New("server: session closed")
+	errMailboxFull     = errors.New("server: session mailbox full")
+)
+
+// sessionOp is one unit of serialized session work: an event posted to
+// the session's mailbox, answered on reply.
+type sessionOp struct {
+	ev    stream.Event
+	reply chan sessionReply // buffered(1): the loop never blocks on it
+}
+
+type sessionReply struct {
+	up  stream.Update
+	err error
+}
+
+// sessionHandle owns one named stream.Session: a dedicated goroutine
+// serializes its events through a bounded mailbox, so concurrent
+// clients of the same session observe a total order with backpressure
+// (a full mailbox rejects instead of queueing unboundedly). Reads
+// (status, metrics) go straight to the Session, which has its own lock
+// — they need no ordering against writes.
+type sessionHandle struct {
+	name string
+	sess *stream.Session
+
+	mailbox  chan sessionOp
+	stop     chan struct{} // closed on delete/evict/server drain
+	done     chan struct{} // closed when the loop exits
+	stopOnce sync.Once
+	lastUsed atomic.Int64 // unix nanos of the last client touch
+}
+
+func newSessionHandle(name string, sess *stream.Session, mailboxSize int) *sessionHandle {
+	h := &sessionHandle{
+		name:    name,
+		sess:    sess,
+		mailbox: make(chan sessionOp, mailboxSize),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	h.touch()
+	go h.loop()
+	return h
+}
+
+func (h *sessionHandle) touch() { h.lastUsed.Store(time.Now().UnixNano()) }
+
+// loop serializes the session's events. On stop it drains the ops that
+// made it into the mailbox — an admitted event always executes (the
+// graceful-drain contract the stream layer established: events are
+// atomic, so the drain leaves no partial coordination state) — and
+// exits.
+func (h *sessionHandle) loop() {
+	defer close(h.done)
+	for {
+		select {
+		case op := <-h.mailbox:
+			h.exec(op)
+		case <-h.stop:
+			for {
+				select {
+				case op := <-h.mailbox:
+					h.exec(op)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (h *sessionHandle) exec(op sessionOp) {
+	up, err := h.sess.Apply(op.ev)
+	op.reply <- sessionReply{up: up, err: err}
+}
+
+// post submits one event and waits for its update. A full mailbox
+// rejects immediately (backpressure, HTTP 429); a stopped session
+// rejects with errSessionClosed. An op that was admitted right as the
+// drain finished gets errSessionClosed from the done branch — it never
+// executed.
+func (h *sessionHandle) post(ctx context.Context, ev stream.Event) (stream.Update, error) {
+	h.touch()
+	op := sessionOp{ev: ev, reply: make(chan sessionReply, 1)}
+	select {
+	case <-h.stop:
+		return stream.Update{}, errSessionClosed
+	default:
+	}
+	select {
+	case h.mailbox <- op:
+	case <-h.stop:
+		return stream.Update{}, errSessionClosed
+	default:
+		return stream.Update{}, errMailboxFull
+	}
+	select {
+	case r := <-op.reply:
+		h.touch()
+		return r.up, r.err
+	case <-h.done:
+		// done and reply can become ready together (the drain executed
+		// this op just before the loop exited); an op that DID execute
+		// must never report errSessionClosed, so re-check the reply.
+		select {
+		case r := <-op.reply:
+			return r.up, r.err
+		default:
+		}
+		return stream.Update{}, errSessionClosed
+	case <-ctx.Done():
+		return stream.Update{}, ctx.Err()
+	}
+}
+
+// close stops the handle's loop after it drains admitted work.
+func (h *sessionHandle) close() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	<-h.done
+}
+
+// registry is the concurrent session registry: named handles over one
+// shared store, created on demand, evicted after idleTimeout without a
+// client touch, torn down together on server drain.
+type registry struct {
+	newSession  func(parkUnsafe bool) *stream.Session
+	mailboxSize int
+	idleTimeout time.Duration
+
+	mu       sync.Mutex
+	handles  map[string]*sessionHandle
+	draining bool
+	nextAuto int64
+
+	created atomic.Int64
+	evicted atomic.Int64
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+func newRegistry(newSession func(bool) *stream.Session, mailboxSize int, idleTimeout time.Duration) *registry {
+	r := &registry{
+		newSession:  newSession,
+		mailboxSize: mailboxSize,
+		idleTimeout: idleTimeout,
+		handles:     map[string]*sessionHandle{},
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go r.janitor()
+	return r
+}
+
+// create registers a new named session. An empty name asks for a
+// generated one ("s1", "s2", ...; generated names skip taken ones).
+func (r *registry) create(name string, parkUnsafe bool) (*sessionHandle, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		return nil, errDraining
+	}
+	if name == "" {
+		for {
+			r.nextAuto++
+			name = fmt.Sprintf("s%d", r.nextAuto)
+			if _, taken := r.handles[name]; !taken {
+				break
+			}
+		}
+	} else if _, taken := r.handles[name]; taken {
+		return nil, fmt.Errorf("%w: %s", errSessionExists, name)
+	}
+	h := newSessionHandle(name, r.newSession(parkUnsafe), r.mailboxSize)
+	r.handles[name] = h
+	r.created.Add(1)
+	return h, nil
+}
+
+func (r *registry) get(name string) (*sessionHandle, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.handles[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", errSessionNotFound, name)
+	}
+	return h, nil
+}
+
+// remove deregisters and stops one session; it blocks until the
+// session's loop has drained.
+func (r *registry) remove(name string) error {
+	r.mu.Lock()
+	h, ok := r.handles[name]
+	if ok {
+		delete(r.handles, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", errSessionNotFound, name)
+	}
+	h.close()
+	return nil
+}
+
+// snapshot returns the live handles.
+func (r *registry) snapshot() []*sessionHandle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*sessionHandle, 0, len(r.handles))
+	for _, h := range r.handles {
+		out = append(out, h)
+	}
+	return out
+}
+
+func (r *registry) open() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.handles)
+}
+
+// janitor evicts sessions idle past the timeout. It scans at a quarter
+// of the timeout so eviction lags idleness by at most ~1.25x.
+func (r *registry) janitor() {
+	defer close(r.janitorDone)
+	if r.idleTimeout <= 0 {
+		<-r.janitorStop
+		return
+	}
+	tick := r.idleTimeout / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.janitorStop:
+			return
+		case now := <-t.C:
+			cutoff := now.Add(-r.idleTimeout).UnixNano()
+			r.mu.Lock()
+			var idle []*sessionHandle
+			for name, h := range r.handles {
+				if h.lastUsed.Load() < cutoff {
+					idle = append(idle, h)
+					delete(r.handles, name)
+				}
+			}
+			r.mu.Unlock()
+			for _, h := range idle {
+				h.close()
+				r.evicted.Add(1)
+			}
+		}
+	}
+}
+
+// close drains the registry: no new sessions, janitor stopped, every
+// session's mailbox drained and its loop exited.
+func (r *registry) close() {
+	r.mu.Lock()
+	r.draining = true
+	handles := make([]*sessionHandle, 0, len(r.handles))
+	for name, h := range r.handles {
+		handles = append(handles, h)
+		delete(r.handles, name)
+	}
+	r.mu.Unlock()
+	close(r.janitorStop)
+	<-r.janitorDone
+	for _, h := range handles {
+		h.close()
+	}
+}

@@ -1,0 +1,393 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"entangled/internal/api"
+	"entangled/internal/coord"
+	"entangled/internal/engine"
+	"entangled/internal/stream"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxBatch caps both the number of requests accepted in one
+	// POST /v1/coordinate call and the size of the batches the
+	// dispatcher forms across calls. Zero means 1024.
+	MaxBatch int
+	// QueueDepth bounds the batch path's admission queue. A full queue
+	// rejects the request with the typed code "overloaded", reported
+	// inline in its Response (the HTTP call itself stays 200 so one hot
+	// spot cannot fail a whole batch; single-request clients get the
+	// typed error from Coordinate). Zero means 4096.
+	QueueDepth int
+	// MailboxSize bounds each session's mailbox; a full mailbox answers
+	// 429. Zero means 64.
+	MailboxSize int
+	// IdleTimeout evicts sessions with no client activity for this
+	// long. Zero means 5 minutes; negative disables eviction.
+	IdleTimeout time.Duration
+	// Session is the base configuration for sessions the registry
+	// creates; its ParkUnsafe is overridden per create request.
+	Session stream.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4096
+	}
+	if o.MailboxSize <= 0 {
+		o.MailboxSize = 64
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 5 * time.Minute
+	}
+	return o
+}
+
+// Server exposes an engine.Engine over HTTP/JSON: the batch
+// coordination endpoint, the streaming-session resource, and the
+// operational surface. It implements http.Handler; serve it with any
+// http.Server and call Close on shutdown to drain admitted work.
+//
+//	POST   /v1/coordinate          batch coordination
+//	POST   /v1/sessions            create a streaming session
+//	GET    /v1/sessions/{id}       session status (?trace=1 adds the trace)
+//	POST   /v1/sessions/{id}/join  admit one arriving query
+//	POST   /v1/sessions/{id}/leave depart one query by ID
+//	DELETE /v1/sessions/{id}       close the session
+//	GET    /healthz                liveness and drain state
+//	GET    /metrics                counters, latency histograms, plan-cache and per-session stats
+type Server struct {
+	e       *engine.Engine
+	opts    Options
+	mux     *http.ServeMux
+	batch   *batcher
+	reg     *registry
+	met     *metrics
+	closing sync.Once
+	closed  chan struct{}
+}
+
+// New builds a server over the engine. The server owns a dispatcher
+// goroutine and a session janitor from this point on; Close releases
+// them.
+func New(e *engine.Engine, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		e:      e,
+		opts:   opts,
+		mux:    http.NewServeMux(),
+		met:    newMetrics(),
+		closed: make(chan struct{}),
+	}
+	s.batch = newBatcher(e, opts.QueueDepth, opts.MaxBatch, func(int) {
+		s.met.coordBatches.Add(1)
+	})
+	s.reg = newRegistry(func(park bool) *stream.Session {
+		so := opts.Session
+		so.ParkUnsafe = park
+		return e.NewSession(so)
+	}, opts.MailboxSize, opts.IdleTimeout)
+
+	s.mux.HandleFunc("POST /v1/coordinate", s.handleCoordinate)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStatus)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/join", s.handleSessionJoin)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/leave", s.handleSessionLeave)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the server: the batch queue stops admitting and serves
+// what it holds, every session's mailbox drains and its goroutine
+// exits, the janitor stops. Safe to call more than once. Pair it with
+// http.Server.Shutdown, which drains the connections; Close drains the
+// work behind them.
+func (s *Server) Close() {
+	s.closing.Do(func() {
+		close(s.closed)
+		s.batch.close()
+		s.reg.close()
+	})
+}
+
+// draining reports whether Close has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// writeJSON writes a JSON body with a status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the error envelope.
+func writeError(w http.ResponseWriter, status int, e *api.Error) {
+	writeJSON(w, status, api.ErrorEnvelope{Error: e})
+}
+
+// statusFor maps a service-layer error to its HTTP status and wire
+// code.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable, api.CodeDraining
+	case errors.Is(err, errOverloaded):
+		return http.StatusTooManyRequests, api.CodeOverloaded
+	case errors.Is(err, errMailboxFull):
+		return http.StatusTooManyRequests, api.CodeMailboxFull
+	case errors.Is(err, errSessionExists):
+		return http.StatusConflict, api.CodeSessionExists
+	case errors.Is(err, errSessionNotFound):
+		return http.StatusNotFound, api.CodeSessionNotFound
+	case errors.Is(err, errSessionClosed):
+		return http.StatusGone, api.CodeSessionClosed
+	case errors.Is(err, stream.ErrDuplicateID):
+		return http.StatusConflict, api.CodeDuplicateID
+	case errors.Is(err, stream.ErrUnknownID):
+		return http.StatusNotFound, api.CodeUnknownID
+	case errors.Is(err, coord.ErrUnsafeArrival):
+		return http.StatusConflict, coord.CodeUnsafeArrival
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 499, api.CodeInternal // client gone; status is never seen
+	}
+	return http.StatusInternalServerError, api.CodeInternal
+}
+
+// handleCoordinate serves the batch endpoint: every request in the
+// payload is admitted into the shared batcher individually, so requests
+// from concurrent HTTP calls coalesce into the same CoordinateMany
+// dispatches. Admission rejections (queue full, draining) come back
+// inline as that request's error — the call itself stays 200 so one
+// hot spot cannot fail a whole batch.
+func (s *Server) handleCoordinate(w http.ResponseWriter, r *http.Request) {
+	var req api.CoordinateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "decoding body: %v", err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "empty batch"))
+		return
+	}
+	if len(req.Requests) > s.opts.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			api.Errf(api.CodeBadRequest, "batch of %d exceeds the %d-request cap", len(req.Requests), s.opts.MaxBatch))
+		return
+	}
+
+	out := make([]api.Response, len(req.Requests))
+	var wg sync.WaitGroup
+	for i, cr := range req.Requests {
+		wg.Add(1)
+		go func(i int, cr api.Request) {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := s.batch.submit(r.Context(), engine.Request{ID: cr.ID, Queries: cr.Queries})
+			s.met.coordLatency.observe(time.Since(start))
+			if err == nil {
+				err = resp.Err
+			}
+			s.met.coordRequests.Add(1)
+			switch {
+			case err != nil:
+				if errors.Is(err, errOverloaded) || errors.Is(err, errDraining) {
+					s.met.coordRejected.Add(1)
+				} else {
+					s.met.coordErrors.Add(1)
+				}
+				_, code := statusFor(err)
+				if c := api.CodeOf(err); c != api.CodeInternal {
+					code = c
+				}
+				out[i] = api.Response{ID: cr.ID, Error: &api.Error{Code: code, Message: err.Error()}}
+			default:
+				if resp.Result != nil {
+					s.met.coordQueries.Add(resp.Result.DBQueries)
+				}
+				out[i] = api.Response{ID: cr.ID, Result: resp.Result}
+			}
+		}(i, cr)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, api.CoordinateResponse{Responses: out})
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req api.CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "decoding body: %v", err))
+		return
+	}
+	h, err := s.reg.create(req.ID, req.ParkUnsafe)
+	if err != nil {
+		status, code := statusFor(err)
+		writeError(w, status, api.Errf(code, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.CreateSessionResponse{ID: h.name})
+}
+
+// postEvent runs the shared join/leave path: resolve the session, post
+// the event through its mailbox, meter, and map the outcome. A parked
+// arrival is 202 Accepted with the update (the query is queued for
+// retry, not live); admission rejections and failures are typed error
+// envelopes.
+func (s *Server) postEvent(w http.ResponseWriter, r *http.Request, ev stream.Event) {
+	h, err := s.reg.get(r.PathValue("id"))
+	if err != nil {
+		status, code := statusFor(err)
+		writeError(w, status, api.Errf(code, "%v", err))
+		return
+	}
+	start := time.Now()
+	up, err := h.post(r.Context(), ev)
+	s.met.sessionLatency.observe(time.Since(start))
+	s.met.sessionEvents.Add(1)
+	if err != nil {
+		status, code := statusFor(err)
+		writeError(w, status, api.Errf(code, "%v", err))
+		return
+	}
+	status := http.StatusOK
+	if up.Parked {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, api.UpdateFrom(up))
+}
+
+func (s *Server) handleSessionJoin(w http.ResponseWriter, r *http.Request) {
+	var req api.JoinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "decoding body: %v", err))
+		return
+	}
+	s.postEvent(w, r, stream.Event{Kind: stream.JoinEvent, Query: req.Query})
+}
+
+func (s *Server) handleSessionLeave(w http.ResponseWriter, r *http.Request) {
+	var req api.LeaveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "decoding body: %v", err))
+		return
+	}
+	s.postEvent(w, r, stream.Event{Kind: stream.LeaveEvent, ID: req.ID})
+}
+
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	h, err := s.reg.get(r.PathValue("id"))
+	if err != nil {
+		status, code := statusFor(err)
+		writeError(w, status, api.Errf(code, "%v", err))
+		return
+	}
+	h.touch()
+	// One locked snapshot: Result's indices must agree with Queries
+	// even while other clients join and leave this session.
+	snap, err := h.sess.Status(r.URL.Query().Get("trace") == "1")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, api.Errf(api.CodeInternal, "reading session state: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.SessionStatus{
+		ID:       h.name,
+		Live:     len(snap.Queries),
+		Parked:   snap.Parked,
+		Queries:  snap.Queries,
+		Result:   snap.Result,
+		Totals:   api.TotalsFrom(snap.Totals),
+		Trace:    snap.Trace,
+		TeamSize: snap.Result.Size(),
+	})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.remove(r.PathValue("id")); err != nil {
+		status, code := statusFor(err)
+		writeError(w, status, api.Errf(code, "%v", err))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := api.Health{
+		Status:   "ok",
+		Sessions: s.reg.open(),
+		UptimeS:  time.Since(s.met.start).Seconds(),
+	}
+	// Always 200 with the drain state in the body: the work endpoints
+	// are the ones that reject (503) during a drain, and a health probe
+	// that can still be answered should be.
+	if s.draining() {
+		h.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := api.Metrics{
+		UptimeS: time.Since(s.met.start).Seconds(),
+		Coordinate: api.CoordinateMetrics{
+			Requests:  s.met.coordRequests.Load(),
+			Batches:   s.met.coordBatches.Load(),
+			Errors:    s.met.coordErrors.Load(),
+			Rejected:  s.met.coordRejected.Load(),
+			DBQueries: s.met.coordQueries.Load(),
+			Latency:   s.met.coordLatency.snapshot(),
+		},
+		Sessions: api.SessionMetrics{
+			Created: s.reg.created.Load(),
+			Evicted: s.reg.evicted.Load(),
+			Events:  s.met.sessionEvents.Load(),
+			Latency: s.met.sessionLatency.snapshot(),
+		},
+	}
+	handles := s.reg.snapshot()
+	sort.Slice(handles, func(i, j int) bool { return handles[i].name < handles[j].name })
+	for _, h := range handles {
+		t := h.sess.Totals()
+		m.Sessions.Open++
+		m.Sessions.DBQueries += t.DBQueries
+		m.Sessions.PerSession = append(m.Sessions.PerSession, api.SessionCounters{
+			ID:        h.name,
+			Live:      h.sess.Size(),
+			Parked:    h.sess.ParkedCount(),
+			Events:    t.Events,
+			DBQueries: t.DBQueries,
+		})
+	}
+	if pc, ok := planStats(s.e.Store()); ok {
+		m.PlanCache = &pc
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// String identifies the server in logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("coordination server (max batch %d, queue %d, mailbox %d, idle timeout %v)",
+		s.opts.MaxBatch, s.opts.QueueDepth, s.opts.MailboxSize, s.opts.IdleTimeout)
+}

@@ -1,0 +1,485 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"entangled/internal/client"
+	"entangled/internal/coord"
+	"entangled/internal/db"
+	"entangled/internal/engine"
+	"entangled/internal/eq"
+	"entangled/internal/server"
+	"entangled/internal/stream"
+	"entangled/internal/workload"
+)
+
+// newLoopback boots a server over the given store on a loopback
+// listener and returns a client for it.
+func newLoopback(t *testing.T, store db.Store, sopts server.Options) (*client.Client, *server.Server) {
+	t.Helper()
+	e := engine.New(store, engine.Options{})
+	srv := server.New(e, sopts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	c, err := client.New(ts.URL, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv
+}
+
+// TestServerLoopbackIntegration is the end-to-end acceptance test: N
+// concurrent clients drive batch requests and two named streaming
+// sessions over ONE sharded store through the HTTP API. Every batch
+// response must match an in-process run of the same request — same
+// team, same witness values, and the same exact DBQueries — and every
+// quiesced session's team, values and trace must match a batch
+// SCCCoordinate over its live set byte-for-byte.
+func TestServerLoopbackIntegration(t *testing.T) {
+	const (
+		shards     = 4
+		rows       = 64
+		nClients   = 6
+		reqsPerCli = 8
+	)
+	store := workload.NewStore(shards, rows, 0)
+	c, _ := newLoopback(t, store, server.Options{})
+	ctx := context.Background()
+
+	// Batch traffic: concurrent clients, each sending one multi-request
+	// batch call; results recorded for post-hoc comparison.
+	type servedReq struct {
+		qs  []eq.Query
+		res *coord.Result
+	}
+	served := make([][]servedReq, nClients)
+	var wg sync.WaitGroup
+	errs := make(chan error, nClients+2)
+	for cli := 0; cli < nClients; cli++ {
+		wg.Add(1)
+		go func(cli int) {
+			defer wg.Done()
+			reqs := make([]client.Request, reqsPerCli)
+			sets := make([][]eq.Query, reqsPerCli)
+			for j := range reqs {
+				n := 4 + (cli+j)%9
+				sets[j] = workload.ListQueriesAt(n, (cli*reqsPerCli+j)%rows)
+				reqs[j] = client.Request{ID: fmt.Sprintf("c%d.r%d", cli, j), Queries: sets[j]}
+			}
+			resps, err := c.CoordinateBatch(ctx, reqs)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", cli, err)
+				return
+			}
+			rec := make([]servedReq, 0, len(resps))
+			for j, r := range resps {
+				if r.Err != nil {
+					errs <- fmt.Errorf("client %d request %d: %w", cli, j, r.Err)
+					return
+				}
+				rec = append(rec, servedReq{qs: sets[j], res: r.Result})
+			}
+			served[cli] = rec
+		}(cli)
+	}
+
+	// Streaming traffic: two named sessions, each driven sequentially by
+	// its own goroutine, concurrent with the batch clients and each
+	// other.
+	sessionEvents := map[string][]workload.Arrival{
+		"alpha": workload.Arrivals(workload.Churn, 48, rows, 7),
+		"beta":  workload.Arrivals(workload.Churn, 48, rows, 11),
+	}
+	for name, arrivals := range sessionEvents {
+		wg.Add(1)
+		go func(name string, arrivals []workload.Arrival) {
+			defer wg.Done()
+			sess, err := c.CreateSession(ctx, name, false)
+			if err != nil {
+				errs <- fmt.Errorf("create %s: %w", name, err)
+				return
+			}
+			for i, a := range arrivals {
+				if a.Leave {
+					_, err = sess.Leave(ctx, a.ID)
+				} else {
+					_, err = sess.Join(ctx, a.Query)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("session %s event %d: %w", name, i, err)
+					return
+				}
+			}
+		}(name, arrivals)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Batch equivalence: replay every served request in-process over an
+	// identical store and compare team, values and the exact DBQueries.
+	store2 := workload.NewStore(shards, rows, 0)
+	e2 := engine.New(store2, engine.Options{})
+	for cli, rec := range served {
+		for j, sr := range rec {
+			want, err := e2.Coordinate(ctx, sr.qs)
+			if err != nil {
+				t.Fatalf("in-process replay c%d.r%d: %v", cli, j, err)
+			}
+			if (sr.res == nil) != (want == nil) {
+				t.Fatalf("c%d.r%d: wire result %v, in-process %v", cli, j, sr.res, want)
+			}
+			if sr.res == nil {
+				continue
+			}
+			if !reflect.DeepEqual(sr.res.Set, want.Set) {
+				t.Fatalf("c%d.r%d: team %v != %v", cli, j, sr.res.Set, want.Set)
+			}
+			if !reflect.DeepEqual(sr.res.Values, want.Values) {
+				t.Fatalf("c%d.r%d: values differ:\nwire       %v\nin-process %v", cli, j, sr.res.Values, want.Values)
+			}
+			if sr.res.DBQueries != want.DBQueries {
+				t.Fatalf("c%d.r%d: DBQueries over the wire %d != in-process %d", cli, j, sr.res.DBQueries, want.DBQueries)
+			}
+			if err := coord.Verify(sr.qs, sr.res.Set, sr.res.Values, store); err != nil {
+				t.Fatalf("c%d.r%d: wire witness fails Definition 1: %v", cli, j, err)
+			}
+		}
+	}
+
+	// Session equivalence: each quiesced session's wire-read state must
+	// match batch SCCCoordinate over its live queries byte-for-byte.
+	for name := range sessionEvents {
+		st, err := c.Session(name).Status(ctx, true)
+		if err != nil {
+			t.Fatalf("status %s: %v", name, err)
+		}
+		btr := &coord.Trace{}
+		want, err := coord.SCCCoordinate(st.Queries, store, coord.Options{Trace: btr})
+		if err != nil {
+			t.Fatalf("batch over %s live set: %v", name, err)
+		}
+		if (st.Result == nil) != (want == nil) {
+			t.Fatalf("%s: result presence: wire %v, batch %v", name, st.Result, want)
+		}
+		if st.Result != nil {
+			if !reflect.DeepEqual(st.Result.Set, want.Set) {
+				t.Fatalf("%s: team %v != %v", name, st.Result.Set, want.Set)
+			}
+			if !reflect.DeepEqual(st.Result.Values, want.Values) {
+				t.Fatalf("%s: values differ:\nwire  %v\nbatch %v", name, st.Result.Values, want.Values)
+			}
+			if err := coord.Verify(st.Queries, st.Result.Set, st.Result.Values, store); err != nil {
+				t.Fatalf("%s: wire witness fails Definition 1: %v", name, err)
+			}
+		}
+		if st.Trace == nil {
+			t.Fatalf("%s: no trace over the wire", name)
+		}
+		if !reflect.DeepEqual(st.Trace.Pruned, btr.Pruned) && !(len(st.Trace.Pruned) == 0 && len(btr.Pruned) == 0) {
+			t.Fatalf("%s: pruned %v != %v", name, st.Trace.Pruned, btr.Pruned)
+		}
+		if len(st.Trace.Components) != len(btr.Components) {
+			t.Fatalf("%s: %d trace components != %d", name, len(st.Trace.Components), len(btr.Components))
+		}
+		for i := range st.Trace.Components {
+			if !reflect.DeepEqual(st.Trace.Components[i], btr.Components[i]) {
+				t.Fatalf("%s: component %d:\nwire  %+v\nbatch %+v", name, i, st.Trace.Components[i], btr.Components[i])
+			}
+		}
+	}
+
+	// The operational surface must account for the traffic.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(nClients * reqsPerCli); m.Coordinate.Requests != want {
+		t.Fatalf("metrics: %d coordinate requests, want %d", m.Coordinate.Requests, want)
+	}
+	if m.Coordinate.Batches < 1 || m.Coordinate.Batches > m.Coordinate.Requests {
+		t.Fatalf("metrics: implausible batch count %d for %d requests", m.Coordinate.Batches, m.Coordinate.Requests)
+	}
+	if m.Sessions.Open != 2 || len(m.Sessions.PerSession) != 2 {
+		t.Fatalf("metrics: %d open sessions (%d detailed), want 2", m.Sessions.Open, len(m.Sessions.PerSession))
+	}
+	for _, sc := range m.Sessions.PerSession {
+		if sc.DBQueries <= 0 || sc.Events != len(sessionEvents[sc.ID]) {
+			t.Fatalf("metrics: session %s counters %+v implausible (want %d events)", sc.ID, sc, len(sessionEvents[sc.ID]))
+		}
+	}
+	if m.PlanCache == nil || m.PlanCache.HitRate <= 0.5 {
+		t.Fatalf("metrics: plan cache %+v, want a warm cache", m.PlanCache)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Sessions != 2 {
+		t.Fatalf("health %+v, want ok with 2 sessions", h)
+	}
+}
+
+// TestServerSessionLifecycle covers create/duplicate/status/delete and
+// the idle janitor.
+func TestServerSessionLifecycle(t *testing.T) {
+	store := workload.NewStore(1, 8, 0)
+	c, _ := newLoopback(t, store, server.Options{IdleTimeout: 80 * time.Millisecond})
+	ctx := context.Background()
+
+	sess, err := c.CreateSession(ctx, "room", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "room", false); err == nil {
+		t.Fatal("duplicate session name accepted")
+	} else {
+		var ce *client.Error
+		if !errors.As(err, &ce) || ce.Code != "session_exists" || ce.Status != 409 {
+			t.Fatalf("duplicate create: %v, want session_exists/409", err)
+		}
+	}
+	// Generated names must not collide with taken ones.
+	gen, err := c.CreateSession(ctx, "", false)
+	if err != nil || gen.ID == "" || gen.ID == "room" {
+		t.Fatalf("generated session: %v %v", gen, err)
+	}
+
+	up, err := sess.Join(ctx, workload.ChainQuery(0, 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Admitted || up.TeamSize != 1 || up.Stats.DBQueries <= 0 {
+		t.Fatalf("join update %+v implausible", up)
+	}
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Status(ctx, false); err == nil {
+		t.Fatal("status of deleted session succeeded")
+	} else {
+		var ce *client.Error
+		if !errors.As(err, &ce) || ce.Code != "session_not_found" || ce.Status != 404 {
+			t.Fatalf("deleted status: %v, want session_not_found/404", err)
+		}
+	}
+
+	// The generated session goes idle; the janitor must evict it.
+	// Status requests count as touches, so poll /metrics (which does
+	// not) and only then confirm the 404.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		m, err := c.Metrics(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Sessions.Evicted >= 1 {
+			if m.Sessions.Evicted != 1 || m.Sessions.Created != 2 {
+				t.Fatalf("metrics after eviction: %+v", m.Sessions)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle session not evicted")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := gen.Status(ctx, false); err == nil {
+		t.Fatal("evicted session still answers status")
+	}
+}
+
+// TestServerBackpressure forces both bounded buffers to overflow: the
+// session mailbox (concurrent joins against a slow store) and the batch
+// admission queue. Rejections must be typed 429s, and every accepted
+// operation must still succeed.
+func TestServerBackpressure(t *testing.T) {
+	inst := db.NewInstance()
+	inst.SimulatedLatency = 3 * time.Millisecond
+	workload.UserTable(inst, 8)
+	c, _ := newLoopback(t, inst, server.Options{
+		MailboxSize: 1,
+		QueueDepth:  1,
+		MaxBatch:    1,
+	})
+	ctx := context.Background()
+
+	sess, err := c.CreateSession(ctx, "slow", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	var full, joined int64
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := sess.Join(ctx, workload.ChainQuery(i, 0, 8))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				joined++
+			case client.IsRetryable(err):
+				full++
+			default:
+				t.Errorf("join %d: unexpected %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if joined == 0 || full == 0 {
+		t.Fatalf("mailbox backpressure: %d joined, %d rejected — want both > 0", joined, full)
+	}
+
+	var okReqs, rejected int64
+	wg = sync.WaitGroup{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := c.Coordinate(ctx, workload.ListQueriesAt(4, i%8))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				okReqs++
+			case client.IsRetryable(err):
+				rejected++
+			default:
+				t.Errorf("coordinate %d: unexpected %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if okReqs == 0 || rejected == 0 {
+		t.Fatalf("queue backpressure: %d ok, %d rejected — want both > 0", okReqs, rejected)
+	}
+}
+
+// TestServerDrain checks the shutdown contract: after Close, batch
+// requests are rejected with the draining code and session work is
+// gone, but the server still answers health probes (status
+// "draining").
+func TestServerDrain(t *testing.T) {
+	store := workload.NewStore(1, 8, 0)
+	c, srv := newLoopback(t, store, server.Options{})
+	ctx := context.Background()
+
+	sess, err := c.CreateSession(ctx, "doomed", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Join(ctx, workload.ChainQuery(0, 0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	if _, err := c.Coordinate(ctx, workload.ListQueriesAt(4, 0)); err == nil {
+		t.Fatal("coordinate succeeded on a draining server")
+	} else {
+		var ce *client.Error
+		if !errors.As(err, &ce) || ce.Code != "draining" {
+			t.Fatalf("drain rejection: %v, want code draining", err)
+		}
+	}
+	if _, err := c.CreateSession(ctx, "late", false); err == nil {
+		t.Fatal("session created on a draining server")
+	}
+	if _, err := sess.Join(ctx, workload.ChainQuery(0, 1, 8)); err == nil {
+		t.Fatal("join succeeded on a drained session")
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Fatalf("health status %q, want draining", h.Status)
+	}
+}
+
+// TestServerUnsafeArrivalTaxonomy checks that admission outcomes keep
+// their types across the wire: a rejected unsafe arrival satisfies
+// errors.Is(err, coord.ErrUnsafeArrival); with park-and-retry the same
+// arrival parks (202, no error) and is admitted after the conflicting
+// departure; duplicate and unknown IDs map to their stream sentinels.
+func TestServerUnsafeArrivalTaxonomy(t *testing.T) {
+	store := workload.NewStore(1, 8, 0)
+	c, _ := newLoopback(t, store, server.Options{})
+	ctx := context.Background()
+
+	mk := func(id, user string, posts ...string) eq.Query {
+		q := eq.Query{
+			ID:   id,
+			Head: []eq.Atom{eq.NewAtom("R", eq.C(eq.Value(user)), eq.V("x"))},
+			Body: []eq.Atom{eq.NewAtom("T", eq.V("k"), eq.C(eq.Value("c0")))},
+		}
+		for _, p := range posts {
+			q.Post = append(q.Post, eq.NewAtom("R", eq.C(eq.Value(p)), eq.V("y")))
+		}
+		return q
+	}
+
+	for _, park := range []bool{false, true} {
+		name := fmt.Sprintf("taxonomy-park=%v", park)
+		sess, err := c.CreateSession(ctx, name, park)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two queries whose heads both unify with a later post R(A, y):
+		// admitting the poster is unsafe (fanout 2).
+		if _, err := sess.Join(ctx, mk("qa", "A")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Join(ctx, mk("qa2", "A")); err != nil {
+			t.Fatal(err)
+		}
+		up, err := sess.Join(ctx, mk("qp", "B", "A"))
+		if park {
+			if err != nil {
+				t.Fatalf("%s: parked join errored: %v", name, err)
+			}
+			if !up.Parked || up.Admitted {
+				t.Fatalf("%s: update %+v, want parked and not admitted", name, up)
+			}
+			// The departure clears the fanout conflict; the parked query
+			// must be admitted by the retry.
+			if _, err := sess.Leave(ctx, "qa2"); err != nil {
+				t.Fatal(err)
+			}
+			st, err := sess.Status(ctx, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Live != 2 || st.Parked != 0 {
+				t.Fatalf("%s: status %+v, want the parked query admitted", name, st)
+			}
+		} else {
+			if !errors.Is(err, coord.ErrUnsafeArrival) {
+				t.Fatalf("%s: unsafe join error %v does not wrap coord.ErrUnsafeArrival", name, err)
+			}
+			var ce *client.Error
+			if !errors.As(err, &ce) || ce.Code != coord.CodeUnsafeArrival || ce.Status != 409 {
+				t.Fatalf("%s: unsafe join %v, want %s/409", name, err, coord.CodeUnsafeArrival)
+			}
+		}
+
+		if _, err := sess.Join(ctx, mk("qa", "C")); !errors.Is(err, stream.ErrDuplicateID) {
+			t.Fatalf("%s: duplicate join error %v does not wrap stream.ErrDuplicateID", name, err)
+		}
+		if _, err := sess.Leave(ctx, "nobody"); !errors.Is(err, stream.ErrUnknownID) {
+			t.Fatalf("%s: unknown leave error %v does not wrap stream.ErrUnknownID", name, err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package stream_test
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"entangled/internal/eq"
+	"entangled/internal/stream"
+	"entangled/internal/workload"
+)
+
+// TestSessionCompactionPreservesBatchEquivalence is the slot-compaction
+// property test: under high churn with an aggressive threshold (compact
+// after every 2 tombstones), a session must stay byte-for-byte
+// batch-equivalent after every single event — team, witness values and
+// trace — and every departed ID must stay leave-able through the
+// renumbering. The aggressive threshold makes compaction fire dozens of
+// times per run instead of once at the end.
+func TestSessionCompactionPreservesBatchEquivalence(t *testing.T) {
+	const rows = 16
+	for _, shards := range []int{1, 2} {
+		for seed := int64(0); seed < 3; seed++ {
+			store := workload.NewStore(shards, rows, 0)
+			s := stream.New(store, stream.Options{CompactAfter: 2})
+			for i, a := range workload.Arrivals(workload.Churn, 48, rows, seed) {
+				if _, err := s.Apply(toEvent(a)); err != nil {
+					t.Fatalf("shards=%d seed=%d event %d (%v): %v", shards, seed, i, toEvent(a), err)
+				}
+				if got := s.Tombstones(); got >= 2 {
+					t.Fatalf("shards=%d seed=%d event %d: %d tombstones survived threshold 2", shards, seed, i, got)
+				}
+				checkSessionMatchesBatch(t, s, store,
+					fmt.Sprintf("compact shards=%d seed=%d event %d", shards, seed, i))
+			}
+		}
+	}
+}
+
+// TestSessionCompactionKeepsIDsLeavable pins the remap contract: after
+// a forced compaction the ID index must point at the renumbered slots,
+// so every live query can still depart.
+func TestSessionCompactionKeepsIDsLeavable(t *testing.T) {
+	const rows = 8
+	store := workload.NewStore(1, rows, 0)
+	s := stream.New(store, stream.Options{CompactAfter: -1}) // manual only
+	for i := 0; i < 6; i++ {
+		q := eq.Query{
+			ID:   "q" + strconv.Itoa(i),
+			Head: []eq.Atom{eq.NewAtom("R", eq.C(eq.Value("U"+strconv.Itoa(i))), eq.V("x"))},
+			Body: []eq.Atom{eq.NewAtom("T", eq.V("k"), eq.C(eq.Value("c"+strconv.Itoa(i%rows))))},
+		}
+		if _, err := s.Join(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Punch holes, then compact.
+	for _, id := range []string{"q0", "q2", "q4"} {
+		if _, err := s.Leave(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Tombstones(); got != 3 {
+		t.Fatalf("tombstones = %d, want 3 (auto-compaction disabled)", got)
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tombstones(); got != 0 {
+		t.Fatalf("tombstones after compact = %d, want 0", got)
+	}
+	checkSessionMatchesBatch(t, s, store, "after manual compact")
+	// The survivors must still be addressable by ID.
+	for _, id := range []string{"q1", "q3", "q5"} {
+		if _, err := s.Leave(id); err != nil {
+			t.Fatalf("leave %s after compaction: %v", id, err)
+		}
+	}
+	if got := s.Size(); got != 0 {
+		t.Fatalf("size after draining = %d, want 0", got)
+	}
+}

@@ -24,4 +24,12 @@
 // Result and Trace match coord.SCCCoordinate over the live queries in
 // arrival order (see the equivalence property test), and asking for
 // them issues no database queries.
+//
+// Long-lived sessions stay O(live queries): departed queries leave
+// tombstoned slots behind, and once Options.CompactAfter of them
+// accumulate (DefaultCompactAfter unless configured) the session
+// compacts — live queries are renumbered into dense slots at an
+// amortised, hash-table-resize-like cost, without changing any
+// observable state (the compaction property test churns aggressively
+// and checks batch equivalence after every event).
 package stream

@@ -22,6 +22,13 @@ var ErrDuplicateID = errors.New("stream: duplicate query ID")
 // ErrUnknownID is returned by Leave for an ID with no live query.
 var ErrUnknownID = errors.New("stream: unknown query ID")
 
+// DefaultCompactAfter is the slot-compaction threshold used when
+// Options.CompactAfter is zero: a session compacts once 64 dead slots
+// have accumulated. Compaction is amortised (a hash-table-resize
+// shape): its one-off batch-grounding cost is spread over the
+// departures that created the garbage.
+const DefaultCompactAfter = 64
+
 // EventKind discriminates stream events.
 type EventKind uint8
 
@@ -95,6 +102,15 @@ type Options struct {
 	// of rejecting them; parked queries are retried after each
 	// departure.
 	ParkUnsafe bool
+	// CompactAfter sets the slot-compaction threshold: once the number
+	// of dead slots (departed queries) reaches it, the session compacts
+	// — live queries are renumbered into dense slots so per-event graph
+	// work stays O(live queries) instead of O(total slots ever). Zero
+	// selects DefaultCompactAfter; negative disables compaction.
+	// Compaction cost is folded into the triggering event's Update.Stats
+	// so per-event metering stays exact, and a compacted session remains
+	// byte-for-byte batch-equivalent (see coord.(*Incremental).Compact).
+	CompactAfter int
 	// OnUpdate, when non-nil, observes every processed event (called
 	// synchronously from the processing goroutine, in order, with the
 	// session lock held — the callback must not call back into the
@@ -163,6 +179,9 @@ func (s *Session) process(ev Event) (Update, error) {
 		s.leave(ev.ID, &up)
 	default:
 		up.Err = fmt.Errorf("stream: unknown event kind %d", ev.Kind)
+	}
+	if t := s.compactThreshold(); t > 0 && s.inc.Tombstones() >= t {
+		s.compact(&up)
 	}
 	s.totals.Events++
 	s.totals.Dirty += up.Stats.Dirty
@@ -280,6 +299,68 @@ func (s *Session) leave(id string, up *Update) {
 // full Result.
 func (s *Session) teamSize() int { return s.inc.TeamSize() }
 
+// compactThreshold resolves Options.CompactAfter: zero means the
+// default, negative disables.
+func (s *Session) compactThreshold() int {
+	switch {
+	case s.opts.CompactAfter < 0:
+		return 0
+	case s.opts.CompactAfter == 0:
+		return DefaultCompactAfter
+	}
+	return s.opts.CompactAfter
+}
+
+// compact renumbers live queries into dense slots and remaps the ID
+// index accordingly. The cost folds into the triggering event's stats
+// so per-event metering stays exact; a compaction failure surfaces on
+// the update (the state is still consistent — reconcile heals on the
+// next event — but the error must not vanish).
+func (s *Session) compact(up *Update) {
+	remap, d, err := s.inc.Compact()
+	up.Stats.Dirty += d.Dirty
+	up.Stats.Reused += d.Reused
+	up.Stats.DBQueries += d.DBQueries
+	// A nil remap means compaction aborted before renumbering; the old
+	// slots are still the live ones, so the ID index must not move.
+	if remap != nil {
+		for id, slot := range s.byID {
+			s.byID[id] = remap[slot]
+		}
+	}
+	if err != nil && up.Err == nil {
+		up.Err = fmt.Errorf("stream: compaction: %w", err)
+	}
+}
+
+// Tombstones returns the number of dead slots accumulated since the
+// last compaction.
+func (s *Session) Tombstones() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inc.Tombstones()
+}
+
+// Compact forces a slot compaction now, regardless of the threshold,
+// and returns its cost. Sessions configured with a non-negative
+// CompactAfter compact automatically; this is for callers that disabled
+// auto-compaction but still want to reclaim slots at a moment of their
+// choosing (e.g. an idle tick).
+func (s *Session) Compact() (coord.DeltaStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	remap, d, err := s.inc.Compact()
+	if remap != nil {
+		for id, slot := range s.byID {
+			s.byID[id] = remap[slot]
+		}
+	}
+	s.totals.Dirty += d.Dirty
+	s.totals.Reused += d.Reused
+	s.totals.DBQueries += d.DBQueries
+	return d, err
+}
+
 // Run drains events until the channel closes or the context is
 // cancelled, whichever comes first. The event being processed when the
 // context fires always finishes — events are atomic — so cancellation
@@ -354,6 +435,47 @@ func (s *Session) Queries() []eq.Query {
 	return s.inc.LiveQueries()
 }
 
+// Status is a consistent snapshot of a session's observable state,
+// read under one lock acquisition so its fields agree with each other
+// (Result's set indices are positions in Queries; Live == len(Queries)).
+type Status struct {
+	// Queries holds the live queries in arrival order.
+	Queries []eq.Query
+	// Result is the currently selected coordinating set (nil when
+	// nothing grounds); indices are positions in Queries.
+	Result *coord.Result
+	// Trace is the current state's step-by-step record; nil unless
+	// requested.
+	Trace *coord.Trace
+	// Parked is the number of arrivals currently parked.
+	Parked int
+	// Totals is the session-lifetime statistics.
+	Totals Totals
+}
+
+// Status snapshots the session in one lock acquisition. Callers that
+// read Result and Queries separately can observe them from different
+// states when other clients are joining and leaving concurrently;
+// Status cannot. It issues no database queries.
+func (s *Session) Status(withTrace bool) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.resultLocked()
+	if err != nil {
+		return Status{}, err
+	}
+	st := Status{
+		Queries: s.inc.LiveQueries(),
+		Result:  res,
+		Parked:  len(s.parked),
+		Totals:  s.totals,
+	}
+	if withTrace {
+		st.Trace = s.traceLocked()
+	}
+	return st, nil
+}
+
 // Result returns the currently selected coordinating set (nil when
 // nothing grounds) without issuing database queries. Set indices are
 // positions in Queries(); Result.DBQueries is the marginal cost of the
@@ -361,6 +483,11 @@ func (s *Session) Queries() []eq.Query {
 func (s *Session) Result() (*coord.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.resultLocked()
+}
+
+// resultLocked is Result under an already-held lock.
+func (s *Session) resultLocked() (*coord.Result, error) {
 	res, err := s.inc.Result()
 	if err != nil || res == nil {
 		return res, err
@@ -386,6 +513,11 @@ func (s *Session) Result() (*coord.Result, error) {
 func (s *Session) Trace() *coord.Trace {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.traceLocked()
+}
+
+// traceLocked is Trace under an already-held lock.
+func (s *Session) traceLocked() *coord.Trace {
 	tr := s.inc.Trace()
 	pos := map[int]int{}
 	for j, slot := range s.inc.LiveSlots() {
