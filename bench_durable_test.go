@@ -1,0 +1,158 @@
+// Benchmarks for the durable storage layer (PR 6): the WAL append
+// path, recovery replay, and what journaling costs a live streaming
+// session per arrival (compare BenchmarkStreamJoinDurable with
+// BenchmarkStreamJoin — the delta is the price of durability at each
+// fsync policy).
+package entangled_test
+
+import (
+	"strconv"
+	"testing"
+
+	"entangled/internal/db"
+	"entangled/internal/eq"
+	"entangled/internal/persist"
+	"entangled/internal/stream"
+	"entangled/internal/workload"
+)
+
+// durablePolicies is the fsync axis: "never" is the raw append cost
+// (OS page cache only), "always" pays one fsync per acked write.
+func durablePolicies() []persist.SyncPolicy {
+	return []persist.SyncPolicy{persist.SyncNever, persist.SyncAlways}
+}
+
+// BenchmarkWALAppend measures one journaled store mutation end to end:
+// frame encoding, the segment write, rotation amortised in, and the
+// policy's fsync.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, policy := range durablePolicies() {
+		b.Run("fsync="+policy.String(), func(b *testing.B) {
+			backend, err := persist.Open(b.TempDir(), persist.Options{Sync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer backend.Close()
+			if err := backend.Apply(db.MCreate("T", 1, "key", "val")); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := db.MInsert("T", eq.Value("t"+strconv.Itoa(i)), eq.Value("c"+strconv.Itoa(i&1023)))
+				if err := backend.Apply(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			mt := backend.Metrics()
+			b.ReportMetric(float64(mt.StoreBytes)/float64(b.N), "walB/op")
+		})
+	}
+}
+
+// BenchmarkWALRecover measures a cold open of a populated data
+// directory: scanning the store dir, replaying the snapshot and WAL
+// into a fresh instance, and verifying the tail. mutations/s is the
+// recovery throughput that bounds restart time.
+func BenchmarkWALRecover(b *testing.B) {
+	streams := []struct {
+		name string
+		ms   []db.Mutation
+	}{
+		{"uniform/rows=2000", workload.UserTableMutations(2000)},
+		{"uniform/rows=20000", workload.UserTableMutations(20000)},
+		// Zipf-ranked relation sizes with hot-key columns: the snapshot
+		// stream is dominated by one relation, the shape real data has.
+		{"skewed/rows=20000", workload.SkewedMutations(workload.SkewOptions{
+			Relations: 8, MaxRows: 20000, Seed: 6,
+		})},
+	}
+	for _, cs := range streams {
+		b.Run(cs.name, func(b *testing.B) {
+			dir := b.TempDir()
+			backend, err := persist.Open(dir, persist.Options{Sync: persist.SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := db.ApplyAll(backend, cs.ms); err != nil {
+				b.Fatal(err)
+			}
+			if err := backend.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				re, err := persist.Open(dir, persist.Options{Sync: persist.SyncNever})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := re.RecoveryStats()
+				if st.WALFrames+st.SnapshotFrames != len(cs.ms) {
+					b.Fatalf("recovered %d+%d frames, want %d", st.SnapshotFrames, st.WALFrames, len(cs.ms))
+				}
+				re.Abort() // nothing written; skip the close-time sync
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(cs.ms))/b.Elapsed().Seconds(), "mutations/s")
+		})
+	}
+}
+
+// BenchmarkStreamJoinDurable is BenchmarkStreamJoin (size=64) with the
+// session journaled the way the server journals it: every admitted
+// event appended to the session's WAL before the ack. dbq/op stays the
+// incremental path's constant; the ns/op delta against the in-memory
+// family is the durability overhead per event at each fsync policy.
+func BenchmarkStreamJoinDurable(b *testing.B) {
+	const size = 64
+	for _, policy := range durablePolicies() {
+		b.Run("fsync="+policy.String(), func(b *testing.B) {
+			backend, err := persist.Open(b.TempDir(), persist.Options{Sync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer backend.Close()
+			if err := db.ApplyAll(backend, workload.UserTableMutations(benchTableRows)); err != nil {
+				b.Fatal(err)
+			}
+			journal, err := backend.CreateSessionJournal("bench", false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, next := streamBenchSession(b, backend, size)
+			clusters := len(next)
+			baseline := s.Totals().DBQueries
+			var dbq int64
+			const rebuildEvery = 512 // see BenchmarkStreamJoin: steady slot count
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 && i%rebuildEvery == 0 {
+					b.StopTimer()
+					dbq += s.Totals().DBQueries - baseline
+					s, next = streamBenchSession(b, backend, size)
+					baseline = s.Totals().DBQueries
+					b.StartTimer()
+				}
+				c := i % clusters
+				q := workload.ChainQuery(c, next[c], benchTableRows)
+				join := stream.Event{Kind: stream.JoinEvent, Query: q}
+				if _, err := s.Apply(join); err != nil {
+					b.Fatal(err)
+				}
+				if err := journal.Append(join); err != nil {
+					b.Fatal(err)
+				}
+				leave := stream.Event{Kind: stream.LeaveEvent, ID: q.ID}
+				if _, err := s.Apply(leave); err != nil {
+					b.Fatal(err)
+				}
+				if err := journal.Append(leave); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			dbq += s.Totals().DBQueries - baseline
+			b.ReportMetric(float64(dbq)/float64(b.N), "dbq/op")
+		})
+	}
+}

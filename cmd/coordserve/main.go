@@ -79,6 +79,8 @@ func main() {
 	rate := flag.Float64("rate", 0, "stream mode: mean arrival rate in events/second (0 = full speed)")
 	seed := flag.Int64("seed", 1, "stream mode: arrival-sequence seed")
 	park := flag.Bool("park", false, "stream mode: park unsafe arrivals for retry instead of rejecting")
+	dataDir := flag.String("data-dir", "", "serve mode: durable data directory (snapshot + WAL); empty = in-memory only")
+	fsync := flag.String("fsync", "always", "serve mode: WAL sync policy: always, never, or a flush interval like 50ms")
 	flag.Parse()
 	if *requests <= 0 || *queries < 2 || *batch <= 0 || *workers <= 0 || *shards <= 0 {
 		fmt.Fprintln(os.Stderr, "coordserve: -requests, -batch, -workers and -shards must be positive and -queries >= 2")
@@ -86,9 +88,16 @@ func main() {
 	}
 
 	if *listen != "" {
+		if *dataDir != "" {
+			if err := serveDurable(*listen, *dataDir, *fsync, *shards, *rows, *workers); err != nil {
+				fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 		store := workload.NewStore(*shards, *rows, *latency)
 		fmt.Printf("serving a %d-row table across %d shard(s), %d workers\n", *rows, *shards, *workers)
-		if err := runServe(*listen, store, *workers); err != nil {
+		if err := runServe(*listen, store, *workers, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
 			os.Exit(1)
 		}
@@ -187,19 +196,8 @@ func main() {
 // requests the hit rate should be ~100% (each body shape compiles
 // once per schema version, not once per request).
 func reportPlans(store db.Store) {
-	var st db.PlanCacheStats
-	switch s := store.(type) {
-	case *db.Instance:
-		st = s.PlanStats()
-	case *db.ShardedInstance:
-		st = s.PlanStats()
-		for i := 0; i < s.NumShards(); i++ {
-			sub := s.Shard(i).PlanStats()
-			st.Hits += sub.Hits
-			st.Misses += sub.Misses
-			st.Entries += sub.Entries
-		}
-	default:
+	st, ok := db.AggregatePlanStats(store)
+	if !ok {
 		return
 	}
 	total := st.Hits + st.Misses

@@ -13,18 +13,76 @@ import (
 	"entangled/internal/coord"
 	"entangled/internal/db"
 	"entangled/internal/engine"
+	"entangled/internal/persist"
 	"entangled/internal/server"
+	"entangled/internal/workload"
 )
+
+// serveDurable is the -data-dir serve path: open (or create) the
+// durable backend, replay its snapshot and WAL into the store, then
+// serve over it so every accepted mutation and admitted session event
+// is journaled before it is acknowledged. A fresh directory is seeded
+// with the canonical workload table, snapshotted immediately so later
+// restarts recover from the compact form; a non-fresh directory is
+// recovered as-is and -rows is ignored (the data directory owns the
+// data). The backend is closed — final sync included — after the
+// server drains.
+func serveDurable(addr, dataDir, fsync string, shards, rows, workers int) error {
+	policy, err := persist.ParseSyncPolicy(fsync)
+	if err != nil {
+		return err
+	}
+	backend, err := persist.Open(dataDir, persist.Options{Shards: shards, Sync: policy})
+	if err != nil {
+		return err
+	}
+	defer backend.Close()
+	if backend.Fresh() {
+		fmt.Printf("initialising %s: %d-row table across %d shard(s), fsync=%s\n",
+			dataDir, rows, backend.Shards(), policy)
+		if err := db.ApplyAll(backend, workload.UserTableMutations(rows)); err != nil {
+			return fmt.Errorf("seeding data directory: %w", err)
+		}
+		if err := backend.Compact(); err != nil {
+			return fmt.Errorf("snapshotting seed: %w", err)
+		}
+	} else {
+		fmt.Printf("recovering %s: %d shard(s), fsync=%s\n", dataDir, backend.Shards(), policy)
+	}
+	return runServe(addr, backend, workers, backend)
+}
 
 // runServe boots the coordination service on addr over the given store
 // and blocks until SIGINT/SIGTERM, then drains gracefully: the HTTP
 // server stops accepting and waits for in-flight connections, the batch
 // queue serves what it admitted, and every session's mailbox drains
 // before its goroutine exits (the PR 4 contract — events are atomic, so
-// a drain never leaves partial coordination state).
-func runServe(addr string, store db.Store, workers int) error {
+// a drain never leaves partial coordination state). With a durable
+// backend, the drain additionally syncs and closes every open WAL —
+// session journals first (registry close), then the store log — so an
+// interrupted server's data directory is complete on stable storage.
+func runServe(addr string, store db.Store, workers int, backend *persist.Backend) error {
 	e := engine.New(store, engine.Options{Workers: workers, Coord: coord.Options{}})
-	srv := server.New(e, server.Options{})
+	srv, err := server.New(e, server.Options{Persist: backend})
+	if err != nil {
+		return fmt.Errorf("recovering sessions: %w", err)
+	}
+	if backend != nil {
+		if backend.Fresh() {
+			// Nothing was recovered (the directory was just created and
+			// seeded); report what is on disk now instead.
+			mt := backend.Metrics()
+			fmt.Printf("durable: %s (fresh; snapshot seq %d: %d mutations on disk)\n",
+				backend.Dir(), mt.SnapshotSeq, mt.StoreAppends)
+		} else {
+			rec := backend.RecoveryStats()
+			fmt.Printf("durable: %s (snapshot seq %d: %d mutations; WAL: %d mutations in %d segment(s); sessions: %d with %d events)\n",
+				backend.Dir(), rec.SnapshotSeq, rec.SnapshotFrames, rec.WALFrames, rec.WALSegments, rec.Sessions, rec.SessionEvents)
+			if rec.TornTail || rec.SessionTornTails > 0 {
+				fmt.Printf("durable: truncated torn tail(s): store=%v sessions=%d\n", rec.TornTail, rec.SessionTornTails)
+			}
+		}
+	}
 	hs := &http.Server{Addr: addr, Handler: srv}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

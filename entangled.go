@@ -16,6 +16,8 @@
 //   - the in-memory relational substrate, including hash-partitioned
 //     sharded stores and exact per-request query metering
 //     (internal/db),
+//   - durable storage: a snapshot + write-ahead-log backend with
+//     session-event journals and crash recovery (internal/persist),
 //   - the concurrent serving engine with per-shard request routing
 //     (internal/engine),
 //   - streaming coordination sessions with incremental ingest and
@@ -38,6 +40,7 @@ import (
 	"entangled/internal/db"
 	"entangled/internal/engine"
 	"entangled/internal/eq"
+	"entangled/internal/persist"
 	"entangled/internal/server"
 	"entangled/internal/stream"
 	"entangled/internal/system"
@@ -72,6 +75,21 @@ type (
 	ShardedRelation = db.ShardedRelation
 	// Meter is a per-request counting view over a Store.
 	Meter = db.Meter
+	// WriteStore is the mutation surface over a Store: every change is
+	// a typed, replayable Mutation.
+	WriteStore = db.WriteStore
+	// Mutation is one replayable store change (create, insert, index).
+	Mutation = db.Mutation
+
+	// PersistBackend is the durable store: a WriteStore whose mutation
+	// stream is journaled to a snapshot + write-ahead log on disk, with
+	// per-session event journals for crash recovery (internal/persist).
+	PersistBackend = persist.Backend
+	// PersistOptions configures OpenPersist (shard count, fsync policy,
+	// rotation and compaction thresholds).
+	PersistOptions = persist.Options
+	// SyncPolicy says when WAL appends reach stable storage.
+	SyncPolicy = persist.SyncPolicy
 
 	// Engine serves batches of coordination requests concurrently over
 	// one shared Store, routing each request to the single shard its
@@ -161,6 +179,15 @@ func NewShardedInstance(k int) *ShardedInstance { return db.NewShardedInstance(k
 // NewEngine creates a concurrent serving engine over a shared store.
 func NewEngine(store Store, opts EngineOptions) *Engine { return engine.New(store, opts) }
 
+// OpenPersist opens (or creates) a durable data directory and recovers
+// its store by replaying the newest snapshot and the write-ahead log.
+// The returned backend is a WriteStore: serve over it directly, and
+// pass it as ServerOptions.Persist so admitted session events are
+// journaled and recovered too.
+func OpenPersist(dir string, opts PersistOptions) (*PersistBackend, error) {
+	return persist.Open(dir, opts)
+}
+
 // NewSession opens a streaming coordination session over a shared
 // store: arrivals and departures re-coordinate incrementally, touching
 // only the components their event dirties (see internal/stream).
@@ -168,8 +195,9 @@ func NewSession(store Store, opts SessionOptions) *Session { return stream.New(s
 
 // NewServer exposes an engine over HTTP/JSON. Serve the returned
 // http.Handler with any http.Server and call its Close on shutdown to
-// drain admitted work.
-func NewServer(e *Engine, opts ServerOptions) *Server { return server.New(e, opts) }
+// drain admitted work. The error return is session recovery failing,
+// which only a server with ServerOptions.Persist can hit.
+func NewServer(e *Engine, opts ServerOptions) (*Server, error) { return server.New(e, opts) }
 
 // NewClient returns a typed client for a coordination service at
 // baseURL (e.g. "http://127.0.0.1:8080").

@@ -32,7 +32,10 @@ func main() {
 	fl.Insert("f2", "Tokyo")
 
 	// Boot the service on a loopback listener.
-	srv := server.New(engine.New(in, engine.Options{}), server.Options{})
+	srv, err := server.New(engine.New(in, engine.Options{}), server.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

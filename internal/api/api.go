@@ -303,12 +303,52 @@ type PlanCacheMetrics struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// PersistMetrics surfaces the durable backend's WAL counters: appends,
+// bytes and fsyncs for the store mutation log and for the session
+// event journals, plus compaction state.
+type PersistMetrics struct {
+	StoreAppends   int64 `json:"store_appends"`
+	StoreBytes     int64 `json:"store_bytes"`
+	StoreSyncs     int64 `json:"store_syncs"`
+	StoreRotations int64 `json:"store_rotations"`
+	SessionAppends int64 `json:"session_appends"`
+	SessionBytes   int64 `json:"session_bytes"`
+	SessionSyncs   int64 `json:"session_syncs"`
+	OpenJournals   int   `json:"open_journals"`
+	SnapshotSeq    int   `json:"snapshot_seq"`
+	Compactions    int64 `json:"compactions"`
+}
+
 // Metrics is the body of GET /metrics.
 type Metrics struct {
 	UptimeS    float64           `json:"uptime_s"`
 	Coordinate CoordinateMetrics `json:"coordinate"`
 	Sessions   SessionMetrics    `json:"sessions"`
 	PlanCache  *PlanCacheMetrics `json:"plan_cache,omitempty"`
+	Persist    *PersistMetrics   `json:"persist,omitempty"`
+}
+
+// RecoveryStatus is the body of GET /v1/recovery: what this server
+// process replayed from its durable backend at startup. Enabled is
+// false (and everything else zero) when the server runs in-memory.
+type RecoveryStatus struct {
+	Enabled bool   `json:"enabled"`
+	DataDir string `json:"data_dir,omitempty"`
+	// SnapshotSeq/SnapshotFrames describe the snapshot the store was
+	// restored from; WALFrames/WALSegments the mutation log replayed on
+	// top of it.
+	SnapshotSeq    int  `json:"snapshot_seq,omitempty"`
+	SnapshotFrames int  `json:"snapshot_frames,omitempty"`
+	WALFrames      int  `json:"wal_frames,omitempty"`
+	WALSegments    int  `json:"wal_segments,omitempty"`
+	TornTail       bool `json:"torn_tail,omitempty"`
+	// Sessions/SessionEvents count the session journals replayed;
+	// RecoveredSessions names them.
+	Sessions          int      `json:"sessions,omitempty"`
+	SessionEvents     int      `json:"session_events,omitempty"`
+	SessionTornTails  int      `json:"session_torn_tails,omitempty"`
+	DurationMS        int64    `json:"duration_ms,omitempty"`
+	RecoveredSessions []string `json:"recovered_sessions,omitempty"`
 }
 
 // ErrorEnvelope is the body of every non-2xx response.

@@ -75,6 +75,8 @@ func newOf(v any) any {
 		return &ErrorEnvelope{}
 	case Metrics:
 		return &Metrics{}
+	case RecoveryStatus:
+		return &RecoveryStatus{}
 	default:
 		panic("add the type to newOf")
 	}
@@ -159,6 +161,28 @@ func TestGoldenMetrics(t *testing.T) {
 			PerSession: []SessionCounters{{ID: "alpha", Live: 12, Parked: 1, Events: 52, DBQueries: 104}},
 		},
 		PlanCache: &PlanCacheMetrics{Hits: 700, Misses: 9, Entries: 9, HitRate: 0.987306064880113},
+		Persist: &PersistMetrics{
+			StoreAppends: 20002, StoreBytes: 1_200_000, StoreSyncs: 3, StoreRotations: 1,
+			SessionAppends: 52, SessionBytes: 9_800, SessionSyncs: 52,
+			OpenJournals: 1, SnapshotSeq: 2, Compactions: 1,
+		},
+	})
+}
+
+func TestGoldenRecoveryStatus(t *testing.T) {
+	golden(t, "recovery_status", RecoveryStatus{
+		Enabled:           true,
+		DataDir:           "/var/lib/entangled",
+		SnapshotSeq:       2,
+		SnapshotFrames:    20002,
+		WALFrames:         17,
+		WALSegments:       1,
+		TornTail:          true,
+		Sessions:          2,
+		SessionEvents:     52,
+		SessionTornTails:  1,
+		DurationMS:        8,
+		RecoveredSessions: []string{"alpha", "beta"},
 	})
 }
 

@@ -233,6 +233,17 @@ func (c *Client) Health(ctx context.Context) (*api.Health, error) {
 	return &h, nil
 }
 
+// Recovery reads /v1/recovery: what the server replayed from its
+// durable backend at startup. Enabled is false for an in-memory
+// server.
+func (c *Client) Recovery(ctx context.Context) (*api.RecoveryStatus, error) {
+	var rs api.RecoveryStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/recovery", nil, &rs); err != nil {
+		return nil, err
+	}
+	return &rs, nil
+}
+
 // Metrics reads /metrics.
 func (c *Client) Metrics(ctx context.Context) (*api.Metrics, error) {
 	var m api.Metrics

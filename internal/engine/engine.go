@@ -26,24 +26,26 @@ type Options struct {
 // Engine runs coordination workloads over one shared store.
 type Engine struct {
 	store   db.Store
-	sharded *db.ShardedInstance // non-nil when store is sharded: requests route per shard
+	router  db.Router // non-nil when store routes: requests route per shard
 	workers int
 	base    coord.Options
 }
 
-// New returns an engine over the given store — a *db.Instance or a
-// *db.ShardedInstance (or any other db.Store). Over a sharded store
-// the engine routes each request to the single shard its query bodies
-// pin, when they pin one, so independent requests fan out to disjoint
-// shard locks instead of contending on one relation lock.
+// New returns an engine over the given store — a *db.Instance, a
+// *db.ShardedInstance, a durable persist.Backend, or any other
+// db.Store. When the store implements db.Router (sharded stores and
+// wrappers over them), the engine routes each request to the single
+// shard its query bodies pin, when they pin one, so independent
+// requests fan out to disjoint shard locks instead of contending on
+// one relation lock.
 func New(store db.Store, opts Options) *Engine {
 	w := opts.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{store: store, workers: w, base: opts.Coord}
-	if sh, ok := store.(*db.ShardedInstance); ok {
-		e.sharded = sh
+	if r, ok := store.(db.Router); ok {
+		e.router = r
 	}
 	return e
 }
@@ -61,8 +63,8 @@ func (e *Engine) Store() db.Store { return e.store }
 // serving layer sees request boundaries, and the db layer stays
 // correct for arbitrary queries without guessing at them.
 func (e *Engine) routed(qs []eq.Query) db.Store {
-	if e.sharded != nil {
-		if view, ok := e.sharded.Route(qs); ok {
+	if e.router != nil {
+		if view, ok := e.router.Route(qs); ok {
 			return view
 		}
 	}

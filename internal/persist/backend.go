@@ -1,0 +1,535 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"entangled/internal/db"
+	"entangled/internal/eq"
+	"entangled/internal/unify"
+)
+
+// Options configures Open. The zero value is usable: one shard, fsync
+// on every append, 4 MiB segments, compaction after 64 MiB of log.
+type Options struct {
+	// Shards is the hash-partition count of the store the logs replay
+	// into. 0 means 1 (a plain instance); >1 builds a ShardedInstance.
+	// The count is recorded in meta.json on first open and must match on
+	// every reopen — replaying one mutation stream into a different
+	// shard count would reorder tuples across parts.
+	Shards int
+	// Sync is the fsync policy for the store WAL and session journals.
+	Sync SyncPolicy
+	// RotateBytes caps a WAL segment before rotation (default 4 MiB).
+	RotateBytes int64
+	// CompactBytes triggers snapshot-truncate compaction once that many
+	// log bytes accumulate past the last snapshot (default 64 MiB;
+	// negative disables automatic compaction).
+	CompactBytes int64
+}
+
+// RecoveryStats reports what Open (and RecoverSessions) replayed.
+type RecoveryStats struct {
+	// SnapshotSeq is the snapshot the store was restored from (0: none).
+	SnapshotSeq int `json:"snapshot_seq"`
+	// SnapshotFrames is the number of mutations in that snapshot.
+	SnapshotFrames int `json:"snapshot_frames"`
+	// WALFrames is the number of mutations replayed from log segments.
+	WALFrames int `json:"wal_frames"`
+	// WALSegments is the number of log segments replayed.
+	WALSegments int `json:"wal_segments"`
+	// TornTail is true when the last segment ended in a torn frame that
+	// recovery truncated away.
+	TornTail bool `json:"torn_tail,omitempty"`
+	// Sessions and SessionEvents count recovered session journals and
+	// the events replayed from them; SessionTornTails counts journals
+	// that ended in a truncated torn frame.
+	Sessions         int `json:"sessions"`
+	SessionEvents    int `json:"session_events"`
+	SessionTornTails int `json:"session_torn_tails,omitempty"`
+	// DurationMS is wall time spent in Open's store replay.
+	DurationMS int64 `json:"duration_ms"`
+}
+
+// Metrics is a point-in-time snapshot of the backend's durability
+// counters for /metrics.
+type Metrics struct {
+	StoreAppends   int64         `json:"store_appends"`
+	StoreBytes     int64         `json:"store_bytes"`
+	StoreSyncs     int64         `json:"store_syncs"`
+	StoreRotations int64         `json:"store_rotations"`
+	SessionAppends int64         `json:"session_appends"`
+	SessionBytes   int64         `json:"session_bytes"`
+	SessionSyncs   int64         `json:"session_syncs"`
+	OpenJournals   int           `json:"open_journals"`
+	SnapshotSeq    int           `json:"snapshot_seq"`
+	Compactions    int64         `json:"compactions"`
+	Recovery       RecoveryStats `json:"recovery"`
+}
+
+// backendMeta is the meta.json shape: the store shape the logs replay
+// into, pinned at first open.
+type backendMeta struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+// Backend is a durable db.WriteStore: an in-memory Instance or
+// ShardedInstance that journals every applied mutation to a rotating
+// WAL, snapshots itself as a compacted mutation stream, and owns the
+// per-session event journals under the same data directory. Reads
+// delegate straight to the in-memory store (queries cost no I/O);
+// writes pay one framed append plus the sync policy.
+type Backend struct {
+	dir         string
+	storeDir    string
+	sessionsDir string
+	opts        Options
+	shards      int
+	fresh       bool
+
+	inner  db.WriteStore
+	router db.Router
+
+	mu        sync.Mutex // serialises writes, compaction, close
+	wal       *wal
+	snapSeq   int
+	sinceSnap int64
+	closed    bool
+
+	storeCtr    walCounters
+	sessionCtr  walCounters
+	compactions atomic.Int64
+
+	smu      sync.Mutex
+	sessions map[string]*SessionJournal
+
+	rec RecoveryStats
+}
+
+var (
+	_ db.WriteStore  = (*Backend)(nil)
+	_ db.Router      = (*Backend)(nil)
+	_ db.PlanStatser = (*Backend)(nil)
+)
+
+// Open opens (creating if needed) the data directory and restores the
+// store: load the newest snapshot, replay every segment at or above its
+// number, truncate a torn tail on the last segment. Mid-log corruption
+// is a *CorruptError and Open fails. Session journals are NOT replayed
+// here — call RecoverSessions for those.
+func Open(dir string, opts Options) (*Backend, error) {
+	start := time.Now()
+	if opts.RotateBytes <= 0 {
+		opts.RotateBytes = 4 << 20
+	}
+	if opts.CompactBytes == 0 {
+		opts.CompactBytes = 64 << 20
+	}
+	b := &Backend{
+		dir:         dir,
+		storeDir:    filepath.Join(dir, "store"),
+		sessionsDir: filepath.Join(dir, "sessions"),
+		opts:        opts,
+		sessions:    make(map[string]*SessionJournal),
+	}
+	for _, d := range []string{b.storeDir, b.sessionsDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.loadMeta(); err != nil {
+		return nil, err
+	}
+	if b.shards <= 1 {
+		b.inner = db.NewInstance()
+	} else {
+		sh := db.NewShardedInstance(b.shards)
+		b.inner = sh
+		b.router = sh
+	}
+	if err := b.recoverStore(); err != nil {
+		return nil, err
+	}
+	b.rec.DurationMS = time.Since(start).Milliseconds()
+	return b, nil
+}
+
+// loadMeta pins the shard count: first open writes it, reopens must
+// match.
+func (b *Backend) loadMeta() error {
+	path := filepath.Join(b.dir, "meta.json")
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		b.fresh = true
+		b.shards = b.opts.Shards
+		if b.shards <= 0 {
+			b.shards = 1
+		}
+		data, _ = json.Marshal(backendMeta{Version: 1, Shards: b.shards})
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		syncDir(b.dir)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var meta backendMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return fmt.Errorf("persist: reading %s: %w", path, err)
+	}
+	if meta.Shards <= 0 {
+		return fmt.Errorf("persist: %s records an invalid shard count %d", path, meta.Shards)
+	}
+	if b.opts.Shards != 0 && b.opts.Shards != meta.Shards {
+		return fmt.Errorf("persist: data dir was created with %d shard(s), reopened asking for %d", meta.Shards, b.opts.Shards)
+	}
+	b.shards = meta.Shards
+	return nil
+}
+
+// recoverStore replays snapshot + segments into the in-memory store
+// and opens a fresh segment for appends.
+func (b *Backend) recoverStore() error {
+	segs, snaps, err := scanStoreDir(b.storeDir)
+	if err != nil {
+		return err
+	}
+	if len(snaps) > 0 {
+		b.snapSeq = snaps[len(snaps)-1]
+		path := filepath.Join(b.storeDir, snapName(b.snapSeq))
+		n, _, err := replayFile(path, b.applyFrame)
+		if err != nil {
+			// Snapshots are written to a temp file and renamed, so a
+			// torn snapshot is real corruption, not a crash artifact.
+			return err
+		}
+		b.rec.SnapshotSeq = b.snapSeq
+		b.rec.SnapshotFrames = n
+	}
+	// Drop files a crashed compaction left behind: snapshots and
+	// segments the newest snapshot superseded.
+	for _, s := range snaps {
+		if s < b.snapSeq {
+			os.Remove(filepath.Join(b.storeDir, snapName(s)))
+		}
+	}
+	live := segs[:0]
+	for _, s := range segs {
+		if s < b.snapSeq {
+			os.Remove(filepath.Join(b.storeDir, segName(s)))
+		} else {
+			live = append(live, s)
+		}
+	}
+	for i, s := range live {
+		path := filepath.Join(b.storeDir, segName(s))
+		n, valid, err := replayFile(path, b.applyFrame)
+		if err != nil {
+			if _, torn := err.(*CorruptError); torn && i == len(live)-1 {
+				// A crash can tear only the tail of the last segment:
+				// truncate past the last valid frame and carry on.
+				if terr := os.Truncate(path, valid); terr != nil {
+					return terr
+				}
+				b.rec.TornTail = true
+			} else {
+				return err
+			}
+		}
+		b.rec.WALFrames += n
+		b.rec.WALSegments++
+		b.sinceSnap += valid
+	}
+	next := b.snapSeq + 1
+	if len(live) > 0 && live[len(live)-1]+1 > next {
+		next = live[len(live)-1] + 1
+	}
+	if next < 1 {
+		next = 1
+	}
+	b.wal, err = openWAL(b.storeDir, next, b.opts.Sync, b.opts.RotateBytes, &b.storeCtr)
+	return err
+}
+
+// applyFrame decodes one journaled mutation and applies it. Failures
+// here (valid CRC, undecodable or unappliable payload) mean a writer
+// bug, not a torn write, and fail recovery loudly.
+func (b *Backend) applyFrame(payload []byte) error {
+	var m db.Mutation
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return fmt.Errorf("persist: decoding journaled mutation: %w", err)
+	}
+	if err := b.inner.Apply(m); err != nil {
+		return fmt.Errorf("persist: replaying %s: %w", m, err)
+	}
+	return nil
+}
+
+// Fresh reports whether Open created the data directory's meta on this
+// open — i.e. the store has never held data and needs populating.
+func (b *Backend) Fresh() bool { return b.fresh }
+
+// Shards returns the pinned shard count.
+func (b *Backend) Shards() int { return b.shards }
+
+// Dir returns the data directory.
+func (b *Backend) Dir() string { return b.dir }
+
+// RecoveryStats returns what Open and RecoverSessions replayed.
+func (b *Backend) RecoveryStats() RecoveryStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rec
+}
+
+// Apply validates and applies the mutation to the in-memory store,
+// then journals it (rotating and compacting as configured). The
+// in-memory apply runs first so an invalid mutation never reaches the
+// log — a journal replay cannot fail to apply.
+func (b *Backend) Apply(m db.Mutation) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return errClosed
+	}
+	if err := b.inner.Apply(m); err != nil {
+		return err
+	}
+	if err := b.wal.append(payload); err != nil {
+		return err
+	}
+	b.sinceSnap += frameHeader + int64(len(payload))
+	if b.opts.CompactBytes > 0 && b.sinceSnap >= b.opts.CompactBytes {
+		if err := b.compactLocked(); err != nil {
+			return fmt.Errorf("persist: auto-compaction: %w", err)
+		}
+	}
+	return nil
+}
+
+var errClosed = fmt.Errorf("persist: backend is closed")
+
+// Compact writes the store as a snapshot (a compacted mutation
+// stream), rotates the WAL past it, and deletes the segments and
+// snapshots the new snapshot supersedes. Log replay cost resets to
+// O(store), independent of write history.
+func (b *Backend) Compact() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return errClosed
+	}
+	return b.compactLocked()
+}
+
+func (b *Backend) compactLocked() error {
+	newSeq := b.wal.seq + 1
+	tmp := filepath.Join(b.storeDir, "snapshot.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 256<<10)
+	var frame []byte
+	dumpErr := b.inner.DumpMutations(func(m db.Mutation) error {
+		payload, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		frame = appendFrame(frame[:0], payload)
+		_, err = bw.Write(frame)
+		return err
+	})
+	if dumpErr == nil {
+		dumpErr = bw.Flush()
+	}
+	if dumpErr == nil {
+		dumpErr = f.Sync()
+	}
+	if cerr := f.Close(); dumpErr == nil {
+		dumpErr = cerr
+	}
+	if dumpErr != nil {
+		os.Remove(tmp)
+		return dumpErr
+	}
+	if err := os.Rename(tmp, filepath.Join(b.storeDir, snapName(newSeq))); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(b.storeDir)
+	oldSeq := b.wal.seq
+	if err := b.wal.rotateTo(newSeq); err != nil {
+		return err
+	}
+	for s := b.snapSeq; s <= oldSeq; s++ {
+		os.Remove(filepath.Join(b.storeDir, segName(s)))
+	}
+	if b.snapSeq > 0 {
+		os.Remove(filepath.Join(b.storeDir, snapName(b.snapSeq)))
+	}
+	b.snapSeq = newSeq
+	b.sinceSnap = 0
+	b.compactions.Add(1)
+	return nil
+}
+
+// Sync flushes the store WAL and every open session journal to stable
+// storage regardless of the sync policy — the graceful-drain hook.
+func (b *Backend) Sync() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return errClosed
+	}
+	err := b.wal.sync()
+	b.mu.Unlock()
+	for _, j := range b.openJournals() {
+		if serr := j.Sync(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// Close syncs and closes the WAL and every open session journal. The
+// backend rejects writes afterwards; the in-memory store stays
+// readable.
+func (b *Backend) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	err := b.wal.close()
+	b.mu.Unlock()
+	for _, j := range b.openJournals() {
+		if cerr := j.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Abort closes every file handle WITHOUT syncing: the crash-simulation
+// hook for recovery tests. Data the OS already buffered survives a
+// reopen (as it would a process crash); nothing is flushed beyond what
+// the sync policy already flushed.
+func (b *Backend) Abort() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.wal.abort()
+	b.mu.Unlock()
+	for _, j := range b.openJournals() {
+		j.abort()
+	}
+}
+
+// openJournals snapshots the registered session journals.
+func (b *Backend) openJournals() []*SessionJournal {
+	b.smu.Lock()
+	defer b.smu.Unlock()
+	out := make([]*SessionJournal, 0, len(b.sessions))
+	for _, j := range b.sessions {
+		out = append(out, j)
+	}
+	return out
+}
+
+// Metrics snapshots the durability counters.
+func (b *Backend) Metrics() Metrics {
+	b.smu.Lock()
+	open := len(b.sessions)
+	b.smu.Unlock()
+	b.mu.Lock()
+	snapSeq, rec := b.snapSeq, b.rec
+	b.mu.Unlock()
+	return Metrics{
+		StoreAppends:   b.storeCtr.appends.Load(),
+		StoreBytes:     b.storeCtr.bytes.Load(),
+		StoreSyncs:     b.storeCtr.syncs.Load(),
+		StoreRotations: b.storeCtr.rotations.Load(),
+		SessionAppends: b.sessionCtr.appends.Load(),
+		SessionBytes:   b.sessionCtr.bytes.Load(),
+		SessionSyncs:   b.sessionCtr.syncs.Load(),
+		OpenJournals:   open,
+		SnapshotSeq:    snapSeq,
+		Compactions:    b.compactions.Load(),
+		Recovery:       rec,
+	}
+}
+
+// --- db.Store / db.WriteStore delegation: reads cost no I/O. ---
+
+// Solve delegates to the in-memory store.
+func (b *Backend) Solve(body []eq.Atom) (db.Binding, bool, error) { return b.inner.Solve(body) }
+
+// SolveAll delegates to the in-memory store.
+func (b *Backend) SolveAll(body []eq.Atom, limit int) ([]db.Binding, error) {
+	return b.inner.SolveAll(body, limit)
+}
+
+// Satisfiable delegates to the in-memory store.
+func (b *Backend) Satisfiable(body []eq.Atom) (bool, error) { return b.inner.Satisfiable(body) }
+
+// SolveUnder delegates to the in-memory store.
+func (b *Backend) SolveUnder(body []eq.Atom, s *unify.Subst) (db.Binding, bool, error) {
+	return b.inner.SolveUnder(body, s)
+}
+
+// Contains delegates to the in-memory store.
+func (b *Backend) Contains(a eq.Atom) bool { return b.inner.Contains(a) }
+
+// Domain delegates to the in-memory store.
+func (b *Backend) Domain() []eq.Value { return b.inner.Domain() }
+
+// QueriesIssued delegates to the in-memory store.
+func (b *Backend) QueriesIssued() int64 { return b.inner.QueriesIssued() }
+
+// ResetCounters delegates to the in-memory store.
+func (b *Backend) ResetCounters() { b.inner.ResetCounters() }
+
+// DumpMutations delegates to the in-memory store (the snapshot format
+// IS this dump, framed).
+func (b *Backend) DumpMutations(yield func(db.Mutation) error) error {
+	return b.inner.DumpMutations(yield)
+}
+
+// Schema delegates to the in-memory store.
+func (b *Backend) Schema() map[string]int { return b.inner.Schema() }
+
+// RelationNames delegates to the in-memory store.
+func (b *Backend) RelationNames() []string { return b.inner.RelationNames() }
+
+// Route exposes the inner sharded store's single-shard routing; a
+// one-shard backend routes nothing.
+func (b *Backend) Route(qs []eq.Query) (db.Store, bool) {
+	if b.router == nil {
+		return nil, false
+	}
+	return b.router.Route(qs)
+}
+
+// PlanStats aggregates the inner store's compiled-plan-cache counters.
+func (b *Backend) PlanStats() db.PlanCacheStats {
+	st, _ := db.AggregatePlanStats(b.inner)
+	return st
+}

@@ -1,0 +1,260 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"entangled/internal/stream"
+)
+
+// sessionMeta is a journal's first frame: enough to rebuild the
+// session with the admission mode it was created with.
+type sessionMeta struct {
+	Name string `json:"name"`
+	Park bool   `json:"park,omitempty"`
+}
+
+// SessionJournal is one named session's durable event log: a meta
+// frame, then every admitted stream.Event in admission order. The
+// server journals an event after applying it in memory and before
+// acking the client, so a replayed journal rebuilds exactly the acked
+// state. Safe for concurrent use.
+type SessionJournal struct {
+	b    *Backend
+	name string
+	path string
+
+	mu     sync.Mutex
+	lf     *logFile
+	closed bool
+}
+
+// journalPath escapes the session name into a filename (names come
+// from URLs and may hold separators).
+func (b *Backend) journalPath(name string) string {
+	return filepath.Join(b.sessionsDir, url.PathEscape(name)+".wal")
+}
+
+// CreateSessionJournal starts a journal for a newly created session,
+// truncating any leftover file of the same name (the registry
+// guarantees live names are unique; a leftover journal here means the
+// old session was never recovered). The meta frame is synced
+// immediately regardless of policy, so the session's existence is
+// durable before its first event.
+func (b *Backend) CreateSessionJournal(name string, park bool) (*SessionJournal, error) {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return nil, errClosed
+	}
+	path := b.journalPath(name)
+	os.Remove(path)
+	lf, err := openLogFile(path, 0, b.opts.Sync, &b.sessionCtr)
+	if err != nil {
+		return nil, err
+	}
+	meta, _ := json.Marshal(sessionMeta{Name: name, Park: park})
+	if err := lf.append(meta); err != nil {
+		lf.abort()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := lf.sync(); err != nil {
+		lf.abort()
+		os.Remove(path)
+		return nil, err
+	}
+	syncDir(b.sessionsDir)
+	j := &SessionJournal{b: b, name: name, path: path, lf: lf}
+	b.smu.Lock()
+	b.sessions[name] = j
+	b.smu.Unlock()
+	return j, nil
+}
+
+// Name returns the session name the journal belongs to.
+func (j *SessionJournal) Name() string { return j.name }
+
+// Append journals one admitted event under the backend's sync policy.
+func (j *SessionJournal) Append(ev stream.Event) error {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("persist: session journal %q is closed", j.name)
+	}
+	return j.lf.append(payload)
+}
+
+// Sync flushes the journal to stable storage.
+func (j *SessionJournal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.lf.sync()
+}
+
+// Close syncs and closes the journal, keeping the file for recovery —
+// the drain path.
+func (j *SessionJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	j.unregister()
+	return j.lf.close()
+}
+
+// Drop closes the journal and deletes its file — the path for sessions
+// removed on purpose (DELETE, idle eviction), which must not resurrect
+// on restart.
+func (j *SessionJournal) Drop() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.closed {
+		j.closed = true
+		j.unregister()
+		j.lf.abort()
+	}
+	err := os.Remove(j.path)
+	syncDir(j.b.sessionsDir)
+	return err
+}
+
+// abort closes the handle without syncing (crash simulation).
+func (j *SessionJournal) abort() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	j.unregister()
+	j.lf.abort()
+}
+
+// unregister drops the journal from the backend's open set. Called
+// with j.mu held; takes b.smu (never the reverse order anywhere).
+func (j *SessionJournal) unregister() {
+	j.b.smu.Lock()
+	if j.b.sessions[j.name] == j {
+		delete(j.b.sessions, j.name)
+	}
+	j.b.smu.Unlock()
+}
+
+// RecoveredSession is one session journal's replayable content: the
+// admission mode it was created with, its admitted events in order,
+// and the journal reopened for appending so the recovered session
+// keeps journaling where it left off.
+type RecoveredSession struct {
+	Name    string
+	Park    bool
+	Events  []stream.Event
+	Journal *SessionJournal
+}
+
+// RecoverSessions replays every session journal in the data directory,
+// sorted by name. A torn tail on a journal is truncated (counted in
+// RecoveryStats.SessionTornTails); a journal whose meta frame never
+// made it to disk is removed — its session was never durably created.
+// Each returned journal is registered open; callers must Close or Drop
+// every one (sessions they decline to rebuild included).
+func (b *Backend) RecoverSessions() ([]RecoveredSession, error) {
+	ents, err := os.ReadDir(b.sessionsDir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			names = append(names, strings.TrimSuffix(e.Name(), ".wal"))
+		}
+	}
+	sort.Strings(names)
+	var out []RecoveredSession
+	for _, escaped := range names {
+		name, err := url.PathUnescape(escaped)
+		if err != nil {
+			return nil, fmt.Errorf("persist: session journal %q: undecodable name", escaped)
+		}
+		rs, err := b.recoverSession(name)
+		if err != nil {
+			return nil, err
+		}
+		if rs != nil {
+			out = append(out, *rs)
+		}
+	}
+	b.mu.Lock()
+	b.rec.Sessions = len(out)
+	b.rec.SessionEvents = 0
+	for _, rs := range out {
+		b.rec.SessionEvents += len(rs.Events)
+	}
+	b.mu.Unlock()
+	return out, nil
+}
+
+// recoverSession replays one journal; returns nil (and removes the
+// file) when no durable meta frame exists.
+func (b *Backend) recoverSession(name string) (*RecoveredSession, error) {
+	path := b.journalPath(name)
+	var meta *sessionMeta
+	var events []stream.Event
+	frames, valid, err := replayFile(path, func(payload []byte) error {
+		if meta == nil {
+			meta = new(sessionMeta)
+			if err := json.Unmarshal(payload, meta); err != nil {
+				return fmt.Errorf("persist: session journal %q: decoding meta: %w", name, err)
+			}
+			return nil
+		}
+		var ev stream.Event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return fmt.Errorf("persist: session journal %q: decoding event: %w", name, err)
+		}
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		if _, torn := err.(*CorruptError); !torn {
+			return nil, err
+		}
+		// A journal is a single file, so its tail is always the last
+		// thing written: truncate and carry on.
+		if terr := os.Truncate(path, valid); terr != nil {
+			return nil, terr
+		}
+		b.mu.Lock()
+		b.rec.SessionTornTails++
+		b.mu.Unlock()
+	}
+	if frames == 0 || meta == nil {
+		os.Remove(path)
+		return nil, nil
+	}
+	lf, err := openLogFile(path, valid, b.opts.Sync, &b.sessionCtr)
+	if err != nil {
+		return nil, err
+	}
+	j := &SessionJournal{b: b, name: name, path: path, lf: lf}
+	b.smu.Lock()
+	b.sessions[name] = j
+	b.smu.Unlock()
+	return &RecoveredSession{Name: name, Park: meta.Park, Events: events, Journal: j}, nil
+}

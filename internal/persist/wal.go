@@ -1,0 +1,244 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy says when appends reach stable storage. The zero value is
+// SyncAlways: fsync after every append, so an acked write survives a
+// machine crash. Interval > 0 fsyncs at most once per interval (a crash
+// loses at most one interval of acked writes); Interval < 0 never
+// fsyncs explicitly and trusts the OS page cache (process crashes still
+// lose nothing — the data is in kernel buffers — but power loss can).
+type SyncPolicy struct {
+	Interval time.Duration
+}
+
+// SyncAlways fsyncs every append.
+var SyncAlways = SyncPolicy{}
+
+// SyncNever leaves flushing to the OS.
+var SyncNever = SyncPolicy{Interval: -1}
+
+// SyncEvery fsyncs at most once per d.
+func SyncEvery(d time.Duration) SyncPolicy { return SyncPolicy{Interval: d} }
+
+// String renders the policy the way ParseSyncPolicy reads it.
+func (p SyncPolicy) String() string {
+	switch {
+	case p.Interval == 0:
+		return "always"
+	case p.Interval < 0:
+		return "never"
+	}
+	return p.Interval.String()
+}
+
+// ParseSyncPolicy reads "always", "never", or a time.Duration such as
+// "100ms" (the coordserve -fsync flag format).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.TrimSpace(s) {
+	case "always", "":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return SyncPolicy{}, fmt.Errorf("persist: sync policy %q is not \"always\", \"never\", or a positive duration", s)
+	}
+	return SyncEvery(d), nil
+}
+
+// walCounters aggregates append-path activity across the log files of
+// one tier (the store WAL, or all session journals together).
+type walCounters struct {
+	appends   atomic.Int64
+	bytes     atomic.Int64
+	syncs     atomic.Int64
+	rotations atomic.Int64
+}
+
+// logFile is one append-only framed log with a sync policy. Not
+// concurrency-safe: callers serialise appends (the Backend mutex for
+// the store WAL, the per-journal mutex for sessions).
+type logFile struct {
+	path     string
+	f        *os.File
+	size     int64
+	policy   SyncPolicy
+	counters *walCounters
+	dirty    bool
+	lastSync time.Time
+	buf      []byte
+}
+
+// openLogFile opens (creating if needed) a log for appending at size.
+// The caller has already replayed and, if necessary, truncated the
+// file, so size is the verified end of the last valid frame.
+func openLogFile(path string, size int64, policy SyncPolicy, counters *walCounters) (*logFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(size, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &logFile{path: path, f: f, size: size, policy: policy, counters: counters, lastSync: time.Now()}, nil
+}
+
+// append writes one framed payload and applies the sync policy.
+func (lf *logFile) append(payload []byte) error {
+	lf.buf = appendFrame(lf.buf[:0], payload)
+	if _, err := lf.f.Write(lf.buf); err != nil {
+		return fmt.Errorf("persist: appending to %s: %w", lf.path, err)
+	}
+	lf.size += int64(len(lf.buf))
+	lf.dirty = true
+	lf.counters.appends.Add(1)
+	lf.counters.bytes.Add(int64(len(lf.buf)))
+	switch {
+	case lf.policy.Interval == 0:
+		return lf.sync()
+	case lf.policy.Interval > 0 && time.Since(lf.lastSync) >= lf.policy.Interval:
+		return lf.sync()
+	}
+	return nil
+}
+
+// sync flushes to stable storage if anything was written since the
+// last sync.
+func (lf *logFile) sync() error {
+	if !lf.dirty {
+		return nil
+	}
+	if err := lf.f.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing %s: %w", lf.path, err)
+	}
+	lf.dirty = false
+	lf.lastSync = time.Now()
+	lf.counters.syncs.Add(1)
+	return nil
+}
+
+// close syncs and closes.
+func (lf *logFile) close() error {
+	if err := lf.sync(); err != nil {
+		lf.f.Close()
+		return err
+	}
+	return lf.f.Close()
+}
+
+// abort closes the handle without syncing — the crash-simulation path.
+func (lf *logFile) abort() { lf.f.Close() }
+
+// segName/snapName build the numbered file names of the store log.
+func segName(seq int) string  { return fmt.Sprintf("wal-%06d.log", seq) }
+func snapName(seq int) string { return fmt.Sprintf("snapshot-%06d.snap", seq) }
+
+// parseSeq extracts N from prefix+"%06d"+ext names; ok=false otherwise.
+func parseSeq(name, prefix, ext string) (int, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ext) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(ext)]
+	var n int
+	if _, err := fmt.Sscanf(mid, "%d", &n); err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// scanStoreDir lists the store directory's segment and snapshot
+// sequence numbers, each ascending.
+func scanStoreDir(dir string) (segs, snaps []int, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range ents {
+		if n, ok := parseSeq(e.Name(), "wal-", ".log"); ok {
+			segs = append(segs, n)
+		}
+		if n, ok := parseSeq(e.Name(), "snapshot-", ".snap"); ok {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Ints(segs)
+	sort.Ints(snaps)
+	return segs, snaps, nil
+}
+
+// wal is the rotating store-mutation log: numbered segments in dir,
+// rotated once the active segment passes rotateBytes. Callers serialise
+// through the Backend mutex.
+type wal struct {
+	dir         string
+	policy      SyncPolicy
+	rotateBytes int64
+	counters    *walCounters
+	cur         *logFile
+	seq         int
+}
+
+// openWAL starts a fresh segment numbered seq.
+func openWAL(dir string, seq int, policy SyncPolicy, rotateBytes int64, counters *walCounters) (*wal, error) {
+	lf, err := openLogFile(filepath.Join(dir, segName(seq)), 0, policy, counters)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{dir: dir, policy: policy, rotateBytes: rotateBytes, counters: counters, cur: lf, seq: seq}, nil
+}
+
+// append journals one payload, rotating first if the active segment is
+// full.
+func (w *wal) append(payload []byte) error {
+	if w.cur.size >= w.rotateBytes && w.cur.size > 0 {
+		if err := w.rotateTo(w.seq + 1); err != nil {
+			return err
+		}
+	}
+	return w.cur.append(payload)
+}
+
+// rotateTo closes the active segment and opens a new one numbered seq.
+func (w *wal) rotateTo(seq int) error {
+	if err := w.cur.close(); err != nil {
+		return err
+	}
+	lf, err := openLogFile(filepath.Join(w.dir, segName(seq)), 0, w.policy, w.counters)
+	if err != nil {
+		return err
+	}
+	w.cur = lf
+	w.seq = seq
+	w.counters.rotations.Add(1)
+	return nil
+}
+
+func (w *wal) sync() error  { return w.cur.sync() }
+func (w *wal) close() error { return w.cur.close() }
+func (w *wal) abort()       { w.cur.abort() }
+
+// syncDir fsyncs a directory so renames and creates inside it are
+// durable. Best-effort on platforms where directories reject Sync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

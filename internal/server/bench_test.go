@@ -18,7 +18,10 @@ func benchLoopback(b *testing.B, shards, rows int) (*client.Client, *engine.Engi
 	b.Helper()
 	store := workload.NewStore(shards, rows, 0)
 	e := engine.New(store, engine.Options{})
-	srv := server.New(e, server.Options{})
+	srv, err := server.New(e, server.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	b.Cleanup(func() { ts.Close(); srv.Close() })
 	c, err := client.New(ts.URL, client.Options{})

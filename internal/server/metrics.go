@@ -80,22 +80,11 @@ func newMetrics() *metrics {
 	}
 }
 
-// planStats sums the plan-cache counters of the stores behind a Store:
-// the routing wrapper's own cache plus every shard's.
+// planStats sums the plan-cache counters of the caches behind a Store
+// through the db seam, so durable and wrapped stores report too.
 func planStats(store db.Store) (api.PlanCacheMetrics, bool) {
-	var st db.PlanCacheStats
-	switch s := store.(type) {
-	case *db.Instance:
-		st = s.PlanStats()
-	case *db.ShardedInstance:
-		st = s.PlanStats()
-		for i := 0; i < s.NumShards(); i++ {
-			sub := s.Shard(i).PlanStats()
-			st.Hits += sub.Hits
-			st.Misses += sub.Misses
-			st.Entries += sub.Entries
-		}
-	default:
+	st, ok := db.AggregatePlanStats(store)
+	if !ok {
 		return api.PlanCacheMetrics{}, false
 	}
 	out := api.PlanCacheMetrics{Hits: st.Hits, Misses: st.Misses, Entries: int64(st.Entries)}

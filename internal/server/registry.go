@@ -19,6 +19,17 @@ var (
 	errMailboxFull     = errors.New("server: session mailbox full")
 )
 
+// eventJournal is the durability hook a session handle writes through:
+// persist.SessionJournal satisfies it. Append must be called only after
+// the event was applied in memory; Close keeps the journal file for
+// recovery (drain), Drop deletes it (deliberate removal).
+type eventJournal interface {
+	Append(ev stream.Event) error
+	Sync() error
+	Close() error
+	Drop() error
+}
+
 // sessionOp is one unit of serialized session work: an event posted to
 // the session's mailbox, answered on reply.
 type sessionOp struct {
@@ -38,8 +49,9 @@ type sessionReply struct {
 // (status, metrics) go straight to the Session, which has its own lock
 // — they need no ordering against writes.
 type sessionHandle struct {
-	name string
-	sess *stream.Session
+	name    string
+	sess    *stream.Session
+	journal eventJournal // nil when the server runs without durability
 
 	mailbox  chan sessionOp
 	stop     chan struct{} // closed on delete/evict/server drain
@@ -48,10 +60,11 @@ type sessionHandle struct {
 	lastUsed atomic.Int64 // unix nanos of the last client touch
 }
 
-func newSessionHandle(name string, sess *stream.Session, mailboxSize int) *sessionHandle {
+func newSessionHandle(name string, sess *stream.Session, journal eventJournal, mailboxSize int) *sessionHandle {
 	h := &sessionHandle{
 		name:    name,
 		sess:    sess,
+		journal: journal,
 		mailbox: make(chan sessionOp, mailboxSize),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -87,8 +100,19 @@ func (h *sessionHandle) loop() {
 	}
 }
 
+// exec applies one event and, when it changed the session (admitted,
+// or parked for retry — parked arrivals are replayed too, so a
+// recovered session re-parks them), journals it BEFORE replying: the
+// ack implies the event is in the journal, flushed per the backend's
+// sync policy. A journal failure is reported to the caller — the
+// in-memory state holds the event but its durability is indeterminate.
 func (h *sessionHandle) exec(op sessionOp) {
 	up, err := h.sess.Apply(op.ev)
+	if h.journal != nil && (up.Admitted || up.Parked) {
+		if jerr := h.journal.Append(op.ev); jerr != nil && err == nil {
+			err = fmt.Errorf("server: journaling event for session %s: %w", h.name, jerr)
+		}
+	}
 	op.reply <- sessionReply{up: up, err: err}
 }
 
@@ -142,6 +166,7 @@ func (h *sessionHandle) close() {
 // client touch, torn down together on server drain.
 type registry struct {
 	newSession  func(parkUnsafe bool) *stream.Session
+	newJournal  func(name string, parkUnsafe bool) (eventJournal, error) // nil: no durability
 	mailboxSize int
 	idleTimeout time.Duration
 
@@ -189,7 +214,32 @@ func (r *registry) create(name string, parkUnsafe bool) (*sessionHandle, error) 
 	} else if _, taken := r.handles[name]; taken {
 		return nil, fmt.Errorf("%w: %s", errSessionExists, name)
 	}
-	h := newSessionHandle(name, r.newSession(parkUnsafe), r.mailboxSize)
+	var journal eventJournal
+	if r.newJournal != nil {
+		j, err := r.newJournal(name, parkUnsafe)
+		if err != nil {
+			return nil, fmt.Errorf("server: creating session journal: %w", err)
+		}
+		journal = j
+	}
+	h := newSessionHandle(name, r.newSession(parkUnsafe), journal, r.mailboxSize)
+	r.handles[name] = h
+	r.created.Add(1)
+	return h, nil
+}
+
+// adopt registers a handle over an already rebuilt session (recovery):
+// the journal is the recovered one, reopened for appending.
+func (r *registry) adopt(name string, sess *stream.Session, journal eventJournal) (*sessionHandle, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		return nil, errDraining
+	}
+	if _, taken := r.handles[name]; taken {
+		return nil, fmt.Errorf("%w: %s", errSessionExists, name)
+	}
+	h := newSessionHandle(name, sess, journal, r.mailboxSize)
 	r.handles[name] = h
 	r.created.Add(1)
 	return h, nil
@@ -218,6 +268,10 @@ func (r *registry) remove(name string) error {
 		return fmt.Errorf("%w: %s", errSessionNotFound, name)
 	}
 	h.close()
+	// A deliberately removed session must not resurrect on restart.
+	if h.journal != nil {
+		h.journal.Drop()
+	}
 	return nil
 }
 
@@ -269,6 +323,10 @@ func (r *registry) janitor() {
 			r.mu.Unlock()
 			for _, h := range idle {
 				h.close()
+				// Eviction is removal: the journal goes too.
+				if h.journal != nil {
+					h.journal.Drop()
+				}
 				r.evicted.Add(1)
 			}
 		}
@@ -290,5 +348,10 @@ func (r *registry) close() {
 	<-r.janitorDone
 	for _, h := range handles {
 		h.close()
+		// A drain keeps the journal: the session comes back on restart
+		// with every admitted event intact. Close syncs it.
+		if h.journal != nil {
+			h.journal.Close()
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"entangled/internal/api"
 	"entangled/internal/coord"
 	"entangled/internal/engine"
+	"entangled/internal/persist"
 	"entangled/internal/stream"
 )
 
@@ -37,6 +38,13 @@ type Options struct {
 	// Session is the base configuration for sessions the registry
 	// creates; its ParkUnsafe is overridden per create request.
 	Session stream.Options
+	// Persist, when non-nil, makes sessions durable: every admitted (or
+	// parked) event is journaled to the backend before it is acked, and
+	// New rebuilds the sessions found in the backend's data directory by
+	// replaying their journals. The server does not own the backend's
+	// lifecycle — the caller opens it (replaying the store WAL) and
+	// closes it after Close.
+	Persist *persist.Backend
 }
 
 func (o Options) withDefaults() Options {
@@ -69,20 +77,24 @@ func (o Options) withDefaults() Options {
 //	GET    /healthz                liveness and drain state
 //	GET    /metrics                counters, latency histograms, plan-cache and per-session stats
 type Server struct {
-	e       *engine.Engine
-	opts    Options
-	mux     *http.ServeMux
-	batch   *batcher
-	reg     *registry
-	met     *metrics
-	closing sync.Once
-	closed  chan struct{}
+	e        *engine.Engine
+	opts     Options
+	mux      *http.ServeMux
+	batch    *batcher
+	reg      *registry
+	met      *metrics
+	recovery api.RecoveryStatus
+	closing  sync.Once
+	closed   chan struct{}
 }
 
 // New builds a server over the engine. The server owns a dispatcher
 // goroutine and a session janitor from this point on; Close releases
-// them.
-func New(e *engine.Engine, opts Options) *Server {
+// them. With Options.Persist set, New also rebuilds every session
+// journaled in the backend's data directory — replaying each journal's
+// events through a fresh incremental session — and the error return is
+// recovery failing (it is always nil without persistence).
+func New(e *engine.Engine, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
 		e:      e,
@@ -94,11 +106,23 @@ func New(e *engine.Engine, opts Options) *Server {
 	s.batch = newBatcher(e, opts.QueueDepth, opts.MaxBatch, func(int) {
 		s.met.coordBatches.Add(1)
 	})
-	s.reg = newRegistry(func(park bool) *stream.Session {
+	newSession := func(park bool) *stream.Session {
 		so := opts.Session
 		so.ParkUnsafe = park
 		return e.NewSession(so)
-	}, opts.MailboxSize, opts.IdleTimeout)
+	}
+	var newJournal func(string, bool) (eventJournal, error)
+	if opts.Persist != nil {
+		newJournal = func(name string, park bool) (eventJournal, error) {
+			return opts.Persist.CreateSessionJournal(name, park)
+		}
+	}
+	s.reg = newRegistry(newSession, opts.MailboxSize, opts.IdleTimeout)
+	s.reg.newJournal = newJournal
+	if err := s.recoverSessions(newSession); err != nil {
+		s.Close()
+		return nil, err
+	}
 
 	s.mux.HandleFunc("POST /v1/coordinate", s.handleCoordinate)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
@@ -106,9 +130,53 @@ func New(e *engine.Engine, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/join", s.handleSessionJoin)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/leave", s.handleSessionLeave)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /v1/recovery", s.handleRecovery)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
+}
+
+// recoverSessions rebuilds the sessions journaled in the durable
+// backend: each journal's admitted events replay in order through a
+// fresh session (the same incremental path that admitted them), so the
+// recovered session's live set, parked set, and coordination state
+// match the pre-crash session. Replay is deterministic because the
+// store was recovered first and events re-run against it in admission
+// order.
+func (s *Server) recoverSessions(newSession func(bool) *stream.Session) error {
+	if s.opts.Persist == nil {
+		return nil
+	}
+	recovered, err := s.opts.Persist.RecoverSessions()
+	if err != nil {
+		return err
+	}
+	for _, rs := range recovered {
+		sess := newSession(rs.Park)
+		for _, ev := range rs.Events {
+			// Outcomes are not re-checked: only admitted/parked events
+			// were journaled, and replay over the recovered store is
+			// deterministic, so each event lands as it originally did.
+			sess.Apply(ev)
+		}
+		if _, err := s.reg.adopt(rs.Name, sess, rs.Journal); err != nil {
+			return fmt.Errorf("server: recovering session %s: %w", rs.Name, err)
+		}
+		s.recovery.RecoveredSessions = append(s.recovery.RecoveredSessions, rs.Name)
+	}
+	rec := s.opts.Persist.RecoveryStats()
+	s.recovery.Enabled = true
+	s.recovery.DataDir = s.opts.Persist.Dir()
+	s.recovery.SnapshotSeq = rec.SnapshotSeq
+	s.recovery.SnapshotFrames = rec.SnapshotFrames
+	s.recovery.WALFrames = rec.WALFrames
+	s.recovery.WALSegments = rec.WALSegments
+	s.recovery.TornTail = rec.TornTail
+	s.recovery.Sessions = rec.Sessions
+	s.recovery.SessionEvents = rec.SessionEvents
+	s.recovery.SessionTornTails = rec.SessionTornTails
+	s.recovery.DurationMS = rec.DurationMS
+	return nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -124,6 +192,13 @@ func (s *Server) Close() {
 		close(s.closed)
 		s.batch.close()
 		s.reg.close()
+		// Registry close already synced and closed every session
+		// journal; flush the store WAL too, so a drained server's whole
+		// data directory is on stable storage regardless of sync
+		// policy. The backend itself stays open — the caller owns it.
+		if s.opts.Persist != nil {
+			s.opts.Persist.Sync()
+		}
 	})
 }
 
@@ -383,7 +458,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if pc, ok := planStats(s.e.Store()); ok {
 		m.PlanCache = &pc
 	}
+	if s.opts.Persist != nil {
+		pm := s.opts.Persist.Metrics()
+		m.Persist = &api.PersistMetrics{
+			StoreAppends:   pm.StoreAppends,
+			StoreBytes:     pm.StoreBytes,
+			StoreSyncs:     pm.StoreSyncs,
+			StoreRotations: pm.StoreRotations,
+			SessionAppends: pm.SessionAppends,
+			SessionBytes:   pm.SessionBytes,
+			SessionSyncs:   pm.SessionSyncs,
+			OpenJournals:   pm.OpenJournals,
+			SnapshotSeq:    pm.SnapshotSeq,
+			Compactions:    pm.Compactions,
+		}
+	}
 	writeJSON(w, http.StatusOK, m)
+}
+
+// handleRecovery reports what this process replayed at startup; with
+// no durable backend it answers enabled=false, so clients can probe
+// for durability.
+func (s *Server) handleRecovery(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.recovery)
 }
 
 // String identifies the server in logs.

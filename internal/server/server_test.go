@@ -25,7 +25,10 @@ import (
 func newLoopback(t *testing.T, store db.Store, sopts server.Options) (*client.Client, *server.Server) {
 	t.Helper()
 	e := engine.New(store, engine.Options{})
-	srv := server.New(e, sopts)
+	srv, err := server.New(e, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 	c, err := client.New(ts.URL, client.Options{})

@@ -3,7 +3,7 @@
 # machine-readable trajectory point.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR5.json
+#   scripts/bench.sh                 # writes BENCH_PR6.json
 #   OUT=out.json scripts/bench.sh    # custom output path
 #   BASELINE=old.json scripts/bench.sh
 #                                    # embed an earlier run for before/after
@@ -17,8 +17,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_PR5.json}"
-PATTERN="${PATTERN:-BenchmarkFigure4List|BenchmarkAblationIndexes|BenchmarkParallelCoordinateMany|BenchmarkSolveCompiled|BenchmarkStream|BenchmarkServer}"
+OUT="${OUT:-BENCH_PR6.json}"
+PATTERN="${PATTERN:-BenchmarkFigure4List|BenchmarkAblationIndexes|BenchmarkParallelCoordinateMany|BenchmarkSolveCompiled|BenchmarkStream|BenchmarkServer|BenchmarkWAL}"
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
 BASELINE="${BASELINE:-}"
