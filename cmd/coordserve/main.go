@@ -15,9 +15,9 @@
 //
 // Usage:
 //
-//	coordserve -listen :8080 [-rows N] [-shards K] [-workers N] [-latency D]
-//	coordserve [-requests N] [-queries N] [-rows N] [-workers N] [-batch N] [-shards K] [-latency D] [-compare] [-target URL]
-//	coordserve -stream [-events N] [-pattern steady|bursty|churn] [-rate R] [-seed S] [-park] [-rows N] [-shards K] [-latency D] [-target URL]
+//	coordserve -listen :8080 [-listen-binary :9090] [-rows N] [-shards K] [-workers N] [-latency D]
+//	coordserve [-requests N] [-queries N] [-rows N] [-workers N] [-batch N] [-shards K] [-latency D] [-compare] [-target URL] [-proto http|binary]
+//	coordserve -stream [-events N] [-pattern steady|bursty|churn] [-rate R] [-seed S] [-park] [-rows N] [-shards K] [-latency D] [-target URL] [-proto http|binary]
 //
 // -queries is the mean per-request query-set size (requests vary around
 // it so the load is not uniform). -latency adds a simulated
@@ -40,15 +40,19 @@
 //
 // With -target, the generator does not build a store: the remote
 // server owns the data, and -rows must match the server's so generated
-// bodies ground (both default to 20000). -compare with -target serves
-// the identical load in-process on an identically built local store
-// and reports the HTTP layer's overhead.
+// bodies ground (both default to 20000). The target URL's scheme picks
+// the protocol — http:// for HTTP/JSON, tcp:// for the binary wire
+// protocol (internal/wire) — and -proto http|binary overrides it
+// (pointing at the matching -listen or -listen-binary port). -compare
+// with -target serves the identical load in-process on an identically
+// built local store and reports the wire layer's overhead.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"os/signal"
 	"runtime"
@@ -64,7 +68,9 @@ import (
 
 func main() {
 	listen := flag.String("listen", "", "serve the HTTP coordination API on this address instead of generating load")
+	listenBinary := flag.String("listen-binary", "", "serve mode: also serve the binary wire protocol on this address")
 	target := flag.String("target", "", "send the generated load to the coordination service at this URL instead of serving in-process")
+	proto := flag.String("proto", "", "with -target: force the protocol, http or binary (default: the target URL's scheme)")
 	requests := flag.Int("requests", 256, "number of coordination requests to serve")
 	queries := flag.Int("queries", 25, "mean entangled-query count per request")
 	rows := flag.Int("rows", 20000, "rows in the shared queried table")
@@ -89,7 +95,7 @@ func main() {
 
 	if *listen != "" {
 		if *dataDir != "" {
-			if err := serveDurable(*listen, *dataDir, *fsync, *shards, *rows, *workers); err != nil {
+			if err := serveDurable(*listen, *listenBinary, *dataDir, *fsync, *shards, *rows, *workers); err != nil {
 				fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
 				os.Exit(1)
 			}
@@ -97,11 +103,20 @@ func main() {
 		}
 		store := workload.NewStore(*shards, *rows, *latency)
 		fmt.Printf("serving a %d-row table across %d shard(s), %d workers\n", *rows, *shards, *workers)
-		if err := runServe(*listen, store, *workers, nil); err != nil {
+		if err := runServe(*listen, *listenBinary, store, *workers, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *target != "" {
+		resolved, err := resolveTarget(*target, *proto)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
+			os.Exit(2)
+		}
+		*target = resolved
 	}
 
 	if *streamMode {
@@ -163,14 +178,14 @@ func main() {
 		report(served, elapsed, *workers)
 		if *compare {
 			// The same materialised load through the engine directly, on
-			// an identically built local store: the ratio is the HTTP
+			// an identically built local store: the ratio is the wire
 			// layer's end-to-end overhead.
 			store := workload.NewStore(*shards, *rows, *latency)
 			fmt.Println("in-process baseline over an identical local store:")
 			served1, elapsed1 := drain(store, batches, *workers)
 			report(served1, elapsed1, *workers)
-			fmt.Printf("HTTP serving overhead at %d workers: %.2fx\n",
-				*workers, elapsed.Seconds()/elapsed1.Seconds())
+			fmt.Printf("%s serving overhead at %d workers: %.2fx\n",
+				protoLabel(*target), *workers, elapsed.Seconds()/elapsed1.Seconds())
 		}
 		return
 	}
@@ -189,6 +204,45 @@ func main() {
 		report(served1, elapsed1, 1)
 		fmt.Printf("speedup with %d workers: %.2fx\n", *workers, elapsed1.Seconds()/elapsed.Seconds())
 	}
+}
+
+// resolveTarget applies -proto to the -target URL: "http" forces the
+// HTTP/JSON protocol, "binary" the binary wire protocol (tcp scheme),
+// and "" leaves the URL's own scheme in charge. A bare host:port gets
+// the chosen protocol's scheme prepended (http by default).
+func resolveTarget(target, proto string) (string, error) {
+	scheme := ""
+	switch proto {
+	case "":
+	case "http":
+		scheme = "http"
+	case "binary":
+		scheme = "tcp"
+	default:
+		return "", fmt.Errorf("unknown -proto %q (valid: http, binary)", proto)
+	}
+	u, err := url.Parse(target)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		// A bare host:port: prepend the chosen scheme.
+		if scheme == "" {
+			scheme = "http"
+		}
+		return scheme + "://" + target, nil
+	}
+	if scheme != "" && u.Scheme != scheme {
+		u.Scheme = scheme
+		return u.String(), nil
+	}
+	return target, nil
+}
+
+// protoLabel names the protocol a resolved target URL selects, for the
+// -compare overhead report.
+func protoLabel(target string) string {
+	if u, err := url.Parse(target); err == nil && (u.Scheme == "tcp" || u.Scheme == "binary") {
+		return "binary wire"
+	}
+	return "HTTP"
 }
 
 // reportPlans prints the store's plan-cache counters: every worker of

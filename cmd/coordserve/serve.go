@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -27,7 +28,7 @@ import (
 // recovered as-is and -rows is ignored (the data directory owns the
 // data). The backend is closed — final sync included — after the
 // server drains.
-func serveDurable(addr, dataDir, fsync string, shards, rows, workers int) error {
+func serveDurable(addr, binaryAddr, dataDir, fsync string, shards, rows, workers int) error {
 	policy, err := persist.ParseSyncPolicy(fsync)
 	if err != nil {
 		return err
@@ -49,7 +50,7 @@ func serveDurable(addr, dataDir, fsync string, shards, rows, workers int) error 
 	} else {
 		fmt.Printf("recovering %s: %d shard(s), fsync=%s\n", dataDir, backend.Shards(), policy)
 	}
-	return runServe(addr, backend, workers, backend)
+	return runServe(addr, binaryAddr, backend, workers, backend)
 }
 
 // runServe boots the coordination service on addr over the given store
@@ -61,7 +62,7 @@ func serveDurable(addr, dataDir, fsync string, shards, rows, workers int) error 
 // backend, the drain additionally syncs and closes every open WAL —
 // session journals first (registry close), then the store log — so an
 // interrupted server's data directory is complete on stable storage.
-func runServe(addr string, store db.Store, workers int, backend *persist.Backend) error {
+func runServe(addr, binaryAddr string, store db.Store, workers int, backend *persist.Backend) error {
 	e := engine.New(store, engine.Options{Workers: workers, Coord: coord.Options{}})
 	srv, err := server.New(e, server.Options{Persist: backend})
 	if err != nil {
@@ -92,6 +93,21 @@ func runServe(addr string, store db.Store, workers int, backend *persist.Backend
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Printf("coordination service listening on %s (%s)\n", addr, srv)
 	fmt.Printf("  POST /v1/coordinate · POST /v1/sessions · GET /healthz · GET /metrics\n")
+	if binaryAddr != "" {
+		bln, err := net.Listen("tcp", binaryAddr)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("binary listener: %w", err)
+		}
+		go func() {
+			// ServeWire returns nil on a drain-triggered close; anything
+			// else is a real listener failure worth reporting.
+			if err := srv.ServeWire(bln); err != nil {
+				fmt.Fprintf(os.Stderr, "coordserve: binary listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("binary wire protocol listening on %s (point clients at tcp://%s)\n", binaryAddr, binaryAddr)
+	}
 
 	select {
 	case err := <-errc:

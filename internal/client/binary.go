@@ -1,0 +1,262 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"entangled/internal/api"
+	"entangled/internal/eq"
+	"entangled/internal/wire"
+)
+
+// errClientClosed reports a call on a deliberately Closed client; it
+// is not retryable (the caller asked for the shutdown).
+var errClientClosed = errors.New("client: closed")
+
+// binaryTransport speaks the binary wire protocol over one persistent
+// pipelined connection. A dropped connection fails its in-flight calls
+// with a retryable error and the next call (or the subscription
+// keeper) redials; active subscriptions re-issue themselves on every
+// fresh connection, so the server's pending-push backlog flushes to
+// the reconnected client.
+type binaryTransport struct {
+	addr string
+
+	mu      sync.Mutex
+	conn    *wire.ClientConn
+	subs    map[int]*subscription
+	nextSub int
+	keeper  bool
+	closed  bool
+}
+
+type subscription struct {
+	session string
+	fn      func(Notification)
+}
+
+func newBinaryTransport(addr string) *binaryTransport {
+	return &binaryTransport{addr: addr, subs: map[int]*subscription{}}
+}
+
+// live returns the current connection, dialing a fresh one (and
+// re-issuing every active subscription on it) if the last one died.
+func (t *binaryTransport) live() (*wire.ClientConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errClientClosed
+	}
+	if cc := t.conn; cc != nil {
+		select {
+		case <-cc.Done():
+			t.conn = nil
+		default:
+			t.mu.Unlock()
+			return cc, nil
+		}
+	}
+	cc, err := wire.Dial(t.addr, t.dispatchPush)
+	if err != nil {
+		t.mu.Unlock()
+		return nil, err
+	}
+	t.conn = cc
+	sessions := map[string]struct{}{}
+	for _, s := range t.subs {
+		sessions[s.session] = struct{}{}
+	}
+	t.mu.Unlock()
+	for name := range sessions {
+		// Re-subscribing is idempotent server-side; a failure here means
+		// the new connection is already dying and the keeper will redial.
+		go cc.Call(context.Background(), wire.KindSubscribe, wire.SessionReq{Session: name}.Encode)
+	}
+	return cc, nil
+}
+
+// dispatchPush fans a push out to the matching subscriptions. It runs
+// on the connection's read loop, per the Subscribe contract.
+func (t *binaryTransport) dispatchPush(p wire.Push) {
+	t.mu.Lock()
+	var fns []func(Notification)
+	for _, s := range t.subs {
+		if s.session == p.Session {
+			fns = append(fns, s.fn)
+		}
+	}
+	t.mu.Unlock()
+	for _, fn := range fns {
+		fn(Notification{Session: p.Session, QueryID: p.QueryID, Seq: p.Seq})
+	}
+}
+
+// keepAlive holds a connection open while subscriptions are active, so
+// pushes arrive even when the client is otherwise idle. It exits when
+// the last subscription stops or the client closes.
+func (t *binaryTransport) keepAlive() {
+	backoff := 10 * time.Millisecond
+	for {
+		t.mu.Lock()
+		if t.closed || len(t.subs) == 0 {
+			t.keeper = false
+			t.mu.Unlock()
+			return
+		}
+		t.mu.Unlock()
+		cc, err := t.live()
+		if err != nil {
+			if errors.Is(err, errClientClosed) {
+				continue // loop re-checks under the lock and exits
+			}
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = 10 * time.Millisecond
+		<-cc.Done()
+	}
+}
+
+// call runs one request: service errors become the same typed *Error
+// the HTTP transport produces, transport errors stay as-is (IsRetryable
+// classifies them), and dec (when non-nil) reads the success payload.
+func (t *binaryTransport) call(ctx context.Context, kind wire.Kind, enc func(*wire.Enc), dec func(status int, d *wire.Dec)) error {
+	cc, err := t.live()
+	if err != nil {
+		return err
+	}
+	status, body, err := cc.Call(ctx, kind, enc)
+	if err != nil {
+		var re *wire.ReplyError
+		if errors.As(err, &re) {
+			return &Error{Status: re.Status, Code: re.Code, Message: re.Message}
+		}
+		return fmt.Errorf("client: %v call: %w", kind, err)
+	}
+	if dec == nil {
+		return nil
+	}
+	d := wire.NewDec(body)
+	dec(status, d)
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("client: decoding %v reply: %w", kind, err)
+	}
+	return nil
+}
+
+func (t *binaryTransport) coordinate(ctx context.Context, reqs []api.Request) ([]api.Response, error) {
+	var out []api.Response
+	err := t.call(ctx, wire.KindCoordinate, wire.CoordinateReq{Requests: reqs}.Encode,
+		func(_ int, d *wire.Dec) { out = wire.GetResponses(d) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (t *binaryTransport) createSession(ctx context.Context, id string, parkUnsafe bool) (string, error) {
+	var name string
+	err := t.call(ctx, wire.KindCreateSession, wire.CreateSessionReq{ID: id, ParkUnsafe: parkUnsafe}.Encode,
+		func(_ int, d *wire.Dec) { name = d.String() })
+	if err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+func (t *binaryTransport) join(ctx context.Context, session string, q eq.Query) (api.Update, error) {
+	var up api.Update
+	err := t.call(ctx, wire.KindJoin, wire.JoinReq{Session: session, Query: q}.Encode,
+		func(_ int, d *wire.Dec) { up = wire.GetUpdate(d) })
+	return up, err
+}
+
+func (t *binaryTransport) leave(ctx context.Context, session, queryID string) (api.Update, error) {
+	var up api.Update
+	err := t.call(ctx, wire.KindLeave, wire.LeaveReq{Session: session, QueryID: queryID}.Encode,
+		func(_ int, d *wire.Dec) { up = wire.GetUpdate(d) })
+	return up, err
+}
+
+func (t *binaryTransport) status(ctx context.Context, session string, trace bool) (*api.SessionStatus, error) {
+	var st api.SessionStatus
+	err := t.call(ctx, wire.KindStatus, wire.StatusReq{Session: session, Trace: trace}.Encode,
+		func(_ int, d *wire.Dec) { st = wire.GetSessionStatus(d) })
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (t *binaryTransport) deleteSession(ctx context.Context, session string) error {
+	return t.call(ctx, wire.KindDeleteSession, wire.SessionReq{Session: session}.Encode, nil)
+}
+
+func (t *binaryTransport) health(ctx context.Context) (*api.Health, error) {
+	var h api.Health
+	err := t.call(ctx, wire.KindHealth, nil,
+		func(_ int, d *wire.Dec) { h = wire.GetHealth(d) })
+	if err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+func (t *binaryTransport) recovery(context.Context) (*api.RecoveryStatus, error) {
+	return nil, fmt.Errorf("client: the recovery endpoint is served over HTTP only")
+}
+
+func (t *binaryTransport) metrics(context.Context) (*api.Metrics, error) {
+	return nil, fmt.Errorf("client: the metrics endpoint is served over HTTP only")
+}
+
+func (t *binaryTransport) subscribe(ctx context.Context, session string, fn func(Notification)) (func(), error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errClientClosed
+	}
+	t.nextSub++
+	token := t.nextSub
+	t.subs[token] = &subscription{session: session, fn: fn}
+	if !t.keeper {
+		t.keeper = true
+		go t.keepAlive()
+	}
+	t.mu.Unlock()
+	stop := func() {
+		t.mu.Lock()
+		delete(t.subs, token)
+		t.mu.Unlock()
+	}
+	// Issue the subscribe on the live connection now, so an unknown
+	// session surfaces as a typed error instead of a silent no-op (the
+	// keeper re-issues it after any later reconnect).
+	if err := t.call(ctx, wire.KindSubscribe, wire.SessionReq{Session: session}.Encode, nil); err != nil {
+		stop()
+		return nil, err
+	}
+	return stop, nil
+}
+
+func (t *binaryTransport) close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	cc := t.conn
+	t.conn = nil
+	t.mu.Unlock()
+	if cc != nil {
+		cc.Close()
+	}
+	return nil
+}

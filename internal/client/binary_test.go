@@ -1,0 +1,120 @@
+package client
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"entangled/internal/engine"
+	"entangled/internal/server"
+	"entangled/internal/workload"
+)
+
+// chaosListener records accepted connections so the test can cut them
+// while requests are pipelined on top.
+type chaosListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *chaosListener) killAll() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.conns {
+		c.Close()
+	}
+	l.conns = nil
+}
+
+// TestBinaryPipelineConnDrop kills the connection while calls are
+// pipelined on it, repeatedly. The transport contract under test: every
+// in-flight call resolves exactly once — either with its result or with
+// an error IsRetryable reports true for — no call hangs (a lost ack
+// would), and retrying over the transparently redialed connection
+// eventually succeeds for every caller.
+func TestBinaryPipelineConnDrop(t *testing.T) {
+	const rows = 32
+	store := workload.NewStore(1, rows, 0)
+	e := engine.New(store, engine.Options{})
+	srv, err := server.New(e, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &chaosListener{Listener: ln}
+	go srv.ServeWire(cl)
+
+	c, err := New("tcp://"+ln.Addr().String(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	const callers = 24
+	var acked, retries int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			qs := workload.ListQueriesAt(4, i%rows)
+			for attempt := 0; attempt < 200; attempt++ {
+				res, err := c.Coordinate(ctx, qs)
+				if err == nil {
+					if res == nil || len(res.Set) == 0 {
+						t.Errorf("caller %d: empty result", i)
+					}
+					atomic.AddInt64(&acked, 1)
+					return
+				}
+				if !IsRetryable(err) {
+					t.Errorf("caller %d: non-retryable %v (%T)", i, err, err)
+					return
+				}
+				atomic.AddInt64(&retries, 1)
+				time.Sleep(time.Millisecond)
+			}
+			t.Errorf("caller %d: no success after 200 retryable attempts", i)
+		}(i)
+	}
+	close(start)
+	// Cut the connection(s) several times while the pipeline is busy;
+	// each cut fails everything in flight and forces a redial.
+	for k := 0; k < 4; k++ {
+		time.Sleep(3 * time.Millisecond)
+		cl.killAll()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipelined calls hung after connection drop: lost ack")
+	}
+	if got := atomic.LoadInt64(&acked); got != callers {
+		t.Fatalf("%d of %d callers acked exactly once", got, callers)
+	}
+	t.Logf("drops surfaced %d retryable errors across %d callers", atomic.LoadInt64(&retries), callers)
+}

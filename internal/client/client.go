@@ -1,25 +1,36 @@
+// Package client is the typed Go client for the coordination service:
+// one API over two interchangeable transports. An "http://" or
+// "https://" base URL speaks the HTTP/JSON protocol; a "tcp://" (or
+// "binary://") base URL speaks the binary wire protocol
+// (internal/wire) over one persistent pipelined connection, which also
+// carries server-push notifications for parked arrivals. Both
+// transports decode to the same internal/api DTOs and produce the same
+// typed *Error values, so callers switch protocols by changing the URL
+// and nothing else.
 package client
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
+	"syscall"
 
 	"entangled/internal/api"
 	"entangled/internal/coord"
 	"entangled/internal/eq"
+	"entangled/internal/wire"
 )
 
-// Error is a typed service error: the HTTP status, the stable wire
-// code, and the remote message. It unwraps to the sentinel the code
-// names, so errors.Is(err, coord.ErrUnsafeArrival) (and friends) hold
-// across the network exactly as they do in-process.
+// Error is a typed service error: the HTTP(-equivalent) status, the
+// stable wire code, and the remote message. It unwraps to the sentinel
+// the code names, so errors.Is(err, coord.ErrUnsafeArrival) (and
+// friends) hold across the network exactly as they do in-process —
+// over either transport.
 type Error struct {
 	Status  int
 	Code    string
@@ -34,22 +45,50 @@ func (e *Error) Error() string {
 // transport-level codes, which stops the errors.Is chain).
 func (e *Error) Unwrap() error { return api.Sentinel(e.Code) }
 
+// Notification is a server-push event: the previously parked arrival
+// QueryID in Session was admitted by the departure that cleared its
+// conflict (Seq is that event's session sequence number). Push arrives
+// over the binary transport only; HTTP clients poll session status.
+type Notification struct {
+	Session string
+	QueryID string
+	Seq     int
+}
+
+// transport is one wire protocol speaking the service's API. Both
+// implementations return identical DTOs and identical typed errors for
+// the same server state.
+type transport interface {
+	coordinate(ctx context.Context, reqs []api.Request) ([]api.Response, error)
+	createSession(ctx context.Context, id string, parkUnsafe bool) (string, error)
+	join(ctx context.Context, session string, q eq.Query) (api.Update, error)
+	leave(ctx context.Context, session, queryID string) (api.Update, error)
+	status(ctx context.Context, session string, trace bool) (*api.SessionStatus, error)
+	deleteSession(ctx context.Context, session string) error
+	health(ctx context.Context) (*api.Health, error)
+	recovery(ctx context.Context) (*api.RecoveryStatus, error)
+	metrics(ctx context.Context) (*api.Metrics, error)
+	subscribe(ctx context.Context, session string, fn func(Notification)) (func(), error)
+	close() error
+}
+
 // Options configures a Client.
 type Options struct {
-	// HTTPClient overrides the transport; nil means
-	// http.DefaultClient.
+	// HTTPClient overrides the HTTP transport's client; nil means
+	// http.DefaultClient. Ignored by the binary transport.
 	HTTPClient *http.Client
 }
 
 // Client is a typed Go client for the coordination service
 // (internal/server). The zero value is not usable; construct with New.
 type Client struct {
-	base string
-	hc   *http.Client
+	t transport
 }
 
-// New returns a client for the service at baseURL (e.g.
-// "http://127.0.0.1:8080").
+// New returns a client for the service at baseURL. "http://host:port"
+// (or https) selects the HTTP/JSON protocol; "tcp://host:port" (or
+// "binary://") selects the binary wire protocol on a persistent
+// pipelined connection that redials transparently after a drop.
 func New(baseURL string, opts Options) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
@@ -58,53 +97,23 @@ func New(baseURL string, opts Options) (*Client, error) {
 	if u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
 	}
-	hc := opts.HTTPClient
-	if hc == nil {
-		hc = http.DefaultClient
+	switch u.Scheme {
+	case "http", "https":
+		hc := opts.HTTPClient
+		if hc == nil {
+			hc = http.DefaultClient
+		}
+		return &Client{t: &httpTransport{base: strings.TrimRight(u.String(), "/"), hc: hc}}, nil
+	case "tcp", "binary":
+		return &Client{t: newBinaryTransport(u.Host)}, nil
 	}
-	return &Client{base: strings.TrimRight(u.String(), "/"), hc: hc}, nil
+	return nil, fmt.Errorf("client: unsupported scheme %q (want http, https, tcp, or binary)", u.Scheme)
 }
 
-// do runs one round trip: encode in (when non-nil), decode a 2xx body
-// into out (when non-nil), and turn every non-2xx into a typed *Error
-// from the wire envelope.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
-	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
-			return fmt.Errorf("client: encoding request: %w", err)
-		}
-		body = bytes.NewReader(buf)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return fmt.Errorf("client: building request: %w", err)
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		var env api.ErrorEnvelope
-		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
-			return &Error{Status: resp.StatusCode, Code: api.CodeInternal,
-				Message: fmt.Sprintf("%s %s: HTTP %d with unreadable error body", method, path, resp.StatusCode)}
-		}
-		return &Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
-	}
-	if out == nil {
-		return nil
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
-	}
-	return nil
-}
+// Close releases the client's transport: the binary transport's
+// persistent connection closes and its subscriptions end; the HTTP
+// transport has nothing to release.
+func (c *Client) Close() error { return c.t.close() }
 
 // Request is one coordination request of a batch.
 type Request = api.Request
@@ -117,27 +126,27 @@ type Response struct {
 	Err    error
 }
 
-// CoordinateBatch serves a batch of independent requests in one HTTP
-// call. Per-request failures come back in the matching Response.Err;
-// the returned error covers transport and envelope failures only.
+// CoordinateBatch serves a batch of independent requests in one call.
+// Per-request failures come back in the matching Response.Err; the
+// returned error covers transport and envelope failures only.
 func (c *Client) CoordinateBatch(ctx context.Context, reqs []Request) ([]Response, error) {
-	var wire api.CoordinateResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/coordinate", api.CoordinateRequest{Requests: reqs}, &wire); err != nil {
+	resps, err := c.t.coordinate(ctx, reqs)
+	if err != nil {
 		return nil, err
 	}
-	if len(wire.Responses) != len(reqs) {
-		return nil, fmt.Errorf("client: %d responses for %d requests", len(wire.Responses), len(reqs))
+	if len(resps) != len(reqs) {
+		return nil, fmt.Errorf("client: %d responses for %d requests", len(resps), len(reqs))
 	}
-	out := make([]Response, len(wire.Responses))
-	for i, r := range wire.Responses {
+	out := make([]Response, len(resps))
+	for i, r := range resps {
 		out[i] = Response{ID: r.ID, Result: r.Result, Err: inlineErr(r.Error)}
 	}
 	return out, nil
 }
 
 // inlineErr converts a per-request wire error into the same typed
-// *Error the transport path produces (Status 0: the call itself was
-// 200), so errors.Is/errors.As treatment is uniform for callers.
+// *Error the transport path produces (Status 0: the call itself
+// succeeded), so errors.Is/errors.As treatment is uniform for callers.
 func inlineErr(e *api.Error) error {
 	if e == nil {
 		return nil
@@ -170,13 +179,11 @@ type Session struct {
 // asks the server to pick a name; parkUnsafe selects park-and-retry
 // admission for unsafe arrivals.
 func (c *Client) CreateSession(ctx context.Context, id string, parkUnsafe bool) (*Session, error) {
-	var resp api.CreateSessionResponse
-	err := c.do(ctx, http.MethodPost, "/v1/sessions",
-		api.CreateSessionRequest{ID: id, ParkUnsafe: parkUnsafe}, &resp)
+	name, err := c.t.createSession(ctx, id, parkUnsafe)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{c: c, ID: resp.ID}, nil
+	return &Session{c: c, ID: name}, nil
 }
 
 // Session returns a handle on an existing session by name, without a
@@ -188,77 +195,79 @@ func (c *Client) Session(id string) *Session { return &Session{c: c, ID: id} }
 // returns a typed error for which errors.Is(err,
 // coord.ErrUnsafeArrival) holds.
 func (s *Session) Join(ctx context.Context, q eq.Query) (api.Update, error) {
-	var up api.Update
-	err := s.c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(s.ID)+"/join",
-		api.JoinRequest{Query: q}, &up)
-	return up, err
+	return s.c.t.join(ctx, s.ID, q)
 }
 
 // Leave departs the live query with the given query ID.
 func (s *Session) Leave(ctx context.Context, queryID string) (api.Update, error) {
-	var up api.Update
-	err := s.c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(s.ID)+"/leave",
-		api.LeaveRequest{ID: queryID}, &up)
-	return up, err
+	return s.c.t.leave(ctx, s.ID, queryID)
 }
 
 // Status reads the session's current state; includeTrace asks for the
 // full coordination trace (the one a traced batch run over the live
 // queries would produce).
 func (s *Session) Status(ctx context.Context, includeTrace bool) (*api.SessionStatus, error) {
-	path := "/v1/sessions/" + url.PathEscape(s.ID)
-	if includeTrace {
-		path += "?trace=1"
-	}
-	var st api.SessionStatus
-	if err := s.c.do(ctx, http.MethodGet, path, nil, &st); err != nil {
-		return nil, err
-	}
-	return &st, nil
+	return s.c.t.status(ctx, s.ID, includeTrace)
 }
 
 // Close deletes the session from the registry; its goroutine drains
 // and exits.
 func (s *Session) Close(ctx context.Context) error {
-	return s.c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(s.ID), nil, nil)
+	return s.c.t.deleteSession(ctx, s.ID)
 }
 
-// Health reads /healthz; a draining server still answers 200 with
-// Status "draining" (the work endpoints are the ones that reject).
+// Subscribe registers fn for this session's push notifications: each
+// previously parked arrival a departure admits is delivered exactly
+// once, surviving connection drops (the transport redials,
+// re-subscribes, and the server flushes what accumulated while the
+// client was away). fn is called from the connection's read loop — it
+// must not block. The returned stop function ends the subscription.
+// Only the binary transport pushes; over HTTP Subscribe fails (poll
+// Status instead).
+func (s *Session) Subscribe(ctx context.Context, fn func(Notification)) (func(), error) {
+	return s.c.t.subscribe(ctx, s.ID, fn)
+}
+
+// Health reads the health endpoint; a draining server still answers
+// with Status "draining" (the work endpoints are the ones that
+// reject).
 func (c *Client) Health(ctx context.Context) (*api.Health, error) {
-	var h api.Health
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
-		return nil, err
-	}
-	return &h, nil
+	return c.t.health(ctx)
 }
 
 // Recovery reads /v1/recovery: what the server replayed from its
 // durable backend at startup. Enabled is false for an in-memory
-// server.
+// server. HTTP only.
 func (c *Client) Recovery(ctx context.Context) (*api.RecoveryStatus, error) {
-	var rs api.RecoveryStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/recovery", nil, &rs); err != nil {
-		return nil, err
-	}
-	return &rs, nil
+	return c.t.recovery(ctx)
 }
 
-// Metrics reads /metrics.
+// Metrics reads /metrics. HTTP only.
 func (c *Client) Metrics(ctx context.Context) (*api.Metrics, error) {
-	var m api.Metrics
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
-		return nil, err
-	}
-	return &m, nil
+	return c.t.metrics(ctx)
 }
 
-// IsRetryable reports whether an error is a backpressure rejection
-// (queue or mailbox full) that a client may retry after a backoff.
+// IsRetryable reports whether an error may succeed on retry: a
+// backpressure rejection (queue or mailbox full, after a backoff) or a
+// transport-level connection drop (the binary transport redials on the
+// next call; HTTP opens a fresh connection). A dropped connection
+// means the request's fate is unknown — retry only operations that are
+// idempotent or whose duplication the caller can detect.
 func IsRetryable(err error) bool {
 	var e *Error
-	if !errors.As(err, &e) {
-		return false
+	if errors.As(err, &e) {
+		return e.Code == api.CodeOverloaded || e.Code == api.CodeMailboxFull
 	}
-	return e.Code == api.CodeOverloaded || e.Code == api.CodeMailboxFull
+	switch {
+	case errors.Is(err, wire.ErrConnClosed),
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, net.ErrClosed),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.EPIPE):
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
 }

@@ -3,12 +3,17 @@ package client
 import (
 	"context"
 	"errors"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"syscall"
 	"testing"
 
 	"entangled/internal/api"
 	"entangled/internal/coord"
+	"entangled/internal/wire"
 )
 
 func TestNewValidatesBaseURL(t *testing.T) {
@@ -21,8 +26,28 @@ func TestNewValidatesBaseURL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.base != "http://127.0.0.1:8080" {
-		t.Fatalf("base %q not normalised", c.base)
+	ht, ok := c.t.(*httpTransport)
+	if !ok {
+		t.Fatalf("http URL selected %T", c.t)
+	}
+	if ht.base != "http://127.0.0.1:8080" {
+		t.Fatalf("base %q not normalised", ht.base)
+	}
+	for _, u := range []string{"tcp://127.0.0.1:9090", "binary://127.0.0.1:9090"} {
+		c, err := New(u, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt, ok := c.t.(*binaryTransport)
+		if !ok {
+			t.Fatalf("New(%q) selected %T", u, c.t)
+		}
+		if bt.addr != "127.0.0.1:9090" {
+			t.Fatalf("New(%q) dial address %q", u, bt.addr)
+		}
+	}
+	if _, err := New("ftp://127.0.0.1:21", Options{}); err == nil {
+		t.Fatal("unsupported scheme accepted")
 	}
 }
 
@@ -67,6 +92,18 @@ func TestIsRetryable(t *testing.T) {
 		{&Error{Code: coord.CodeUnsafeArrival}, false},
 		{errors.New("plain"), false},
 		{nil, false},
+		// Transport-level drops: the binary connection redials, HTTP
+		// reconnects — all worth a retry.
+		{wire.ErrConnClosed, true},
+		{fmt.Errorf("call: %w", wire.ErrConnClosed), true},
+		{io.EOF, true},
+		{io.ErrUnexpectedEOF, true},
+		{net.ErrClosed, true},
+		{syscall.ECONNRESET, true},
+		{syscall.ECONNREFUSED, true},
+		{syscall.EPIPE, true},
+		{&net.OpError{Op: "read", Err: errors.New("reset")}, true},
+		{fmt.Errorf("wrapped: %w", &net.OpError{Op: "dial", Err: errors.New("refused")}), true},
 	}
 	for _, tc := range cases {
 		if got := IsRetryable(tc.err); got != tc.want {

@@ -52,6 +52,11 @@ type sessionHandle struct {
 	name    string
 	sess    *stream.Session
 	journal eventJournal // nil when the server runs without durability
+	// notify observes every applied update (called from the session
+	// loop, after journaling, before the reply). The server points it at
+	// the push hub so parked arrivals admitted by a departure reach
+	// subscribed binary connections. Nil when nobody listens.
+	notify func(name string, up stream.Update)
 
 	mailbox  chan sessionOp
 	stop     chan struct{} // closed on delete/evict/server drain
@@ -113,6 +118,9 @@ func (h *sessionHandle) exec(op sessionOp) {
 			err = fmt.Errorf("server: journaling event for session %s: %w", h.name, jerr)
 		}
 	}
+	if h.notify != nil && err == nil {
+		h.notify(h.name, up)
+	}
 	op.reply <- sessionReply{up: up, err: err}
 }
 
@@ -167,6 +175,8 @@ func (h *sessionHandle) close() {
 type registry struct {
 	newSession  func(parkUnsafe bool) *stream.Session
 	newJournal  func(name string, parkUnsafe bool) (eventJournal, error) // nil: no durability
+	notify      func(name string, up stream.Update)                      // nil: no push listeners
+	onDrop      func(name string)                                        // nil: nothing to clean up
 	mailboxSize int
 	idleTimeout time.Duration
 
@@ -223,6 +233,7 @@ func (r *registry) create(name string, parkUnsafe bool) (*sessionHandle, error) 
 		journal = j
 	}
 	h := newSessionHandle(name, r.newSession(parkUnsafe), journal, r.mailboxSize)
+	h.notify = r.notify
 	r.handles[name] = h
 	r.created.Add(1)
 	return h, nil
@@ -240,6 +251,7 @@ func (r *registry) adopt(name string, sess *stream.Session, journal eventJournal
 		return nil, fmt.Errorf("%w: %s", errSessionExists, name)
 	}
 	h := newSessionHandle(name, sess, journal, r.mailboxSize)
+	h.notify = r.notify
 	r.handles[name] = h
 	r.created.Add(1)
 	return h, nil
@@ -271,6 +283,9 @@ func (r *registry) remove(name string) error {
 	// A deliberately removed session must not resurrect on restart.
 	if h.journal != nil {
 		h.journal.Drop()
+	}
+	if r.onDrop != nil {
+		r.onDrop(name)
 	}
 	return nil
 }
@@ -326,6 +341,9 @@ func (r *registry) janitor() {
 				// Eviction is removal: the journal goes too.
 				if h.journal != nil {
 					h.journal.Drop()
+				}
+				if r.onDrop != nil {
+					r.onDrop(h.name)
 				}
 				r.evicted.Add(1)
 			}

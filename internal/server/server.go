@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -83,9 +84,14 @@ type Server struct {
 	batch    *batcher
 	reg      *registry
 	met      *metrics
+	push     *pushHub
 	recovery api.RecoveryStatus
 	closing  sync.Once
 	closed   chan struct{}
+
+	wireMu    sync.Mutex
+	wireLs    map[net.Listener]struct{}
+	wireConns map[*wireConn]struct{}
 }
 
 // New builds a server over the engine. The server owns a dispatcher
@@ -97,11 +103,14 @@ type Server struct {
 func New(e *engine.Engine, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
-		e:      e,
-		opts:   opts,
-		mux:    http.NewServeMux(),
-		met:    newMetrics(),
-		closed: make(chan struct{}),
+		e:         e,
+		opts:      opts,
+		mux:       http.NewServeMux(),
+		met:       newMetrics(),
+		push:      newPushHub(),
+		closed:    make(chan struct{}),
+		wireLs:    make(map[net.Listener]struct{}),
+		wireConns: make(map[*wireConn]struct{}),
 	}
 	s.batch = newBatcher(e, opts.QueueDepth, opts.MaxBatch, func(int) {
 		s.met.coordBatches.Add(1)
@@ -119,6 +128,11 @@ func New(e *engine.Engine, opts Options) (*Server, error) {
 	}
 	s.reg = newRegistry(newSession, opts.MailboxSize, opts.IdleTimeout)
 	s.reg.newJournal = newJournal
+	// Parked arrivals a departure admitted become push notifications on
+	// subscribed binary connections; dropped sessions drop their
+	// undelivered backlog.
+	s.reg.notify = s.push.admitted
+	s.reg.onDrop = s.push.dropSession
 	if err := s.recoverSessions(newSession); err != nil {
 		s.Close()
 		return nil, err
@@ -190,8 +204,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) Close() {
 	s.closing.Do(func() {
 		close(s.closed)
+		// Stop accepting binary connections first so no new work arrives
+		// while the queues drain.
+		s.wireMu.Lock()
+		for l := range s.wireLs {
+			l.Close()
+		}
+		s.wireMu.Unlock()
 		s.batch.close()
 		s.reg.close()
+		// Existing binary connections finish their in-flight requests
+		// (the drained queues answer them, typically with "draining"),
+		// then close.
+		s.wireMu.Lock()
+		conns := make([]*wireConn, 0, len(s.wireConns))
+		for wc := range s.wireConns {
+			conns = append(conns, wc)
+		}
+		s.wireMu.Unlock()
+		for _, wc := range conns {
+			wc.inflight.Wait()
+			wc.c.Close()
+		}
 		// Registry close already synced and closed every session
 		// journal; flush the store WAL too, so a drained server's whole
 		// data directory is on stable storage regardless of sync
@@ -264,24 +298,39 @@ func (s *Server) handleCoordinate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "decoding body: %v", err))
 		return
 	}
-	if len(req.Requests) == 0 {
-		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "empty batch"))
+	if we := s.checkBatch(len(req.Requests)); we != nil {
+		writeError(w, http.StatusBadRequest, we)
 		return
 	}
-	if len(req.Requests) > s.opts.MaxBatch {
-		writeError(w, http.StatusBadRequest,
-			api.Errf(api.CodeBadRequest, "batch of %d exceeds the %d-request cap", len(req.Requests), s.opts.MaxBatch))
-		return
-	}
+	writeJSON(w, http.StatusOK, api.CoordinateResponse{Responses: s.serveBatch(r.Context(), req.Requests)})
+}
 
-	out := make([]api.Response, len(req.Requests))
+// checkBatch validates a coordinate batch's size; a non-nil return is
+// the bad_request error both protocols report verbatim.
+func (s *Server) checkBatch(n int) *api.Error {
+	if n == 0 {
+		return api.Errf(api.CodeBadRequest, "empty batch")
+	}
+	if n > s.opts.MaxBatch {
+		return api.Errf(api.CodeBadRequest, "batch of %d exceeds the %d-request cap", n, s.opts.MaxBatch)
+	}
+	return nil
+}
+
+// serveBatch admits every request into the shared batcher individually
+// and collects the responses. Both protocols serve batches through this
+// one path, so an HTTP call and a binary frame carrying the same
+// requests produce identical api.Response values — results and error
+// text alike.
+func (s *Server) serveBatch(ctx context.Context, reqs []api.Request) []api.Response {
+	out := make([]api.Response, len(reqs))
 	var wg sync.WaitGroup
-	for i, cr := range req.Requests {
+	for i, cr := range reqs {
 		wg.Add(1)
 		go func(i int, cr api.Request) {
 			defer wg.Done()
 			start := time.Now()
-			resp, err := s.batch.submit(r.Context(), engine.Request{ID: cr.ID, Queries: cr.Queries})
+			resp, err := s.batch.submit(ctx, engine.Request{ID: cr.ID, Queries: cr.Queries})
 			s.met.coordLatency.observe(time.Since(start))
 			if err == nil {
 				err = resp.Err
@@ -308,7 +357,7 @@ func (s *Server) handleCoordinate(w http.ResponseWriter, r *http.Request) {
 		}(i, cr)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, api.CoordinateResponse{Responses: out})
+	return out
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -332,16 +381,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 // retry, not live); admission rejections and failures are typed error
 // envelopes.
 func (s *Server) postEvent(w http.ResponseWriter, r *http.Request, ev stream.Event) {
-	h, err := s.reg.get(r.PathValue("id"))
-	if err != nil {
-		status, code := statusFor(err)
-		writeError(w, status, api.Errf(code, "%v", err))
-		return
-	}
-	start := time.Now()
-	up, err := h.post(r.Context(), ev)
-	s.met.sessionLatency.observe(time.Since(start))
-	s.met.sessionEvents.Add(1)
+	up, err := s.sessionEvent(r.Context(), r.PathValue("id"), ev)
 	if err != nil {
 		status, code := statusFor(err)
 		writeError(w, status, api.Errf(code, "%v", err))
@@ -352,6 +392,21 @@ func (s *Server) postEvent(w http.ResponseWriter, r *http.Request, ev stream.Eve
 		status = http.StatusAccepted
 	}
 	writeJSON(w, status, api.UpdateFrom(up))
+}
+
+// sessionEvent resolves the session and posts the event through its
+// mailbox, metering the trip. Shared by both protocols so their
+// outcomes (and error text) match.
+func (s *Server) sessionEvent(ctx context.Context, name string, ev stream.Event) (stream.Update, error) {
+	h, err := s.reg.get(name)
+	if err != nil {
+		return stream.Update{}, err
+	}
+	start := time.Now()
+	up, err := h.post(ctx, ev)
+	s.met.sessionLatency.observe(time.Since(start))
+	s.met.sessionEvents.Add(1)
+	return up, err
 }
 
 func (s *Server) handleSessionJoin(w http.ResponseWriter, r *http.Request) {
@@ -373,21 +428,32 @@ func (s *Server) handleSessionLeave(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
-	h, err := s.reg.get(r.PathValue("id"))
+	st, status, we := s.sessionStatus(r.PathValue("id"), r.URL.Query().Get("trace") == "1")
+	if we != nil {
+		writeError(w, status, we)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// sessionStatus snapshots one session as its API DTO. Shared by both
+// protocols; a non-nil *api.Error comes with its HTTP-equivalent
+// status.
+func (s *Server) sessionStatus(name string, trace bool) (api.SessionStatus, int, *api.Error) {
+	h, err := s.reg.get(name)
 	if err != nil {
 		status, code := statusFor(err)
-		writeError(w, status, api.Errf(code, "%v", err))
-		return
+		return api.SessionStatus{}, status, api.Errf(code, "%v", err)
 	}
 	h.touch()
 	// One locked snapshot: Result's indices must agree with Queries
 	// even while other clients join and leave this session.
-	snap, err := h.sess.Status(r.URL.Query().Get("trace") == "1")
+	snap, err := h.sess.Status(trace)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, api.Errf(api.CodeInternal, "reading session state: %v", err))
-		return
+		return api.SessionStatus{}, http.StatusInternalServerError,
+			api.Errf(api.CodeInternal, "reading session state: %v", err)
 	}
-	writeJSON(w, http.StatusOK, api.SessionStatus{
+	return api.SessionStatus{
 		ID:       h.name,
 		Live:     len(snap.Queries),
 		Parked:   snap.Parked,
@@ -396,7 +462,7 @@ func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
 		Totals:   api.TotalsFrom(snap.Totals),
 		Trace:    snap.Trace,
 		TeamSize: snap.Result.Size(),
-	})
+	}, 0, nil
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
@@ -409,18 +475,23 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// health reports liveness and drain state; both protocols serve it.
+// Always answered (never an error): the work endpoints are the ones
+// that reject during a drain, and a health probe that can still be
+// answered should be.
+func (s *Server) health() api.Health {
 	h := api.Health{
 		Status:   "ok",
 		Sessions: s.reg.open(),
 		UptimeS:  time.Since(s.met.start).Seconds(),
 	}
-	// Always 200 with the drain state in the body: the work endpoints
-	// are the ones that reject (503) during a drain, and a health probe
-	// that can still be answered should be.
 	if s.draining() {
 		h.Status = "draining"
 	}
-	writeJSON(w, http.StatusOK, h)
+	return h
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

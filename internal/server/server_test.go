@@ -39,12 +39,13 @@ func newLoopback(t *testing.T, store db.Store, sopts server.Options) (*client.Cl
 }
 
 // TestServerLoopbackIntegration is the end-to-end acceptance test: N
-// concurrent clients drive batch requests and two named streaming
-// sessions over ONE sharded store through the HTTP API. Every batch
-// response must match an in-process run of the same request — same
-// team, same witness values, and the same exact DBQueries — and every
-// quiesced session's team, values and trace must match a batch
-// SCCCoordinate over its live set byte-for-byte.
+// concurrent clients — half speaking HTTP/JSON, half the binary wire
+// protocol — drive batch requests and two named streaming sessions over
+// ONE sharded store. Every batch response, over either protocol, must
+// match an in-process run of the same request — same team, same witness
+// values, and the same exact DBQueries — and every quiesced session's
+// team, values and trace must decode identically through both protocols
+// and match a batch SCCCoordinate over its live set byte-for-byte.
 func TestServerLoopbackIntegration(t *testing.T) {
 	const (
 		shards     = 4
@@ -53,7 +54,8 @@ func TestServerLoopbackIntegration(t *testing.T) {
 		reqsPerCli = 8
 	)
 	store := workload.NewStore(shards, rows, 0)
-	c, _ := newLoopback(t, store, server.Options{})
+	httpC, binC, _ := newDualLoopback(t, store, server.Options{})
+	clients := []*client.Client{httpC, binC}
 	ctx := context.Background()
 
 	// Batch traffic: concurrent clients, each sending one multi-request
@@ -69,6 +71,7 @@ func TestServerLoopbackIntegration(t *testing.T) {
 		wg.Add(1)
 		go func(cli int) {
 			defer wg.Done()
+			c := clients[cli%len(clients)] // alternate protocols
 			reqs := make([]client.Request, reqsPerCli)
 			sets := make([][]eq.Query, reqsPerCli)
 			for j := range reqs {
@@ -100,11 +103,12 @@ func TestServerLoopbackIntegration(t *testing.T) {
 		"alpha": workload.Arrivals(workload.Churn, 48, rows, 7),
 		"beta":  workload.Arrivals(workload.Churn, 48, rows, 11),
 	}
+	sessionClient := map[string]*client.Client{"alpha": httpC, "beta": binC}
 	for name, arrivals := range sessionEvents {
 		wg.Add(1)
 		go func(name string, arrivals []workload.Arrival) {
 			defer wg.Done()
-			sess, err := c.CreateSession(ctx, name, false)
+			sess, err := sessionClient[name].CreateSession(ctx, name, false)
 			if err != nil {
 				errs <- fmt.Errorf("create %s: %w", name, err)
 				return
@@ -160,11 +164,19 @@ func TestServerLoopbackIntegration(t *testing.T) {
 	}
 
 	// Session equivalence: each quiesced session's wire-read state must
-	// match batch SCCCoordinate over its live queries byte-for-byte.
+	// decode identically through both protocols and match batch
+	// SCCCoordinate over its live queries byte-for-byte.
 	for name := range sessionEvents {
-		st, err := c.Session(name).Status(ctx, true)
+		st, err := httpC.Session(name).Status(ctx, true)
 		if err != nil {
 			t.Fatalf("status %s: %v", name, err)
+		}
+		stBin, err := binC.Session(name).Status(ctx, true)
+		if err != nil {
+			t.Fatalf("binary status %s: %v", name, err)
+		}
+		if !reflect.DeepEqual(st, stBin) {
+			t.Fatalf("%s: status DTOs differ across protocols:\nHTTP   %+v\nbinary %+v", name, st, stBin)
 		}
 		btr := &coord.Trace{}
 		want, err := coord.SCCCoordinate(st.Queries, store, coord.Options{Trace: btr})
@@ -201,8 +213,9 @@ func TestServerLoopbackIntegration(t *testing.T) {
 		}
 	}
 
-	// The operational surface must account for the traffic.
-	m, err := c.Metrics(ctx)
+	// The operational surface must account for the traffic (from both
+	// protocols: the serving path is shared, so the counters are too).
+	m, err := httpC.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,12 +236,14 @@ func TestServerLoopbackIntegration(t *testing.T) {
 	if m.PlanCache == nil || m.PlanCache.HitRate <= 0.5 {
 		t.Fatalf("metrics: plan cache %+v, want a warm cache", m.PlanCache)
 	}
-	h, err := c.Health(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if h.Status != "ok" || h.Sessions != 2 {
-		t.Fatalf("health %+v, want ok with 2 sessions", h)
+	for proto, hc := range map[string]*client.Client{"HTTP": httpC, "binary": binC} {
+		h, err := hc.Health(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Status != "ok" || h.Sessions != 2 {
+			t.Fatalf("%s health %+v, want ok with 2 sessions", proto, h)
+		}
 	}
 }
 

@@ -1,0 +1,415 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+
+	"entangled/internal/api"
+	"entangled/internal/stream"
+	"entangled/internal/wire"
+)
+
+// maxPendingPush bounds the undelivered-notification backlog one
+// session keeps while no subscriber is connected; past it the oldest
+// notification drops. A reconnecting client re-syncs from session
+// status anyway — the backlog is a convenience window, not a journal.
+const maxPendingPush = 1024
+
+// pushHub routes parked-arrival-admitted notifications to the binary
+// connections subscribed to each session. A notification is delivered
+// to every live subscriber; with none connected it is buffered so a
+// client that reconnects and re-subscribes still gets it exactly once.
+type pushHub struct {
+	mu      sync.Mutex
+	subs    map[string]map[*wireConn]struct{}
+	pending map[string][]wire.Push
+}
+
+func newPushHub() *pushHub {
+	return &pushHub{
+		subs:    map[string]map[*wireConn]struct{}{},
+		pending: map[string][]wire.Push{},
+	}
+}
+
+// admitted is the registry's notify hook: each parked arrival the
+// update's retry pass admitted becomes one push. Called from the
+// session loop, so ordering follows the session's event order.
+func (p *pushHub) admitted(name string, up stream.Update) {
+	for _, id := range up.AdmittedParked {
+		p.deliver(wire.Push{Session: name, QueryID: id, Seq: up.Seq})
+	}
+}
+
+// deliver sends one push to every live subscriber, or buffers it when
+// none is connected (or every write failed): a push is either written
+// to at least one connection or kept pending, never both, never
+// dropped short of the backlog cap.
+func (p *pushHub) deliver(ps wire.Push) {
+	p.mu.Lock()
+	conns := make([]*wireConn, 0, len(p.subs[ps.Session]))
+	for wc := range p.subs[ps.Session] {
+		conns = append(conns, wc)
+	}
+	if len(conns) == 0 {
+		p.buffer(ps)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	delivered := 0
+	for _, wc := range conns {
+		if wc.sendPush(ps) == nil {
+			delivered++
+		}
+	}
+	if delivered == 0 {
+		p.mu.Lock()
+		p.buffer(ps)
+		p.mu.Unlock()
+	}
+}
+
+// buffer queues an undeliverable push; callers hold p.mu.
+func (p *pushHub) buffer(ps wire.Push) {
+	q := append(p.pending[ps.Session], ps)
+	if len(q) > maxPendingPush {
+		q = q[len(q)-maxPendingPush:]
+	}
+	p.pending[ps.Session] = q
+}
+
+// subscribe registers the connection for one session's pushes and
+// flushes the pending backlog to it. A backlog write failing re-queues
+// the unsent remainder (the connection is dying; its unsubscribe
+// races, so re-buffering keeps the exactly-once promise for the next
+// subscriber).
+func (p *pushHub) subscribe(wc *wireConn, name string) {
+	p.mu.Lock()
+	set := p.subs[name]
+	if set == nil {
+		set = map[*wireConn]struct{}{}
+		p.subs[name] = set
+	}
+	set[wc] = struct{}{}
+	backlog := p.pending[name]
+	delete(p.pending, name)
+	p.mu.Unlock()
+	for i, ps := range backlog {
+		if wc.sendPush(ps) != nil {
+			p.mu.Lock()
+			p.pending[name] = append(backlog[i:], p.pending[name]...)
+			p.mu.Unlock()
+			return
+		}
+	}
+}
+
+// unsubscribe removes a dying connection from every session's set.
+func (p *pushHub) unsubscribe(wc *wireConn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for name, set := range p.subs {
+		delete(set, wc)
+		if len(set) == 0 {
+			delete(p.subs, name)
+		}
+	}
+}
+
+// dropSession forgets a removed/evicted session's subscribers and
+// backlog.
+func (p *pushHub) dropSession(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.subs, name)
+	delete(p.pending, name)
+}
+
+// wireConn is the server side of one binary-protocol connection:
+// requests dispatch concurrently (pipelining), replies and pushes
+// serialize through the write mutex.
+type wireConn struct {
+	srv      *Server
+	c        net.Conn
+	wmu      sync.Mutex
+	inflight sync.WaitGroup
+}
+
+// write sends one frame payload.
+func (wc *wireConn) write(payload []byte) error {
+	wc.wmu.Lock()
+	defer wc.wmu.Unlock()
+	return wire.WriteFrame(wc.c, payload)
+}
+
+// send encodes a frame through a pooled buffer and writes it.
+func (wc *wireConn) send(h wire.Header, put func(*wire.Enc)) error {
+	buf := wire.GetBuf()
+	var e wire.Enc
+	e.Reset(*buf)
+	wire.PutHeader(&e, h)
+	if put != nil {
+		put(&e)
+	}
+	err := wc.write(e.Bytes())
+	*buf = e.Bytes()
+	wire.PutBuf(buf)
+	return err
+}
+
+// sendPush delivers one unsolicited notification.
+func (wc *wireConn) sendPush(p wire.Push) error {
+	return wc.send(wire.Header{Kind: wire.KindPush, ID: 0}, p.Encode)
+}
+
+// replyOK answers a request with a success status and body.
+func (wc *wireConn) replyOK(id uint64, status int, put func(*wire.Enc)) {
+	wc.send(wire.Header{Kind: wire.KindReply, ID: id}, func(e *wire.Enc) {
+		wire.PutReplyOK(e, status)
+		if put != nil {
+			put(e)
+		}
+	})
+}
+
+// replyErr answers a request with the same status/code/message triple
+// the HTTP error envelope would carry.
+func (wc *wireConn) replyErr(id uint64, status int, we *api.Error) {
+	wc.send(wire.Header{Kind: wire.KindReply, ID: id}, func(e *wire.Enc) {
+		wire.PutReplyErr(e, status, we)
+	})
+}
+
+// replyServiceErr maps a service-layer error exactly the way the HTTP
+// handlers do, so both protocols report identical errors.
+func (wc *wireConn) replyServiceErr(id uint64, err error) {
+	status, code := statusFor(err)
+	wc.replyErr(id, status, api.Errf(code, "%v", err))
+}
+
+// ServeWire accepts binary-protocol connections on l until the
+// listener closes. The listener joins the server's drain: Close stops
+// it, lets in-flight requests finish, then closes the connections.
+// Run it like http.Serve:
+//
+//	ln, _ := net.Listen("tcp", addr)
+//	go srv.ServeWire(ln)
+func (s *Server) ServeWire(l net.Listener) error {
+	s.wireMu.Lock()
+	if s.draining() {
+		s.wireMu.Unlock()
+		l.Close()
+		return errDraining
+	}
+	s.wireLs[l] = struct{}{}
+	s.wireMu.Unlock()
+	defer func() {
+		s.wireMu.Lock()
+		delete(s.wireLs, l)
+		s.wireMu.Unlock()
+		l.Close()
+	}()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			if s.draining() {
+				return nil
+			}
+			return err
+		}
+		go s.serveWireConn(c)
+	}
+}
+
+// serveWireConn runs one connection: verify the preamble, then decode
+// frames and dispatch until the peer goes away or a framing error
+// leaves the stream unsynchronized (nothing to salvage — drop the
+// connection; a pipelined client redials).
+func (s *Server) serveWireConn(c net.Conn) {
+	wc := &wireConn{srv: s, c: c}
+	s.wireMu.Lock()
+	if s.draining() {
+		s.wireMu.Unlock()
+		c.Close()
+		return
+	}
+	s.wireConns[wc] = struct{}{}
+	s.wireMu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() {
+		s.push.unsubscribe(wc)
+		s.wireMu.Lock()
+		delete(s.wireConns, wc)
+		s.wireMu.Unlock()
+		cancel()
+		wc.inflight.Wait()
+		c.Close()
+	}()
+
+	br := bufio.NewReaderSize(c, 64<<10)
+	var magic [len(wire.Magic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != wire.Magic {
+		return
+	}
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			return
+		}
+		buf = payload
+		d := wire.NewDec(payload)
+		h := wire.GetHeader(d)
+		if d.Err() != nil || h.ID == 0 {
+			return // not even a header; the stream is garbage
+		}
+		if !s.dispatch(ctx, wc, h, d) {
+			return
+		}
+	}
+}
+
+// dispatch decodes one request body synchronously (the read buffer is
+// reused by the next frame) and serves it on its own goroutine, so
+// pipelined requests overlap. A body that fails to decode answers
+// bad_request with the same message the HTTP handlers use; an unknown
+// kind kills the connection (protocol error, not a request error).
+func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *wire.Dec) bool {
+	badBody := func(err error) bool {
+		wc.inflight.Add(1)
+		go func() {
+			defer wc.inflight.Done()
+			wc.replyErr(h.ID, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "decoding body: %v", err))
+		}()
+		return true
+	}
+	serve := func(f func()) bool {
+		wc.inflight.Add(1)
+		go func() {
+			defer wc.inflight.Done()
+			f()
+		}()
+		return true
+	}
+
+	switch h.Kind {
+	case wire.KindCoordinate:
+		req := wire.DecodeCoordinateReq(d)
+		if err := d.Finish(); err != nil {
+			return badBody(err)
+		}
+		return serve(func() {
+			if we := s.checkBatch(len(req.Requests)); we != nil {
+				wc.replyErr(h.ID, http.StatusBadRequest, we)
+				return
+			}
+			out := s.serveBatch(ctx, req.Requests)
+			wc.replyOK(h.ID, http.StatusOK, func(e *wire.Enc) { wire.PutResponses(e, out) })
+		})
+
+	case wire.KindCreateSession:
+		req := wire.DecodeCreateSessionReq(d)
+		if err := d.Finish(); err != nil {
+			return badBody(err)
+		}
+		return serve(func() {
+			sh, err := s.reg.create(req.ID, req.ParkUnsafe)
+			if err != nil {
+				wc.replyServiceErr(h.ID, err)
+				return
+			}
+			wc.replyOK(h.ID, http.StatusCreated, func(e *wire.Enc) { e.String(sh.name) })
+		})
+
+	case wire.KindJoin:
+		req := wire.DecodeJoinReq(d)
+		if err := d.Finish(); err != nil {
+			return badBody(err)
+		}
+		return serve(func() {
+			wc.replyUpdate(ctx, h.ID, req.Session, stream.Event{Kind: stream.JoinEvent, Query: req.Query})
+		})
+
+	case wire.KindLeave:
+		req := wire.DecodeLeaveReq(d)
+		if err := d.Finish(); err != nil {
+			return badBody(err)
+		}
+		return serve(func() {
+			wc.replyUpdate(ctx, h.ID, req.Session, stream.Event{Kind: stream.LeaveEvent, ID: req.QueryID})
+		})
+
+	case wire.KindStatus:
+		req := wire.DecodeStatusReq(d)
+		if err := d.Finish(); err != nil {
+			return badBody(err)
+		}
+		return serve(func() {
+			st, status, we := s.sessionStatus(req.Session, req.Trace)
+			if we != nil {
+				wc.replyErr(h.ID, status, we)
+				return
+			}
+			wc.replyOK(h.ID, http.StatusOK, func(e *wire.Enc) { wire.PutSessionStatus(e, st) })
+		})
+
+	case wire.KindDeleteSession:
+		req := wire.DecodeSessionReq(d)
+		if err := d.Finish(); err != nil {
+			return badBody(err)
+		}
+		return serve(func() {
+			if err := s.reg.remove(req.Session); err != nil {
+				wc.replyServiceErr(h.ID, err)
+				return
+			}
+			wc.replyOK(h.ID, http.StatusNoContent, nil)
+		})
+
+	case wire.KindSubscribe:
+		req := wire.DecodeSessionReq(d)
+		if err := d.Finish(); err != nil {
+			return badBody(err)
+		}
+		return serve(func() {
+			if _, err := s.reg.get(req.Session); err != nil {
+				wc.replyServiceErr(h.ID, err)
+				return
+			}
+			// Reply before flushing the backlog so the client observes
+			// "subscribed" before the first notification.
+			wc.replyOK(h.ID, http.StatusOK, nil)
+			s.push.subscribe(wc, req.Session)
+		})
+
+	case wire.KindHealth:
+		if err := d.Finish(); err != nil {
+			return badBody(err)
+		}
+		return serve(func() {
+			wc.replyOK(h.ID, http.StatusOK, func(e *wire.Enc) { wire.PutHealth(e, s.health()) })
+		})
+	}
+	return false
+}
+
+// replyUpdate serves the shared join/leave path and renders the
+// outcome with the HTTP status semantics (202 for a parked arrival).
+func (wc *wireConn) replyUpdate(ctx context.Context, id uint64, session string, ev stream.Event) {
+	up, err := wc.srv.sessionEvent(ctx, session, ev)
+	if err != nil {
+		wc.replyServiceErr(id, err)
+		return
+	}
+	status := http.StatusOK
+	if up.Parked {
+		status = http.StatusAccepted
+	}
+	wc.replyOK(id, status, func(e *wire.Enc) { wire.PutUpdate(e, api.UpdateFrom(up)) })
+}

@@ -1,0 +1,548 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"entangled/internal/client"
+	"entangled/internal/coord"
+	"entangled/internal/db"
+	"entangled/internal/engine"
+	"entangled/internal/eq"
+	"entangled/internal/server"
+	"entangled/internal/stream"
+	"entangled/internal/workload"
+)
+
+// newDualLoopback boots ONE server speaking both protocols — HTTP on an
+// httptest listener, binary on a loopback TCP listener — and returns a
+// client for each. Every equivalence assertion in this file drives the
+// same server state through both and compares the decoded results.
+func newDualLoopback(t *testing.T, store db.Store, sopts server.Options) (httpC, binC *client.Client, srv *server.Server) {
+	t.Helper()
+	e := engine.New(store, engine.Options{})
+	srv, err := server.New(e, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeWire(ln)
+	httpC, err = client.New(ts.URL, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binC, err = client.New("tcp://"+ln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		binC.Close()
+		ts.Close()
+		srv.Close()
+	})
+	return httpC, binC, srv
+}
+
+// unsafeTrio builds the fanout-2 taxonomy fixture: two queries whose
+// heads unify with the third query's post, so the set is unsafe in
+// batch mode and the poster parks (or is rejected) in stream mode.
+func unsafeTrio(prefix string) []eq.Query {
+	mk := func(id, user string, posts ...string) eq.Query {
+		q := eq.Query{
+			ID:   id,
+			Head: []eq.Atom{eq.NewAtom("R", eq.C(eq.Value(user)), eq.V("x"))},
+			Body: []eq.Atom{eq.NewAtom("T", eq.V("k"), eq.C(eq.Value("c0")))},
+		}
+		for _, p := range posts {
+			q.Post = append(q.Post, eq.NewAtom("R", eq.C(eq.Value(p)), eq.V("y")))
+		}
+		return q
+	}
+	return []eq.Query{
+		mk(prefix+"a", prefix+"A"),
+		mk(prefix+"a2", prefix+"A"),
+		mk(prefix+"p", prefix+"B", prefix+"A"),
+	}
+}
+
+// sameClientError asserts both protocols produced the same typed
+// *client.Error — status, code, message — and agree on every coord and
+// stream sentinel under errors.Is.
+func sameClientError(t *testing.T, what string, herr, berr error) {
+	t.Helper()
+	if (herr == nil) != (berr == nil) {
+		t.Fatalf("%s: HTTP error %v, binary error %v", what, herr, berr)
+	}
+	if herr == nil {
+		return
+	}
+	var he, be *client.Error
+	if !errors.As(herr, &he) {
+		t.Fatalf("%s: HTTP error %T is not *client.Error: %v", what, herr, herr)
+	}
+	if !errors.As(berr, &be) {
+		t.Fatalf("%s: binary error %T is not *client.Error: %v", what, berr, berr)
+	}
+	if *he != *be {
+		t.Fatalf("%s: errors differ:\nHTTP   %+v\nbinary %+v", what, he, be)
+	}
+	for _, sentinel := range []error{
+		coord.ErrUnsafe, coord.ErrUnsafeArrival, coord.ErrTooManyQueries,
+		stream.ErrDuplicateID, stream.ErrUnknownID,
+	} {
+		if errors.Is(herr, sentinel) != errors.Is(berr, sentinel) {
+			t.Fatalf("%s: errors.Is(%v) disagrees: HTTP %v, binary %v", what, sentinel, herr, berr)
+		}
+	}
+}
+
+// sameResponses asserts two decoded batch results are identical DTOs:
+// same IDs, deep-equal results (witness values and exact DBQueries
+// included), equivalent typed errors.
+func sameResponses(t *testing.T, what string, hr, br []client.Response) {
+	t.Helper()
+	if len(hr) != len(br) {
+		t.Fatalf("%s: %d HTTP responses, %d binary", what, len(hr), len(br))
+	}
+	for i := range hr {
+		if hr[i].ID != br[i].ID {
+			t.Fatalf("%s[%d]: ID %q != %q", what, i, hr[i].ID, br[i].ID)
+		}
+		if !reflect.DeepEqual(hr[i].Result, br[i].Result) {
+			t.Fatalf("%s[%d]: results differ:\nHTTP   %+v\nbinary %+v", what, i, hr[i].Result, br[i].Result)
+		}
+		sameClientError(t, fmt.Sprintf("%s[%d]", what, i), hr[i].Err, br[i].Err)
+	}
+}
+
+// TestWireCodecsEquivalent is the cross-codec harness: randomized
+// batches, session event streams, and every reachable error-code path
+// go through the HTTP/JSON and binary codecs against one server, and
+// each pair of decoded outcomes must be identical — same api DTOs, same
+// *client.Error fields, same errors.Is sentinel behavior.
+func TestWireCodecsEquivalent(t *testing.T) {
+	const rows = 32
+	store := workload.NewStore(2, rows, 0)
+	httpC, binC, _ := newDualLoopback(t, store, server.Options{MaxBatch: 8})
+	ctx := context.Background()
+
+	// Randomized read-only batches: identical requests through both
+	// protocols must decode to deep-equal responses (coordination over
+	// an immutable store is deterministic, so the protocols see the
+	// same server-side answers — any difference is a codec bug).
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < 6; round++ {
+		n := 1 + rng.Intn(8)
+		reqs := make([]client.Request, n)
+		for i := range reqs {
+			reqs[i] = client.Request{
+				ID:      fmt.Sprintf("r%d.%d", round, i),
+				Queries: workload.ListQueriesAt(2+rng.Intn(8), rng.Intn(rows)),
+			}
+		}
+		hr, herr := httpC.CoordinateBatch(ctx, reqs)
+		br, berr := binC.CoordinateBatch(ctx, reqs)
+		if herr != nil || berr != nil {
+			t.Fatalf("round %d: HTTP %v, binary %v", round, herr, berr)
+		}
+		sameResponses(t, fmt.Sprintf("round %d", round), hr, br)
+	}
+
+	// A batch mixing a good request with an inline per-request error
+	// (unsafe set): the error rides inside a 200 envelope on both
+	// protocols with the same code and message.
+	mixed := []client.Request{
+		{ID: "bad", Queries: unsafeTrio("x")},
+		{ID: "good", Queries: workload.ListQueriesAt(4, 3)},
+	}
+	hr, herr := httpC.CoordinateBatch(ctx, mixed)
+	br, berr := binC.CoordinateBatch(ctx, mixed)
+	if herr != nil || berr != nil {
+		t.Fatalf("mixed batch: HTTP %v, binary %v", herr, berr)
+	}
+	sameResponses(t, "mixed", hr, br)
+	if hr[0].Err == nil || hr[1].Err != nil {
+		t.Fatalf("mixed batch shape wrong: %+v", hr)
+	}
+
+	// Transport-level error paths, pairwise. Each case runs the same
+	// doomed call over both protocols against identical server state.
+	errCases := []struct {
+		name string
+		call func(c *client.Client) error
+	}{
+		{"empty batch", func(c *client.Client) error {
+			_, err := c.CoordinateBatch(ctx, nil)
+			return err
+		}},
+		{"oversized batch", func(c *client.Client) error {
+			_, err := c.CoordinateBatch(ctx, make([]client.Request, 9))
+			return err
+		}},
+		{"status of missing session", func(c *client.Client) error {
+			_, err := c.Session("nope").Status(ctx, false)
+			return err
+		}},
+		{"join missing session", func(c *client.Client) error {
+			_, err := c.Session("nope").Join(ctx, workload.ChainQuery(0, 0, rows))
+			return err
+		}},
+		{"delete missing session", func(c *client.Client) error {
+			return c.Session("nope").Close(ctx)
+		}},
+	}
+	for _, tc := range errCases {
+		sameClientError(t, tc.name, tc.call(httpC), tc.call(binC))
+	}
+
+	// Session-scoped error paths need a session per protocol so both
+	// observe the same (fresh) state: duplicate create, duplicate join,
+	// unknown leave, unsafe arrival rejection.
+	sessionErrs := func(c *client.Client, name string) (dup, dupJoin, unkLeave, unsafe error) {
+		sess, err := c.CreateSession(ctx, name, false)
+		if err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		_, dup = c.CreateSession(ctx, name, false)
+		trio := unsafeTrio(name)
+		if _, err := sess.Join(ctx, trio[0]); err != nil {
+			t.Fatalf("%s join: %v", name, err)
+		}
+		if _, err := sess.Join(ctx, trio[1]); err != nil {
+			t.Fatalf("%s join: %v", name, err)
+		}
+		_, dupJoin = sess.Join(ctx, trio[0])
+		_, unkLeave = sess.Leave(ctx, "nobody")
+		_, unsafe = sess.Join(ctx, trio[2])
+		return
+	}
+	// The two protocols necessarily use distinct session names (one
+	// server); scrub the name out of the message before comparing.
+	scrub := func(err error, name string) error {
+		var ce *client.Error
+		if errors.As(err, &ce) {
+			ce.Message = strings.ReplaceAll(ce.Message, name, "NAME")
+		}
+		return err
+	}
+	hDup, hDupJoin, hUnk, hUnsafe := sessionErrs(httpC, "eh")
+	bDup, bDupJoin, bUnk, bUnsafe := sessionErrs(binC, "eb")
+	sameClientError(t, "duplicate create", scrub(hDup, "eh"), scrub(bDup, "eb"))
+	sameClientError(t, "duplicate join", scrub(hDupJoin, "eh"), scrub(bDupJoin, "eb"))
+	sameClientError(t, "unknown leave", scrub(hUnk, "eh"), scrub(bUnk, "eb"))
+	sameClientError(t, "unsafe arrival", scrub(hUnsafe, "eh"), scrub(bUnsafe, "eb"))
+
+	// Session event streams: the same arrival/departure sequence driven
+	// into one session per protocol yields identical updates (modulo
+	// the wall-clock ElapsedNS) and identical final status DTOs (modulo
+	// the session name).
+	arrivals := workload.Arrivals(workload.Churn, 24, rows, 5)
+	runStream := func(c *client.Client, name string) []interface{} {
+		sess, err := c.CreateSession(ctx, name, true)
+		if err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		var ups []interface{}
+		for i, a := range arrivals {
+			var up interface{}
+			var err error
+			if a.Leave {
+				u, e := sess.Leave(ctx, a.ID)
+				u.ElapsedNS = 0
+				up, err = u, e
+			} else {
+				u, e := sess.Join(ctx, a.Query)
+				u.ElapsedNS = 0
+				up, err = u, e
+			}
+			if err != nil {
+				t.Fatalf("%s event %d: %v", name, i, err)
+			}
+			ups = append(ups, up)
+		}
+		st, err := sess.Status(ctx, true)
+		if err != nil {
+			t.Fatalf("%s status: %v", name, err)
+		}
+		st.ID = ""
+		ups = append(ups, st)
+		return ups
+	}
+	if hs, bs := runStream(httpC, "sh"), runStream(binC, "sb"); !reflect.DeepEqual(hs, bs) {
+		t.Fatalf("session streams diverge:\nHTTP   %+v\nbinary %+v", hs, bs)
+	}
+
+	// Parked-arrival semantics: the binary 202 analogue must decode to
+	// the same Update the HTTP 202 body carries.
+	parkPair := func(c *client.Client, name string) (up interface{}) {
+		sess, err := c.CreateSession(ctx, name, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trio := unsafeTrio(name)
+		for _, q := range trio[:2] {
+			if _, err := sess.Join(ctx, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		u, err := sess.Join(ctx, trio[2])
+		if err != nil {
+			t.Fatalf("%s parked join errored: %v", name, err)
+		}
+		if !u.Parked || u.Admitted {
+			t.Fatalf("%s parked join update %+v", name, u)
+		}
+		u.ElapsedNS = 0
+		return u
+	}
+	if hu, bu := parkPair(httpC, "ph"), parkPair(binC, "pb"); !reflect.DeepEqual(hu, bu) {
+		t.Fatalf("parked updates differ:\nHTTP   %+v\nbinary %+v", hu, bu)
+	}
+
+	// Health: identical modulo uptime.
+	hh, err := httpC.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh, err := binC.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh.UptimeS, bh.UptimeS = 0, 0
+	if !reflect.DeepEqual(hh, bh) {
+		t.Fatalf("health differs: HTTP %+v, binary %+v", hh, bh)
+	}
+}
+
+// TestWirePushParkedArrival pins the push contract end to end: a parked
+// arrival over the binary connection (the 202 "parked":true analogue)
+// is announced by exactly one push notification when the conflicting
+// departure admits it.
+func TestWirePushParkedArrival(t *testing.T) {
+	store := workload.NewStore(1, 8, 0)
+	_, binC, _ := newDualLoopback(t, store, server.Options{})
+	ctx := context.Background()
+
+	sess, err := binC.CreateSession(ctx, "pushy", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan client.Notification, 8)
+	stop, err := sess.Subscribe(ctx, func(n client.Notification) { got <- n })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	trio := unsafeTrio("w")
+	for _, q := range trio[:2] {
+		if _, err := sess.Join(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	up, err := sess.Join(ctx, trio[2])
+	if err != nil || !up.Parked {
+		t.Fatalf("poster join: update %+v err %v, want parked", up, err)
+	}
+	select {
+	case n := <-got:
+		t.Fatalf("push %+v before any departure", n)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The departure clears the fanout conflict; the retry pass admits
+	// the parked query and the admission must push exactly once.
+	left, err := sess.Leave(ctx, trio[1].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-got:
+		if n.Session != "pushy" || n.QueryID != trio[2].ID || n.Seq != left.Seq {
+			t.Fatalf("push %+v, want session pushy query %s seq %d", n, trio[2].ID, left.Seq)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no push for the admitted parked arrival")
+	}
+	select {
+	case n := <-got:
+		t.Fatalf("duplicate push %+v", n)
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	// The server state agrees with the notification.
+	st, err := sess.Status(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Live != 2 || st.Parked != 0 {
+		t.Fatalf("status %+v, want the parked query live", st)
+	}
+}
+
+// killableListener records accepted connections so a test can cut them
+// mid-protocol, simulating a network drop between client and server.
+type killableListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *killableListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *killableListener) killAll() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.conns {
+		c.Close()
+	}
+	l.conns = nil
+}
+
+// TestWirePushSurvivesReconnect kills the subscriber's connection out
+// from under it and checks the exactly-once promise holds across the
+// redial: pushes raised while the client is away are buffered and
+// flushed to the re-subscribed connection, never dropped, never
+// duplicated.
+func TestWirePushSurvivesReconnect(t *testing.T) {
+	store := workload.NewStore(1, 8, 0)
+	e := engine.New(store, engine.Options{})
+	srv, err := server.New(e, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kl := &killableListener{Listener: ln}
+	go srv.ServeWire(kl)
+
+	httpC, err := client.New(ts.URL, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binC, err := client.New("tcp://"+ln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer binC.Close()
+	ctx := context.Background()
+
+	// Park the poster over HTTP (the session does not care which
+	// protocol drives it), subscribe over binary.
+	sess, err := httpC.CreateSession(ctx, "flaky", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trio := unsafeTrio("f")
+	for _, q := range trio[:2] {
+		if _, err := sess.Join(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if up, err := sess.Join(ctx, trio[2]); err != nil || !up.Parked {
+		t.Fatalf("poster join: %+v %v", up, err)
+	}
+	got := make(chan client.Notification, 8)
+	stop, err := binC.Session("flaky").Subscribe(ctx, func(n client.Notification) { got <- n })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	// Cut every server-side connection. The binary transport's keeper
+	// redials and re-subscribes on its own; the departure below may
+	// land before or after the re-subscribe — either way the push must
+	// arrive exactly once (live delivery or backlog flush).
+	kl.killAll()
+	if _, err := sess.Leave(ctx, trio[1].ID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-got:
+		if n.Session != "flaky" || n.QueryID != trio[2].ID {
+			t.Fatalf("push %+v, want query %s", n, trio[2].ID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("push lost across reconnect")
+	}
+	select {
+	case n := <-got:
+		t.Fatalf("duplicate push after reconnect: %+v", n)
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+// TestWirePushBacklogFlush is the deterministic no-subscriber path: a
+// push raised with nobody connected buffers server-side and flushes,
+// exactly once, to the next subscriber.
+func TestWirePushBacklogFlush(t *testing.T) {
+	store := workload.NewStore(1, 8, 0)
+	httpC, binC, _ := newDualLoopback(t, store, server.Options{})
+	ctx := context.Background()
+
+	sess, err := httpC.CreateSession(ctx, "later", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trio := unsafeTrio("l")
+	for _, q := range trio[:2] {
+		if _, err := sess.Join(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if up, err := sess.Join(ctx, trio[2]); err != nil || !up.Parked {
+		t.Fatalf("poster join: %+v %v", up, err)
+	}
+	left, err := sess.Leave(ctx, trio[1].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nobody was subscribed when the admission happened; subscribing
+	// now must deliver the buffered notification.
+	got := make(chan client.Notification, 8)
+	stop, err := binC.Session("later").Subscribe(ctx, func(n client.Notification) { got <- n })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	select {
+	case n := <-got:
+		if n.Session != "later" || n.QueryID != trio[2].ID || n.Seq != left.Seq {
+			t.Fatalf("buffered push %+v, want query %s seq %d", n, trio[2].ID, left.Seq)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("buffered push never flushed")
+	}
+	select {
+	case n := <-got:
+		t.Fatalf("buffered push duplicated: %+v", n)
+	case <-time.After(150 * time.Millisecond):
+	}
+}

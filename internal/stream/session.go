@@ -67,6 +67,12 @@ type Update struct {
 	// Parked is true when an unsafe arrival was parked for retry
 	// (Options.ParkUnsafe) instead of rejected.
 	Parked bool
+	// AdmittedParked lists the IDs of previously parked arrivals this
+	// event's retry pass admitted, in arrival order. Only departures
+	// populate it (a departure is the only event that can clear the
+	// fanout conflict that parked them); the server's push layer turns
+	// each entry into a notification to subscribed clients.
+	AdmittedParked []string
 	// Err carries the rejection or failure; admission rejections wrap
 	// coord.ErrUnsafeArrival.
 	Err error
@@ -285,6 +291,7 @@ func (s *Session) leave(id string, up *Update) {
 			// join does, so the query stays removable.
 			s.byID[q.ID] = slot
 			s.totals.Joins++
+			up.AdmittedParked = append(up.AdmittedParked, q.ID)
 		} else {
 			still = append(still, q)
 		}

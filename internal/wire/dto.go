@@ -1,0 +1,504 @@
+package wire
+
+import (
+	"sort"
+
+	"entangled/internal/api"
+	"entangled/internal/coord"
+	"entangled/internal/eq"
+)
+
+// DTO codecs. Every encoder is deterministic (maps are emitted in
+// sorted key order), so identical DTOs produce identical frames — the
+// golden-frame tests rely on that. Every decoder reproduces the JSON
+// codec's nil-versus-empty semantics exactly: fields the JSON encoding
+// round-trips as nil (omitempty slices and maps, JSON null) decode to
+// nil here too, so a DTO decoded from the binary wire is DeepEqual to
+// the same DTO decoded from the HTTP wire.
+//
+// Slices that are NOT omitempty in the JSON schema use a
+// presence-prefixed length (0 = nil, n+1 = n elements), preserving the
+// nil/empty distinction the JSON null/[] pair carries; omitempty
+// slices and maps normalize empty to nil on encode, the way omitempty
+// drops them from the JSON body.
+
+// putSlice appends a presence-prefixed length: 0 for nil, n+1 for n
+// elements.
+func putSlice[T any](e *Enc, s []T) int {
+	if s == nil {
+		e.Uvarint(0)
+		return 0
+	}
+	e.Uvarint(uint64(len(s)) + 1)
+	return len(s)
+}
+
+// getSlice reads a presence-prefixed length: -1 for nil, else the
+// element count (validated against the remaining payload at minBytes
+// per element).
+func getSlice(d *Dec, minBytes int) int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return -1
+	}
+	if n == 0 {
+		return -1
+	}
+	n--
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64(d.Remaining()/minBytes) {
+		d.fail("slice length exceeds remaining bytes")
+		return -1
+	}
+	return int(n)
+}
+
+// omitEmpty normalizes an omitempty-tagged slice: JSON drops it when
+// empty, so the decoder on the other side sees nil either way.
+func omitEmpty[T any](s []T) []T {
+	if len(s) == 0 {
+		return nil
+	}
+	return s
+}
+
+// --- eq types ---
+
+// PutTerm appends one term.
+func PutTerm(e *Enc, t eq.Term) {
+	e.Byte(byte(t.Kind))
+	e.String(t.Name)
+}
+
+// GetTerm reads one term, enforcing the JSON codec's validity rules
+// (kind must be const or var; variables need a name).
+func GetTerm(d *Dec) eq.Term {
+	k := d.Byte()
+	name := d.String()
+	if d.err != nil {
+		return eq.Term{}
+	}
+	switch eq.TermKind(k) {
+	case eq.TermConst:
+		return eq.C(eq.Value(name))
+	case eq.TermVar:
+		if name == "" {
+			d.fail("variable term with empty name")
+			return eq.Term{}
+		}
+		return eq.V(name)
+	default:
+		d.fail("bad term kind")
+		return eq.Term{}
+	}
+}
+
+// PutAtom appends one atom.
+func PutAtom(e *Enc, a eq.Atom) {
+	e.String(a.Rel)
+	n := putSlice(e, a.Args)
+	for i := 0; i < n; i++ {
+		PutTerm(e, a.Args[i])
+	}
+}
+
+// GetAtom reads one atom.
+func GetAtom(d *Dec) eq.Atom {
+	var a eq.Atom
+	a.Rel = d.String()
+	if d.err == nil && a.Rel == "" {
+		d.fail("atom without relation name")
+		return eq.Atom{}
+	}
+	if n := getSlice(d, 2); n >= 0 {
+		a.Args = make([]eq.Term, n)
+		for i := range a.Args {
+			a.Args[i] = GetTerm(d)
+		}
+	}
+	return a
+}
+
+func putAtoms(e *Enc, atoms []eq.Atom) {
+	n := putSlice(e, atoms)
+	for i := 0; i < n; i++ {
+		PutAtom(e, atoms[i])
+	}
+}
+
+func getAtoms(d *Dec) []eq.Atom {
+	n := getSlice(d, 2)
+	if n < 0 {
+		return nil
+	}
+	atoms := make([]eq.Atom, n)
+	for i := range atoms {
+		atoms[i] = GetAtom(d)
+	}
+	return atoms
+}
+
+// PutQuery appends one query (Post and Body are omitempty in the JSON
+// schema; Head is not).
+func PutQuery(e *Enc, q eq.Query) {
+	e.String(q.ID)
+	putAtoms(e, omitEmpty(q.Post))
+	putAtoms(e, q.Head)
+	putAtoms(e, omitEmpty(q.Body))
+}
+
+// GetQuery reads one query.
+func GetQuery(d *Dec) eq.Query {
+	var q eq.Query
+	q.ID = d.String()
+	q.Post = getAtoms(d)
+	q.Head = getAtoms(d)
+	q.Body = getAtoms(d)
+	return q
+}
+
+// PutQueries appends a query slice (presence-prefixed).
+func PutQueries(e *Enc, qs []eq.Query) {
+	n := putSlice(e, qs)
+	for i := 0; i < n; i++ {
+		PutQuery(e, qs[i])
+	}
+}
+
+// GetQueries reads a query slice.
+func GetQueries(d *Dec) []eq.Query {
+	n := getSlice(d, 4)
+	if n < 0 {
+		return nil
+	}
+	qs := make([]eq.Query, n)
+	for i := range qs {
+		qs[i] = GetQuery(d)
+	}
+	return qs
+}
+
+// --- coord types ---
+
+func putInts(e *Enc, xs []int) {
+	n := putSlice(e, xs)
+	for i := 0; i < n; i++ {
+		e.Int(xs[i])
+	}
+}
+
+func getInts(d *Dec) []int {
+	n := getSlice(d, 1)
+	if n < 0 {
+		return nil
+	}
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = d.Int()
+	}
+	return xs
+}
+
+// PutResult appends a coordination result. Values is emitted in sorted
+// (query index, variable name) order for determinism; an empty map is
+// normalized to absent, matching the JSON omitempty behaviour.
+func PutResult(e *Enc, r *coord.Result) {
+	if r == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	putInts(e, r.Set)
+	if len(r.Values) == 0 {
+		e.Uvarint(0)
+	} else {
+		e.Uvarint(uint64(len(r.Values)))
+		keys := make([]int, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			e.Int(k)
+			vals := r.Values[k]
+			e.Uvarint(uint64(len(vals)))
+			names := make([]string, 0, len(vals))
+			for name := range vals {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				e.String(name)
+				e.String(string(vals[name]))
+			}
+		}
+	}
+	e.Int64(r.DBQueries)
+}
+
+// GetResult reads a coordination result (nil when absent).
+func GetResult(d *Dec) *coord.Result {
+	if !d.Bool() {
+		return nil
+	}
+	var r coord.Result
+	r.Set = getInts(d)
+	if n := d.Len(2); n > 0 {
+		r.Values = make(map[int]map[string]eq.Value, n)
+		for i := 0; i < n; i++ {
+			k := d.Int()
+			m := d.Len(2)
+			vals := make(map[string]eq.Value, m)
+			for j := 0; j < m; j++ {
+				name := d.String()
+				vals[name] = eq.Value(d.String())
+			}
+			if d.err != nil {
+				return nil
+			}
+			r.Values[k] = vals
+		}
+	}
+	r.DBQueries = d.Int64()
+	if d.err != nil {
+		return nil
+	}
+	return &r
+}
+
+// PutDeltaStats appends incremental event statistics.
+func PutDeltaStats(e *Enc, s coord.DeltaStats) {
+	e.Int(s.Slot)
+	e.Int(s.Components)
+	e.Int(s.Dirty)
+	e.Int(s.Reused)
+	e.Int64(s.DBQueries)
+}
+
+// GetDeltaStats reads incremental event statistics.
+func GetDeltaStats(d *Dec) coord.DeltaStats {
+	return coord.DeltaStats{
+		Slot:       d.Int(),
+		Components: d.Int(),
+		Dirty:      d.Int(),
+		Reused:     d.Int(),
+		DBQueries:  d.Int64(),
+	}
+}
+
+// PutTrace appends a coordination trace (nil-safe; Pruned and
+// Components are omitempty in the JSON schema, as are ComponentEvent's
+// Set, SetSize and Combined).
+func PutTrace(e *Enc, tr *coord.Trace) {
+	if tr == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	pruned := omitEmpty(tr.Pruned)
+	n := putSlice(e, pruned)
+	for i := 0; i < n; i++ {
+		e.Int(pruned[i].Query)
+		e.String(pruned[i].Reason)
+	}
+	comps := omitEmpty(tr.Components)
+	n = putSlice(e, comps)
+	for i := 0; i < n; i++ {
+		c := comps[i]
+		putInts(e, c.Members)
+		putInts(e, omitEmpty(c.Set))
+		e.String(c.Status)
+		e.Int(c.SetSize)
+		e.String(c.Combined)
+	}
+}
+
+// GetTrace reads a coordination trace (nil when absent).
+func GetTrace(d *Dec) *coord.Trace {
+	if !d.Bool() {
+		return nil
+	}
+	var tr coord.Trace
+	if n := getSlice(d, 2); n >= 0 {
+		tr.Pruned = make([]coord.PruneEvent, n)
+		for i := range tr.Pruned {
+			tr.Pruned[i] = coord.PruneEvent{Query: d.Int(), Reason: d.String()}
+		}
+	}
+	if n := getSlice(d, 4); n >= 0 {
+		tr.Components = make([]coord.ComponentEvent, n)
+		for i := range tr.Components {
+			tr.Components[i] = coord.ComponentEvent{
+				Members:  getInts(d),
+				Set:      getInts(d),
+				Status:   d.String(),
+				SetSize:  d.Int(),
+				Combined: d.String(),
+			}
+		}
+	}
+	if d.err != nil {
+		return nil
+	}
+	return &tr
+}
+
+// --- api types ---
+
+// PutError appends a wire error (nil-safe presence flag).
+func PutError(e *Enc, we *api.Error) {
+	if we == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.String(we.Code)
+	e.String(we.Message)
+}
+
+// GetError reads a wire error (nil when absent).
+func GetError(d *Dec) *api.Error {
+	if !d.Bool() {
+		return nil
+	}
+	we := &api.Error{Code: d.String(), Message: d.String()}
+	if d.err != nil {
+		return nil
+	}
+	return we
+}
+
+// PutUpdate appends one session update.
+func PutUpdate(e *Enc, u api.Update) {
+	e.Int(u.Seq)
+	e.Bool(u.Admitted)
+	e.Bool(u.Parked)
+	e.Int(u.TeamSize)
+	PutDeltaStats(e, u.Stats)
+	e.Int64(u.ElapsedNS)
+	PutError(e, u.Error)
+}
+
+// GetUpdate reads one session update.
+func GetUpdate(d *Dec) api.Update {
+	return api.Update{
+		Seq:       d.Int(),
+		Admitted:  d.Bool(),
+		Parked:    d.Bool(),
+		TeamSize:  d.Int(),
+		Stats:     GetDeltaStats(d),
+		ElapsedNS: d.Int64(),
+		Error:     GetError(d),
+	}
+}
+
+// PutTotals appends session totals.
+func PutTotals(e *Enc, t api.Totals) {
+	e.Int(t.Events)
+	e.Int(t.Joins)
+	e.Int(t.Leaves)
+	e.Int(t.Rejected)
+	e.Int(t.Parked)
+	e.Int(t.Dirty)
+	e.Int(t.Reused)
+	e.Int64(t.DBQueries)
+}
+
+// GetTotals reads session totals.
+func GetTotals(d *Dec) api.Totals {
+	return api.Totals{
+		Events:    d.Int(),
+		Joins:     d.Int(),
+		Leaves:    d.Int(),
+		Rejected:  d.Int(),
+		Parked:    d.Int(),
+		Dirty:     d.Int(),
+		Reused:    d.Int(),
+		DBQueries: d.Int64(),
+	}
+}
+
+// PutSessionStatus appends a full session status.
+func PutSessionStatus(e *Enc, st api.SessionStatus) {
+	e.String(st.ID)
+	e.Int(st.Live)
+	e.Int(st.Parked)
+	PutQueries(e, st.Queries)
+	PutResult(e, st.Result)
+	PutTotals(e, st.Totals)
+	PutTrace(e, st.Trace)
+	e.Int(st.TeamSize)
+}
+
+// GetSessionStatus reads a full session status.
+func GetSessionStatus(d *Dec) api.SessionStatus {
+	return api.SessionStatus{
+		ID:       d.String(),
+		Live:     d.Int(),
+		Parked:   d.Int(),
+		Queries:  GetQueries(d),
+		Result:   GetResult(d),
+		Totals:   GetTotals(d),
+		Trace:    GetTrace(d),
+		TeamSize: d.Int(),
+	}
+}
+
+// PutHealth appends a health report.
+func PutHealth(e *Enc, h api.Health) {
+	e.String(h.Status)
+	e.Int(h.Sessions)
+	e.Float(h.UptimeS)
+}
+
+// GetHealth reads a health report.
+func GetHealth(d *Dec) api.Health {
+	return api.Health{Status: d.String(), Sessions: d.Int(), UptimeS: d.Float()}
+}
+
+// PutResponses appends a coordinate batch's responses.
+func PutResponses(e *Enc, rs []api.Response) {
+	n := putSlice(e, rs)
+	for i := 0; i < n; i++ {
+		e.String(rs[i].ID)
+		PutResult(e, rs[i].Result)
+		PutError(e, rs[i].Error)
+	}
+}
+
+// GetResponses reads a coordinate batch's responses.
+func GetResponses(d *Dec) []api.Response {
+	n := getSlice(d, 3)
+	if n < 0 {
+		return nil
+	}
+	rs := make([]api.Response, n)
+	for i := range rs {
+		rs[i] = api.Response{ID: d.String(), Result: GetResult(d), Error: GetError(d)}
+	}
+	return rs
+}
+
+// PutRequests appends a coordinate batch's requests.
+func PutRequests(e *Enc, rs []api.Request) {
+	n := putSlice(e, rs)
+	for i := 0; i < n; i++ {
+		e.String(rs[i].ID)
+		PutQueries(e, rs[i].Queries)
+	}
+}
+
+// GetRequests reads a coordinate batch's requests.
+func GetRequests(d *Dec) []api.Request {
+	n := getSlice(d, 2)
+	if n < 0 {
+		return nil
+	}
+	rs := make([]api.Request, n)
+	for i := range rs {
+		rs[i] = api.Request{ID: d.String(), Queries: GetQueries(d)}
+	}
+	return rs
+}

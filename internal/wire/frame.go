@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// Magic is the 4-byte connection preamble a client sends immediately
+// after dialing ("Entangled Wire Protocol v1"). It lets a server reject
+// a stray HTTP client (or any other protocol) with a clean error before
+// any frame parsing, and gives a protocol-sniffing accept loop an
+// unambiguous discriminator: no HTTP method starts with these bytes.
+const Magic = "EWP1"
+
+// frameHeader is the fixed prefix of every frame: 4-byte little-endian
+// payload length, then 4-byte CRC-32 (IEEE) of the payload — the same
+// frame discipline as internal/persist's WAL format.
+const frameHeader = 8
+
+// MaxFrame bounds a single payload. Coordination payloads are small; a
+// length above this is corruption or abuse, and rejecting it keeps a
+// flipped length byte from asking the peer to allocate gigabytes.
+const MaxFrame = 1 << 24
+
+// bufPool recycles encode/decode buffers across frames, so a busy
+// connection's steady state allocates nothing on the framing path.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4<<10)
+		return &b
+	},
+}
+
+// GetBuf borrows a pooled byte slice (length zero).
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf returns a borrowed slice to the pool. Oversized buffers are
+// dropped so one huge payload does not pin its memory forever.
+func PutBuf(b *[]byte) {
+	if cap(*b) > 1<<20 {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// AppendFrame appends one framed payload to buf and returns it.
+func AppendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// WriteFrame writes one framed payload to w in a single Write call
+// (header and payload coalesced through a pooled buffer), so concurrent
+// frame writers serialized by a mutex never interleave partial frames.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame payload of %d bytes exceeds the %d-byte cap", len(payload), MaxFrame)
+	}
+	buf := GetBuf()
+	*buf = AppendFrame(*buf, payload)
+	_, err := w.Write(*buf)
+	PutBuf(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r, reusing buf's capacity when it
+// suffices, and returns the payload (valid until the next reuse of
+// buf). A clean EOF between frames returns io.EOF; a torn header or
+// payload returns io.ErrUnexpectedEOF; an implausible length or a CRC
+// mismatch returns a *DecodeError (errors.Is ErrMalformed) — the frame
+// layer's corruption taxonomy, mirrored from persist.ReplayFrames.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF between frames is a clean close
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > MaxFrame {
+		return nil, &DecodeError{Reason: fmt.Sprintf("implausible frame length %d", length)}
+	}
+	if cap(buf) < int(length) {
+		buf = make([]byte, length)
+	}
+	buf = buf[:length]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(buf); got != want {
+		return nil, &DecodeError{Reason: fmt.Sprintf("frame crc mismatch (stored %08x, computed %08x)", want, got)}
+	}
+	return buf, nil
+}

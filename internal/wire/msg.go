@@ -1,0 +1,254 @@
+package wire
+
+import (
+	"fmt"
+
+	"entangled/internal/api"
+	"entangled/internal/eq"
+)
+
+// Kind discriminates message payloads. Client-to-server kinds name the
+// operation (mirroring the HTTP endpoints one-to-one); server-to-client
+// frames are either a Reply correlated to a request id or an
+// unsolicited Push.
+type Kind uint8
+
+const (
+	// KindCoordinate is POST /v1/coordinate: a batch of independent
+	// coordination requests.
+	KindCoordinate Kind = 1
+	// KindCreateSession is POST /v1/sessions.
+	KindCreateSession Kind = 2
+	// KindJoin is POST /v1/sessions/{id}/join.
+	KindJoin Kind = 3
+	// KindLeave is POST /v1/sessions/{id}/leave.
+	KindLeave Kind = 4
+	// KindStatus is GET /v1/sessions/{id}.
+	KindStatus Kind = 5
+	// KindDeleteSession is DELETE /v1/sessions/{id}.
+	KindDeleteSession Kind = 6
+	// KindSubscribe registers this connection for push notifications
+	// about one session (no HTTP equivalent — HTTP clients poll).
+	KindSubscribe Kind = 7
+	// KindHealth is GET /healthz.
+	KindHealth Kind = 8
+
+	// KindReply answers the request with the same id.
+	KindReply Kind = 0x80
+	// KindPush is an unsolicited server notification (id 0).
+	KindPush Kind = 0x81
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindCoordinate:
+		return "coordinate"
+	case KindCreateSession:
+		return "create_session"
+	case KindJoin:
+		return "join"
+	case KindLeave:
+		return "leave"
+	case KindStatus:
+		return "status"
+	case KindDeleteSession:
+		return "delete_session"
+	case KindSubscribe:
+		return "subscribe"
+	case KindHealth:
+		return "health"
+	case KindReply:
+		return "reply"
+	case KindPush:
+		return "push"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Header is the fixed prefix of every frame payload: the message kind
+// and the pipelining id correlating replies to requests (0 for push).
+type Header struct {
+	Kind Kind
+	ID   uint64
+}
+
+// PutHeader appends a message header.
+func PutHeader(e *Enc, h Header) {
+	e.Byte(byte(h.Kind))
+	e.Uvarint(h.ID)
+}
+
+// GetHeader reads a message header.
+func GetHeader(d *Dec) Header {
+	return Header{Kind: Kind(d.Byte()), ID: d.Uvarint()}
+}
+
+// --- request bodies (client to server) ---
+
+// CoordinateReq is the body of a KindCoordinate request.
+type CoordinateReq struct {
+	Requests []api.Request
+}
+
+// Encode appends the request body.
+func (m CoordinateReq) Encode(e *Enc) { PutRequests(e, m.Requests) }
+
+// DecodeCoordinateReq reads a KindCoordinate body.
+func DecodeCoordinateReq(d *Dec) CoordinateReq {
+	return CoordinateReq{Requests: GetRequests(d)}
+}
+
+// CreateSessionReq is the body of a KindCreateSession request.
+type CreateSessionReq struct {
+	ID         string
+	ParkUnsafe bool
+}
+
+// Encode appends the request body.
+func (m CreateSessionReq) Encode(e *Enc) {
+	e.String(m.ID)
+	e.Bool(m.ParkUnsafe)
+}
+
+// DecodeCreateSessionReq reads a KindCreateSession body.
+func DecodeCreateSessionReq(d *Dec) CreateSessionReq {
+	return CreateSessionReq{ID: d.String(), ParkUnsafe: d.Bool()}
+}
+
+// JoinReq is the body of a KindJoin request.
+type JoinReq struct {
+	Session string
+	Query   eq.Query
+}
+
+// Encode appends the request body.
+func (m JoinReq) Encode(e *Enc) {
+	e.String(m.Session)
+	PutQuery(e, m.Query)
+}
+
+// DecodeJoinReq reads a KindJoin body.
+func DecodeJoinReq(d *Dec) JoinReq {
+	return JoinReq{Session: d.String(), Query: GetQuery(d)}
+}
+
+// LeaveReq is the body of a KindLeave request.
+type LeaveReq struct {
+	Session string
+	QueryID string
+}
+
+// Encode appends the request body.
+func (m LeaveReq) Encode(e *Enc) {
+	e.String(m.Session)
+	e.String(m.QueryID)
+}
+
+// DecodeLeaveReq reads a KindLeave body.
+func DecodeLeaveReq(d *Dec) LeaveReq {
+	return LeaveReq{Session: d.String(), QueryID: d.String()}
+}
+
+// StatusReq is the body of a KindStatus request.
+type StatusReq struct {
+	Session string
+	Trace   bool
+}
+
+// Encode appends the request body.
+func (m StatusReq) Encode(e *Enc) {
+	e.String(m.Session)
+	e.Bool(m.Trace)
+}
+
+// DecodeStatusReq reads a KindStatus body.
+func DecodeStatusReq(d *Dec) StatusReq {
+	return StatusReq{Session: d.String(), Trace: d.Bool()}
+}
+
+// SessionReq is the body of KindDeleteSession and KindSubscribe: just
+// the session name.
+type SessionReq struct {
+	Session string
+}
+
+// Encode appends the request body.
+func (m SessionReq) Encode(e *Enc) { e.String(m.Session) }
+
+// DecodeSessionReq reads a session-name-only body.
+func DecodeSessionReq(d *Dec) SessionReq { return SessionReq{Session: d.String()} }
+
+// --- replies (server to client) ---
+
+// ReplyError is a service-level failure carried in a reply frame: the
+// same status/code/message triple the HTTP error envelope carries, so
+// the client layer reconstructs an identical typed error for both
+// transports.
+type ReplyError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+// Error implements the error interface.
+func (e *ReplyError) Error() string {
+	return fmt.Sprintf("%s: %s (HTTP-equivalent %d)", e.Code, e.Message, e.Status)
+}
+
+// PutReplyErr appends a complete error reply body.
+func PutReplyErr(e *Enc, status int, we *api.Error) {
+	e.Bool(false)
+	e.Int(status)
+	e.String(we.Code)
+	e.String(we.Message)
+}
+
+// PutReplyOK appends the success prefix of a reply body; the
+// kind-specific payload follows.
+func PutReplyOK(e *Enc, status int) {
+	e.Bool(true)
+	e.Int(status)
+}
+
+// GetReply reads a reply body's prefix: the HTTP-equivalent status on
+// success, or a *ReplyError. The kind-specific payload (on success)
+// remains in the decoder.
+func GetReply(d *Dec) (status int, err error) {
+	ok := d.Bool()
+	status = d.Int()
+	if d.err != nil {
+		return 0, d.err
+	}
+	if ok {
+		return status, nil
+	}
+	re := &ReplyError{Status: status, Code: d.String(), Message: d.String()}
+	if d.err != nil {
+		return 0, d.err
+	}
+	return status, re
+}
+
+// Push is an unsolicited server notification: a previously parked
+// unsafe arrival in Session was admitted by the departure that cleared
+// its conflict. Seq is the session update sequence number of the event
+// that admitted it. The HTTP analogue is the client polling session
+// status after its join came back 202 "parked":true.
+type Push struct {
+	Session string
+	QueryID string
+	Seq     int
+}
+
+// Encode appends the push body.
+func (p Push) Encode(e *Enc) {
+	e.String(p.Session)
+	e.String(p.QueryID)
+	e.Int(p.Seq)
+}
+
+// DecodePush reads a push body.
+func DecodePush(d *Dec) Push {
+	return Push{Session: d.String(), QueryID: d.String(), Seq: d.Int()}
+}

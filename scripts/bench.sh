@@ -3,7 +3,7 @@
 # machine-readable trajectory point.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR6.json
+#   scripts/bench.sh                 # writes BENCH_PR7.json
 #   OUT=out.json scripts/bench.sh    # custom output path
 #   BASELINE=old.json scripts/bench.sh
 #                                    # embed an earlier run for before/after
@@ -17,8 +17,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_PR6.json}"
-PATTERN="${PATTERN:-BenchmarkFigure4List|BenchmarkAblationIndexes|BenchmarkParallelCoordinateMany|BenchmarkSolveCompiled|BenchmarkStream|BenchmarkServer|BenchmarkWAL}"
+OUT="${OUT:-BENCH_PR7.json}"
+PATTERN="${PATTERN:-BenchmarkFigure4List|BenchmarkAblationIndexes|BenchmarkParallelCoordinateMany|BenchmarkSolveCompiled|BenchmarkStream|BenchmarkServer|BenchmarkWAL|BenchmarkWire}"
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
 BASELINE="${BASELINE:-}"
