@@ -87,6 +87,8 @@ func main() {
 	park := flag.Bool("park", false, "stream mode: park unsafe arrivals for retry instead of rejecting")
 	dataDir := flag.String("data-dir", "", "serve mode: durable data directory (snapshot + WAL); empty = in-memory only")
 	fsync := flag.String("fsync", "always", "serve mode: WAL sync policy: always, never, or a flush interval like 50ms")
+	probe := flag.Duration("probe", 0, "serve mode: degraded-mode probe interval (0 = 500ms default; negative disables)")
+	dispatchTimeout := flag.Duration("dispatch-timeout", 0, "serve mode: per-batch dispatch deadline (0 = 30s default; negative disables)")
 	flag.Parse()
 	if *requests <= 0 || *queries < 2 || *batch <= 0 || *workers <= 0 || *shards <= 0 {
 		fmt.Fprintln(os.Stderr, "coordserve: -requests, -batch, -workers and -shards must be positive and -queries >= 2")
@@ -95,7 +97,7 @@ func main() {
 
 	if *listen != "" {
 		if *dataDir != "" {
-			if err := serveDurable(*listen, *listenBinary, *dataDir, *fsync, *shards, *rows, *workers); err != nil {
+			if err := serveDurable(*listen, *listenBinary, *dataDir, *fsync, *shards, *rows, *workers, *probe, *dispatchTimeout); err != nil {
 				fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
 				os.Exit(1)
 			}
@@ -103,7 +105,7 @@ func main() {
 		}
 		store := workload.NewStore(*shards, *rows, *latency)
 		fmt.Printf("serving a %d-row table across %d shard(s), %d workers\n", *rows, *shards, *workers)
-		if err := runServe(*listen, *listenBinary, store, *workers, nil); err != nil {
+		if err := runServe(*listen, *listenBinary, store, *workers, nil, *probe, *dispatchTimeout); err != nil {
 			fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
 			os.Exit(1)
 		}

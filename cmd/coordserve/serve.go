@@ -28,7 +28,7 @@ import (
 // recovered as-is and -rows is ignored (the data directory owns the
 // data). The backend is closed — final sync included — after the
 // server drains.
-func serveDurable(addr, binaryAddr, dataDir, fsync string, shards, rows, workers int) error {
+func serveDurable(addr, binaryAddr, dataDir, fsync string, shards, rows, workers int, probe, dispatchTimeout time.Duration) error {
 	policy, err := persist.ParseSyncPolicy(fsync)
 	if err != nil {
 		return err
@@ -50,7 +50,7 @@ func serveDurable(addr, binaryAddr, dataDir, fsync string, shards, rows, workers
 	} else {
 		fmt.Printf("recovering %s: %d shard(s), fsync=%s\n", dataDir, backend.Shards(), policy)
 	}
-	return runServe(addr, binaryAddr, backend, workers, backend)
+	return runServe(addr, binaryAddr, backend, workers, backend, probe, dispatchTimeout)
 }
 
 // runServe boots the coordination service on addr over the given store
@@ -62,9 +62,9 @@ func serveDurable(addr, binaryAddr, dataDir, fsync string, shards, rows, workers
 // backend, the drain additionally syncs and closes every open WAL —
 // session journals first (registry close), then the store log — so an
 // interrupted server's data directory is complete on stable storage.
-func runServe(addr, binaryAddr string, store db.Store, workers int, backend *persist.Backend) error {
+func runServe(addr, binaryAddr string, store db.Store, workers int, backend *persist.Backend, probe, dispatchTimeout time.Duration) error {
 	e := engine.New(store, engine.Options{Workers: workers, Coord: coord.Options{}})
-	srv, err := server.New(e, server.Options{Persist: backend})
+	srv, err := server.New(e, server.Options{Persist: backend, ProbeInterval: probe, DispatchTimeout: dispatchTimeout})
 	if err != nil {
 		return fmt.Errorf("recovering sessions: %w", err)
 	}

@@ -1,11 +1,13 @@
 package api
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"entangled/internal/coord"
 	"entangled/internal/eq"
+	"entangled/internal/persist"
 	"entangled/internal/stream"
 )
 
@@ -36,6 +38,20 @@ const (
 	CodeDraining = "draining"
 	// CodeBadRequest reports a malformed payload.
 	CodeBadRequest = "bad_request"
+	// CodeDegraded rejects a write while the server's durable backend is
+	// read-only after a disk fault. The write was NOT applied — its fate
+	// is known — so retrying once the server recovers is always safe.
+	CodeDegraded = "degraded"
+	// CodeAckIndeterminate fails the ack of a write that was applied in
+	// memory but could not be made durable (the append or fsync that
+	// would have acked it failed). The write's fate is indeterminate: it
+	// becomes durable if the server recovers before crashing, and is
+	// lost otherwise. Blind retries of non-idempotent writes may
+	// double-apply; clients should re-derive the outcome first.
+	CodeAckIndeterminate = "ack_indeterminate"
+	// CodeTimeout reports a server-side deadline cut the request short
+	// (a stalled store or disk). Coordination reads retry safely.
+	CodeTimeout = "timeout"
 	// CodeInternal reports an unclassified server-side failure.
 	CodeInternal = "internal"
 )
@@ -61,6 +77,12 @@ func CodeOf(err error) string {
 		return CodeDuplicateID
 	case errors.Is(err, stream.ErrUnknownID):
 		return CodeUnknownID
+	case errors.Is(err, persist.ErrIndeterminate):
+		return CodeAckIndeterminate
+	case errors.Is(err, persist.ErrDegraded):
+		return CodeDegraded
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeTimeout
 	}
 	return CodeInternal
 }
@@ -77,6 +99,12 @@ func Sentinel(code string) error {
 		return stream.ErrDuplicateID
 	case CodeUnknownID:
 		return stream.ErrUnknownID
+	case CodeDegraded:
+		return persist.ErrDegraded
+	case CodeAckIndeterminate:
+		return persist.ErrIndeterminate
+	case CodeTimeout:
+		return context.DeadlineExceeded
 	}
 	return nil
 }
@@ -241,9 +269,14 @@ type SessionStatus struct {
 
 // Health is the body of GET /healthz.
 type Health struct {
-	Status   string  `json:"status"` // "ok" or "draining"
+	Status   string  `json:"status"` // "ok", "degraded", or "draining"
 	Sessions int     `json:"sessions"`
 	UptimeS  float64 `json:"uptime_s"`
+	// Degraded is true while the durable backend rejects writes after a
+	// disk fault; DegradedCause is the error that tripped it. Reads and
+	// batch coordination keep working.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
 }
 
 // Histogram is a fixed-bucket latency histogram: Counts[i] holds
@@ -317,6 +350,16 @@ type PersistMetrics struct {
 	OpenJournals   int   `json:"open_journals"`
 	SnapshotSeq    int   `json:"snapshot_seq"`
 	Compactions    int64 `json:"compactions"`
+	// Degraded-mode counters: current read-only state, transitions into
+	// it, probe attempts and failures, payloads queued for the next
+	// successful probe, and auto-compactions that failed without
+	// failing an ack.
+	Degraded        bool  `json:"degraded,omitempty"`
+	DegradeEvents   int64 `json:"degrade_events,omitempty"`
+	Probes          int64 `json:"probes,omitempty"`
+	ProbeFailures   int64 `json:"probe_failures,omitempty"`
+	PendingAppends  int   `json:"pending_appends,omitempty"`
+	CompactFailures int64 `json:"compact_failures,omitempty"`
 }
 
 // Metrics is the body of GET /metrics.
@@ -349,6 +392,11 @@ type RecoveryStatus struct {
 	SessionTornTails  int      `json:"session_torn_tails,omitempty"`
 	DurationMS        int64    `json:"duration_ms,omitempty"`
 	RecoveredSessions []string `json:"recovered_sessions,omitempty"`
+	// Degraded/DegradedCause mirror the live degraded-mode state at the
+	// time of the request (not a startup property; surfaced here so the
+	// recovery endpoint tells the whole durability story).
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
 }
 
 // ErrorEnvelope is the body of every non-2xx response.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -112,7 +113,9 @@ func (t *binaryTransport) keepAlive() {
 			if errors.Is(err, errClientClosed) {
 				continue // loop re-checks under the lock and exits
 			}
-			time.Sleep(backoff)
+			// Jittered: a server restart drops every keeper at once, and
+			// pure doubling would have them all redial in lockstep.
+			time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff))))
 			if backoff < time.Second {
 				backoff *= 2
 			}

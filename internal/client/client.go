@@ -248,15 +248,23 @@ func (c *Client) Metrics(ctx context.Context) (*api.Metrics, error) {
 }
 
 // IsRetryable reports whether an error may succeed on retry: a
-// backpressure rejection (queue or mailbox full, after a backoff) or a
+// backpressure rejection (queue or mailbox full, after a backoff), a
+// degraded-mode rejection (the server recovers once a probe write
+// succeeds), a server-side timeout, an indeterminate ack, or a
 // transport-level connection drop (the binary transport redials on the
-// next call; HTTP opens a fresh connection). A dropped connection
-// means the request's fate is unknown — retry only operations that are
-// idempotent or whose duplication the caller can detect.
+// next call; HTTP opens a fresh connection). A dropped connection,
+// timeout, or indeterminate ack means the request's fate is unknown —
+// retry only operations that are idempotent or whose duplication the
+// caller can detect (see FateKnown and Retry.DoFateKnown).
 func IsRetryable(err error) bool {
 	var e *Error
 	if errors.As(err, &e) {
-		return e.Code == api.CodeOverloaded || e.Code == api.CodeMailboxFull
+		switch e.Code {
+		case api.CodeOverloaded, api.CodeMailboxFull,
+			api.CodeDegraded, api.CodeTimeout, api.CodeAckIndeterminate:
+			return true
+		}
+		return false
 	}
 	switch {
 	case errors.Is(err, wire.ErrConnClosed),

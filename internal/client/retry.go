@@ -1,0 +1,160 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"entangled/internal/api"
+)
+
+// FateKnown reports whether a failed call is known to have left no
+// state behind on the server, so even a non-idempotent operation (a
+// session join or leave) can be retried without risking a duplicate.
+// True only for typed rejections issued before any work happened:
+// backpressure (queue or mailbox full), a draining server, and
+// degraded mode — the server gates those up front, before the event
+// touches a session. Everything else is fate-unknown: an indeterminate
+// ack means the event was applied in memory but its durability is
+// unsettled, a timeout may have fired after the event landed, and a
+// dropped connection says nothing about what the server did with the
+// request it may or may not have read.
+func FateKnown(err error) bool {
+	var e *Error
+	if !errors.As(err, &e) {
+		return false // transport-level: the request may have been served
+	}
+	switch e.Code {
+	case api.CodeOverloaded, api.CodeMailboxFull, api.CodeDraining, api.CodeDegraded:
+		return true
+	}
+	return false
+}
+
+// Retry retries calls that fail with retryable errors, backing off
+// exponentially with jitter between attempts. The zero value is
+// usable: 4 attempts, 10ms base, 1s cap, no overall budget.
+//
+// Two policies, matching the service's ack-fate taxonomy:
+//
+//   - Do retries anything IsRetryable — right for idempotent calls.
+//     Batch coordination is a pure read (it mutates nothing), so a
+//     request whose fate is unknown can always be re-asked.
+//   - DoFateKnown also requires FateKnown — right for session events,
+//     which mutate the session. A join whose ack was indeterminate or
+//     whose connection dropped might already be applied; blindly
+//     retrying it would double-apply (or trip duplicate_id), so those
+//     fates stop the loop and surface the error to the caller.
+type Retry struct {
+	// Attempts is the total number of tries (the first call included).
+	// Zero means 4.
+	Attempts int
+	// Base is the first backoff; each subsequent backoff doubles it.
+	// Zero means 10ms.
+	Base time.Duration
+	// Cap bounds a single backoff. Zero means 1s.
+	Cap time.Duration
+	// Budget, when positive, bounds the total time spent sleeping
+	// between attempts: a retry whose backoff would exceed the remaining
+	// budget is not taken.
+	Budget time.Duration
+	// Seed seeds the jitter; zero draws from the global source. A fixed
+	// seed makes the backoff schedule reproducible.
+	Seed int64
+
+	// sleep is a test hook; nil means time.Sleep (interruptible by ctx).
+	sleep func(time.Duration)
+}
+
+// Do calls fn until it succeeds, fails with a non-retryable error, the
+// attempts run out, the budget is spent, or ctx ends. The last error
+// is returned. Use for idempotent operations; for session events use
+// DoFateKnown.
+func (r Retry) Do(ctx context.Context, fn func(context.Context) error) error {
+	return r.run(ctx, fn, IsRetryable)
+}
+
+// DoFateKnown is Do for non-idempotent operations: it retries only
+// errors that are both retryable and fate-known (the server rejected
+// the call before applying anything). An indeterminate or unknown fate
+// returns immediately so the caller can reconcile (re-read session
+// status) instead of double-applying.
+func (r Retry) DoFateKnown(ctx context.Context, fn func(context.Context) error) error {
+	return r.run(ctx, fn, func(err error) bool { return IsRetryable(err) && FateKnown(err) })
+}
+
+func (r Retry) run(ctx context.Context, fn func(context.Context) error, retryable func(error) bool) error {
+	attempts := r.Attempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	base := r.Base
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	cap := r.Cap
+	if cap <= 0 {
+		cap = time.Second
+	}
+	var rng *rand.Rand
+	if r.Seed != 0 {
+		rng = rand.New(rand.NewSource(r.Seed))
+	}
+	var slept time.Duration
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := backoff(base, cap, attempt-1, rng)
+			if r.Budget > 0 && slept+d > r.Budget {
+				return err
+			}
+			if !r.pause(ctx, d) {
+				return ctx.Err()
+			}
+			slept += d
+		}
+		if err = fn(ctx); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || !retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// backoff is the nth delay: base·2ⁿ capped, then jittered to a uniform
+// draw from [d/2, d) so synchronized clients (all rejected by the same
+// degraded window) spread out instead of re-colliding.
+func backoff(base, cap time.Duration, n int, rng *rand.Rand) time.Duration {
+	d := base << uint(n)
+	if d > cap || d <= 0 { // <=0: the shift overflowed
+		d = cap
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	if rng != nil {
+		return time.Duration(half + rng.Int63n(half))
+	}
+	return time.Duration(half + rand.Int63n(half))
+}
+
+// pause sleeps d, abandoning the wait when ctx ends; reports whether
+// the full pause elapsed.
+func (r Retry) pause(ctx context.Context, d time.Duration) bool {
+	if r.sleep != nil {
+		r.sleep(d)
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

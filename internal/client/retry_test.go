@@ -1,0 +1,206 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"entangled/internal/api"
+)
+
+func typedErr(code string) error { return &Error{Status: 503, Code: code, Message: code} }
+
+func TestIsRetryableCodes(t *testing.T) {
+	for _, code := range []string{
+		api.CodeOverloaded, api.CodeMailboxFull,
+		api.CodeDegraded, api.CodeTimeout, api.CodeAckIndeterminate,
+	} {
+		if !IsRetryable(typedErr(code)) {
+			t.Errorf("IsRetryable(%s) = false, want true", code)
+		}
+	}
+	for _, code := range []string{
+		api.CodeBadRequest, api.CodeSessionExists, api.CodeSessionNotFound,
+		api.CodeDuplicateID, api.CodeInternal, api.CodeDraining,
+	} {
+		if IsRetryable(typedErr(code)) {
+			t.Errorf("IsRetryable(%s) = true, want false", code)
+		}
+	}
+	if !IsRetryable(io.EOF) {
+		t.Error("IsRetryable(io.EOF) = false, want true (transport drop)")
+	}
+}
+
+func TestFateKnown(t *testing.T) {
+	for _, code := range []string{
+		api.CodeOverloaded, api.CodeMailboxFull, api.CodeDraining, api.CodeDegraded,
+	} {
+		if !FateKnown(typedErr(code)) {
+			t.Errorf("FateKnown(%s) = false, want true", code)
+		}
+	}
+	for _, code := range []string{api.CodeAckIndeterminate, api.CodeTimeout, api.CodeInternal} {
+		if FateKnown(typedErr(code)) {
+			t.Errorf("FateKnown(%s) = true, want false", code)
+		}
+	}
+	if FateKnown(io.EOF) {
+		t.Error("FateKnown(io.EOF) = true, want false (fate unknown on a drop)")
+	}
+}
+
+// fakeSleep records requested pauses without sleeping.
+func fakeSleep(log *[]time.Duration) func(time.Duration) {
+	return func(d time.Duration) { *log = append(*log, d) }
+}
+
+func TestRetryDoSucceedsAfterRetryableFailures(t *testing.T) {
+	var pauses []time.Duration
+	r := Retry{Attempts: 4, Seed: 1, sleep: fakeSleep(&pauses)}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return typedErr(api.CodeDegraded)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if len(pauses) != 2 {
+		t.Fatalf("pauses = %v, want 2 entries", pauses)
+	}
+	// Jittered exponential: nth pause drawn from [base·2ⁿ/2, base·2ⁿ).
+	for i, d := range pauses {
+		lo := (10 * time.Millisecond) << uint(i) / 2
+		hi := (10 * time.Millisecond) << uint(i)
+		if d < lo || d >= hi {
+			t.Errorf("pause %d = %v, want in [%v, %v)", i, d, lo, hi)
+		}
+	}
+}
+
+func TestRetryDoStopsOnNonRetryable(t *testing.T) {
+	r := Retry{Attempts: 5, sleep: func(time.Duration) {}}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return typedErr(api.CodeBadRequest)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (non-retryable must not retry)", calls)
+	}
+	var e *Error
+	if !errors.As(err, &e) || e.Code != api.CodeBadRequest {
+		t.Fatalf("err = %v, want the typed bad_request", err)
+	}
+}
+
+func TestRetryDoExhaustsAttempts(t *testing.T) {
+	r := Retry{Attempts: 3, sleep: func(time.Duration) {}}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return typedErr(api.CodeOverloaded)
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("err = %v, want the last typed error back", err)
+	}
+}
+
+func TestRetryDoFateKnownStopsOnIndeterminate(t *testing.T) {
+	r := Retry{Attempts: 5, sleep: func(time.Duration) {}}
+	calls := 0
+	err := r.DoFateKnown(context.Background(), func(context.Context) error {
+		calls++
+		return typedErr(api.CodeAckIndeterminate)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (indeterminate fate must not blind-retry)", calls)
+	}
+	var e *Error
+	if !errors.As(err, &e) || e.Code != api.CodeAckIndeterminate {
+		t.Fatalf("err = %v, want ack_indeterminate surfaced", err)
+	}
+}
+
+func TestRetryDoFateKnownRetriesDegraded(t *testing.T) {
+	r := Retry{Attempts: 5, sleep: func(time.Duration) {}}
+	calls := 0
+	err := r.DoFateKnown(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return typedErr(api.CodeDegraded)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v calls = %d, want nil after 3 (degraded is fate-known)", err, calls)
+	}
+}
+
+func TestRetryBudgetBoundsSleeps(t *testing.T) {
+	var pauses []time.Duration
+	// Base 100ms: the first backoff already busts a 50ms budget, so no
+	// retry is taken at all.
+	r := Retry{Attempts: 10, Base: 100 * time.Millisecond, Budget: 50 * time.Millisecond,
+		Seed: 7, sleep: fakeSleep(&pauses)}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return typedErr(api.CodeOverloaded)
+	})
+	if calls != 1 || len(pauses) != 0 {
+		t.Fatalf("calls = %d pauses = %v, want 1 call and no pauses", calls, pauses)
+	}
+	if err == nil {
+		t.Fatal("want the last error when the budget stops the loop")
+	}
+}
+
+func TestRetryCtxCancelStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := Retry{Attempts: 10, sleep: func(time.Duration) {}}
+	calls := 0
+	err := r.Do(ctx, func(context.Context) error {
+		calls++
+		cancel()
+		return typedErr(api.CodeOverloaded)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (canceled ctx stops the loop)", calls)
+	}
+	if err == nil {
+		t.Fatal("want an error after cancel")
+	}
+}
+
+func TestRetrySeededScheduleDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		var pauses []time.Duration
+		r := Retry{Attempts: 5, Seed: 42, sleep: fakeSleep(&pauses)}
+		r.Do(context.Background(), func(context.Context) error {
+			return typedErr(api.CodeOverloaded)
+		})
+		return pauses
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 4 {
+		t.Fatalf("pause counts differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded schedules differ at %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -80,7 +80,7 @@ func (e *Engine) Coordinate(ctx context.Context, qs []eq.Query) (*coord.Result, 
 	}
 	opts := e.base
 	opts.Parallelism = e.workers
-	return coord.SCCCoordinate(qs, e.routed(qs), opts)
+	return coord.SCCCoordinate(qs, db.WithContext(ctx, e.routed(qs)), opts)
 }
 
 // Request is one unit of CoordinateMany work: an independent entangled
@@ -146,6 +146,8 @@ func (e *Engine) CoordinateMany(ctx context.Context, reqs []Request) []Response 
 
 // serve runs one request sequentially, against the single shard its
 // bodies pin when the store is sharded and the request is routable.
+// The store is context-wrapped, so a canceled or expired ctx aborts
+// the plan at the next query instead of running it to completion.
 func (e *Engine) serve(ctx context.Context, req *Request) Response {
 	if err := ctx.Err(); err != nil {
 		return Response{ID: req.ID, Err: err}
@@ -155,7 +157,7 @@ func (e *Engine) serve(ctx context.Context, req *Request) Response {
 		opts = *req.Opts
 	}
 	opts.Parallelism = 0
-	res, err := coord.SCCCoordinate(req.Queries, e.routed(req.Queries), opts)
+	res, err := coord.SCCCoordinate(req.Queries, db.WithContext(ctx, e.routed(req.Queries)), opts)
 	return Response{ID: req.ID, Result: res, Err: err}
 }
 

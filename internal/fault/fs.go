@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+	"time"
+)
+
+// File is the slice of *os.File the persistence layer needs: append,
+// replay, truncate, fsync.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Seek(offset int64, whence int) (int64, error)
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS is the filesystem seam persist.Backend writes through. OS is the
+// real thing; NewFS wraps any FS with an Injector. SyncDir is a
+// first-class operation because directory fsync after rename is
+// exactly the crash window snapshot compaction must close.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	SyncDir(name string) error
+}
+
+// OS is the passthrough FS over the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error   { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error               { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+// SyncDir fsyncs a directory so renames and creates inside it are
+// durable. Filesystems that refuse to sync directories (EINVAL or
+// ENOTSUP) have nothing to flush and report success; every other error
+// propagates — a failed dir sync after rename is a real lost-rename
+// crash window, not noise.
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+		return nil
+	}
+	return err
+}
+
+// NewFS wraps inner so every operation consults the injector first. A
+// nil injector makes the wrapper a passthrough.
+func NewFS(inner FS, inj *Injector) FS {
+	return &faultFS{inner: inner, inj: inj}
+}
+
+type faultFS struct {
+	inner FS
+	inj   *Injector
+}
+
+// injected stalls for the fault's delay and renders its error.
+func injected(f Fault, op Op, name string) error {
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %s %s: %w", ErrInjected, op, name, f.Err)
+}
+
+func (w *faultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := injected(w.inj.Decide(OpOpen, name), OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := w.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, name: name, inj: w.inj}, nil
+}
+
+func (w *faultFS) Rename(oldpath, newpath string) error {
+	if err := injected(w.inj.Decide(OpRename, oldpath), OpRename, oldpath); err != nil {
+		return err
+	}
+	return w.inner.Rename(oldpath, newpath)
+}
+
+func (w *faultFS) Remove(name string) error {
+	if err := injected(w.inj.Decide(OpRemove, name), OpRemove, name); err != nil {
+		return err
+	}
+	return w.inner.Remove(name)
+}
+
+func (w *faultFS) Truncate(name string, size int64) error {
+	if err := injected(w.inj.Decide(OpTruncate, name), OpTruncate, name); err != nil {
+		return err
+	}
+	return w.inner.Truncate(name, size)
+}
+
+func (w *faultFS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := injected(w.inj.Decide(OpMkdir, path), OpMkdir, path); err != nil {
+		return err
+	}
+	return w.inner.MkdirAll(path, perm)
+}
+
+func (w *faultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := injected(w.inj.Decide(OpReadDir, name), OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return w.inner.ReadDir(name)
+}
+
+func (w *faultFS) ReadFile(name string) ([]byte, error) {
+	if err := injected(w.inj.Decide(OpRead, name), OpRead, name); err != nil {
+		return nil, err
+	}
+	return w.inner.ReadFile(name)
+}
+
+func (w *faultFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	if err := injected(w.inj.Decide(OpWrite, name), OpWrite, name); err != nil {
+		return err
+	}
+	return w.inner.WriteFile(name, data, perm)
+}
+
+func (w *faultFS) SyncDir(name string) error {
+	if err := injected(w.inj.Decide(OpSyncDir, name), OpSyncDir, name); err != nil {
+		return err
+	}
+	return w.inner.SyncDir(name)
+}
+
+// faultFile intercepts the per-handle write path: torn writes land a
+// prefix of the payload in the real file before failing, which is the
+// on-disk shape a power cut mid-write leaves for replay to truncate.
+type faultFile struct {
+	File
+	name string
+	inj  *Injector
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	d := f.inj.Decide(OpWrite, f.name)
+	if d.Err != nil && d.Torn > 0 {
+		n := d.Torn
+		if n > len(p) {
+			n = len(p)
+		}
+		written, werr := f.File.Write(p[:n])
+		err := injected(d, OpWrite, f.name)
+		if werr != nil {
+			err = werr
+		}
+		return written, err
+	}
+	if err := injected(d, OpWrite, f.name); err != nil {
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := injected(f.inj.Decide(OpRead, f.name), OpRead, f.name); err != nil {
+		return 0, err
+	}
+	return f.File.Read(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := injected(f.inj.Decide(OpSync, f.name), OpSync, f.name); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := injected(f.inj.Decide(OpTruncate, f.name), OpTruncate, f.name); err != nil {
+		return err
+	}
+	return f.File.Truncate(size)
+}

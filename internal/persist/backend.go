@@ -3,6 +3,7 @@ package persist
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 
 	"entangled/internal/db"
 	"entangled/internal/eq"
+	"entangled/internal/fault"
 	"entangled/internal/unify"
 )
 
@@ -32,6 +34,10 @@ type Options struct {
 	// log bytes accumulate past the last snapshot (default 64 MiB;
 	// negative disables automatic compaction).
 	CompactBytes int64
+	// FS is the filesystem every byte goes through (default fault.OS).
+	// Tests inject fault.NewFS wrappers here; nothing in the backend
+	// touches os.* directly.
+	FS fault.FS
 }
 
 // RecoveryStats reports what Open (and RecoverSessions) replayed.
@@ -60,17 +66,27 @@ type RecoveryStats struct {
 // Metrics is a point-in-time snapshot of the backend's durability
 // counters for /metrics.
 type Metrics struct {
-	StoreAppends   int64         `json:"store_appends"`
-	StoreBytes     int64         `json:"store_bytes"`
-	StoreSyncs     int64         `json:"store_syncs"`
-	StoreRotations int64         `json:"store_rotations"`
-	SessionAppends int64         `json:"session_appends"`
-	SessionBytes   int64         `json:"session_bytes"`
-	SessionSyncs   int64         `json:"session_syncs"`
-	OpenJournals   int           `json:"open_journals"`
-	SnapshotSeq    int           `json:"snapshot_seq"`
-	Compactions    int64         `json:"compactions"`
-	Recovery       RecoveryStats `json:"recovery"`
+	StoreAppends   int64 `json:"store_appends"`
+	StoreBytes     int64 `json:"store_bytes"`
+	StoreSyncs     int64 `json:"store_syncs"`
+	StoreRotations int64 `json:"store_rotations"`
+	SessionAppends int64 `json:"session_appends"`
+	SessionBytes   int64 `json:"session_bytes"`
+	SessionSyncs   int64 `json:"session_syncs"`
+	OpenJournals   int   `json:"open_journals"`
+	SnapshotSeq    int   `json:"snapshot_seq"`
+	Compactions    int64 `json:"compactions"`
+	// Degraded-mode state: whether the backend is currently read-only,
+	// how many times it entered that state, probe attempts/failures,
+	// payloads queued for the next successful probe to flush, and
+	// auto-compactions that failed without failing an ack.
+	Degraded        bool          `json:"degraded,omitempty"`
+	DegradeEvents   int64         `json:"degrade_events,omitempty"`
+	Probes          int64         `json:"probes,omitempty"`
+	ProbeFailures   int64         `json:"probe_failures,omitempty"`
+	PendingAppends  int           `json:"pending_appends,omitempty"`
+	CompactFailures int64         `json:"compact_failures,omitempty"`
+	Recovery        RecoveryStats `json:"recovery"`
 }
 
 // backendMeta is the meta.json shape: the store shape the logs replay
@@ -80,17 +96,39 @@ type backendMeta struct {
 	Shards  int `json:"shards"`
 }
 
+// ErrDegraded rejects a write while the backend is degraded
+// (read-only). The write was NOT applied — its fate is known, so the
+// caller may retry freely once a probe write succeeds.
+var ErrDegraded = errors.New("persist: backend degraded: writes rejected until a probe write succeeds")
+
+// ErrIndeterminate fails the ack of a write that WAS applied in memory
+// but whose journal append failed. The payload is queued: a later
+// successful probe makes it durable; a crash before that loses it.
+// Either way the ack failed, so no acked write is lost — but a blind
+// retry of a non-idempotent write may double-apply.
+var ErrIndeterminate = errors.New("persist: ack indeterminate: applied in memory, not yet durable")
+
 // Backend is a durable db.WriteStore: an in-memory Instance or
 // ShardedInstance that journals every applied mutation to a rotating
 // WAL, snapshots itself as a compacted mutation stream, and owns the
 // per-session event journals under the same data directory. Reads
 // delegate straight to the in-memory store (queries cost no I/O);
 // writes pay one framed append plus the sync policy.
+//
+// Degraded mode: when an append or fsync fails, the failed payload
+// queues on a pending list, the ack fails with ErrIndeterminate, and
+// the backend turns read-only — every later write is rejected with
+// ErrDegraded BEFORE being applied, so the in-memory store never runs
+// ahead of the journal by more than the queued payloads. Probe writes
+// a scratch file through the same filesystem and, on success, repairs
+// the logs, flushes every pending payload in order, and lifts the
+// degradation.
 type Backend struct {
 	dir         string
 	storeDir    string
 	sessionsDir string
 	opts        Options
+	fs          fault.FS
 	shards      int
 	fresh       bool
 
@@ -99,9 +137,18 @@ type Backend struct {
 
 	mu        sync.Mutex // serialises writes, compaction, close
 	wal       *wal
+	pending   [][]byte // store payloads awaiting a successful probe
 	snapSeq   int
 	sinceSnap int64
 	closed    bool
+
+	degraded        atomic.Bool
+	dmu             sync.Mutex // guards degradeCause
+	degradeCause    error
+	degradeEvents   atomic.Int64
+	probes          atomic.Int64
+	probeFailures   atomic.Int64
+	compactFailures atomic.Int64
 
 	storeCtr    walCounters
 	sessionCtr  walCounters
@@ -132,15 +179,19 @@ func Open(dir string, opts Options) (*Backend, error) {
 	if opts.CompactBytes == 0 {
 		opts.CompactBytes = 64 << 20
 	}
+	if opts.FS == nil {
+		opts.FS = fault.OS
+	}
 	b := &Backend{
 		dir:         dir,
 		storeDir:    filepath.Join(dir, "store"),
 		sessionsDir: filepath.Join(dir, "sessions"),
 		opts:        opts,
+		fs:          opts.FS,
 		sessions:    make(map[string]*SessionJournal),
 	}
 	for _, d := range []string{b.storeDir, b.sessionsDir} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+		if err := b.fs.MkdirAll(d, 0o755); err != nil {
 			return nil, err
 		}
 	}
@@ -165,19 +216,18 @@ func Open(dir string, opts Options) (*Backend, error) {
 // match.
 func (b *Backend) loadMeta() error {
 	path := filepath.Join(b.dir, "meta.json")
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
+	data, err := b.fs.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
 		b.fresh = true
 		b.shards = b.opts.Shards
 		if b.shards <= 0 {
 			b.shards = 1
 		}
 		data, _ = json.Marshal(backendMeta{Version: 1, Shards: b.shards})
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		if err := b.fs.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		syncDir(b.dir)
-		return nil
+		return b.fs.SyncDir(b.dir)
 	}
 	if err != nil {
 		return err
@@ -199,14 +249,14 @@ func (b *Backend) loadMeta() error {
 // recoverStore replays snapshot + segments into the in-memory store
 // and opens a fresh segment for appends.
 func (b *Backend) recoverStore() error {
-	segs, snaps, err := scanStoreDir(b.storeDir)
+	segs, snaps, err := scanStoreDir(b.fs, b.storeDir)
 	if err != nil {
 		return err
 	}
 	if len(snaps) > 0 {
 		b.snapSeq = snaps[len(snaps)-1]
 		path := filepath.Join(b.storeDir, snapName(b.snapSeq))
-		n, _, err := replayFile(path, b.applyFrame)
+		n, _, err := replayFile(b.fs, path, b.applyFrame)
 		if err != nil {
 			// Snapshots are written to a temp file and renamed, so a
 			// torn snapshot is real corruption, not a crash artifact.
@@ -219,25 +269,25 @@ func (b *Backend) recoverStore() error {
 	// segments the newest snapshot superseded.
 	for _, s := range snaps {
 		if s < b.snapSeq {
-			os.Remove(filepath.Join(b.storeDir, snapName(s)))
+			b.fs.Remove(filepath.Join(b.storeDir, snapName(s)))
 		}
 	}
 	live := segs[:0]
 	for _, s := range segs {
 		if s < b.snapSeq {
-			os.Remove(filepath.Join(b.storeDir, segName(s)))
+			b.fs.Remove(filepath.Join(b.storeDir, segName(s)))
 		} else {
 			live = append(live, s)
 		}
 	}
 	for i, s := range live {
 		path := filepath.Join(b.storeDir, segName(s))
-		n, valid, err := replayFile(path, b.applyFrame)
+		n, valid, err := replayFile(b.fs, path, b.applyFrame)
 		if err != nil {
 			if _, torn := err.(*CorruptError); torn && i == len(live)-1 {
 				// A crash can tear only the tail of the last segment:
 				// truncate past the last valid frame and carry on.
-				if terr := os.Truncate(path, valid); terr != nil {
+				if terr := b.fs.Truncate(path, valid); terr != nil {
 					return terr
 				}
 				b.rec.TornTail = true
@@ -256,7 +306,7 @@ func (b *Backend) recoverStore() error {
 	if next < 1 {
 		next = 1
 	}
-	b.wal, err = openWAL(b.storeDir, next, b.opts.Sync, b.opts.RotateBytes, &b.storeCtr)
+	b.wal, err = openWAL(b.fs, b.storeDir, next, b.opts.Sync, b.opts.RotateBytes, &b.storeCtr)
 	return err
 }
 
@@ -291,10 +341,43 @@ func (b *Backend) RecoveryStats() RecoveryStats {
 	return b.rec
 }
 
+// Degraded reports whether the backend is read-only awaiting a
+// successful probe.
+func (b *Backend) Degraded() bool { return b.degraded.Load() }
+
+// DegradeCause returns the error that flipped the backend degraded
+// (nil when healthy).
+func (b *Backend) DegradeCause() error {
+	b.dmu.Lock()
+	defer b.dmu.Unlock()
+	return b.degradeCause
+}
+
+// markDegraded flips the backend read-only, recording the first cause.
+func (b *Backend) markDegraded(cause error) {
+	if b.degraded.CompareAndSwap(false, true) {
+		b.degradeEvents.Add(1)
+		b.dmu.Lock()
+		b.degradeCause = cause
+		b.dmu.Unlock()
+	}
+}
+
+func (b *Backend) clearDegraded() {
+	if b.degraded.CompareAndSwap(true, false) {
+		b.dmu.Lock()
+		b.degradeCause = nil
+		b.dmu.Unlock()
+	}
+}
+
 // Apply validates and applies the mutation to the in-memory store,
 // then journals it (rotating and compacting as configured). The
 // in-memory apply runs first so an invalid mutation never reaches the
-// log — a journal replay cannot fail to apply.
+// log — a journal replay cannot fail to apply. While degraded, writes
+// are rejected with ErrDegraded BEFORE touching the in-memory store; a
+// journal failure on a healthy backend queues the payload, degrades
+// the backend, and fails the ack with ErrIndeterminate.
 func (b *Backend) Apply(m db.Mutation) error {
 	payload, err := json.Marshal(m)
 	if err != nil {
@@ -305,22 +388,93 @@ func (b *Backend) Apply(m db.Mutation) error {
 	if b.closed {
 		return errClosed
 	}
+	if b.degraded.Load() {
+		return fmt.Errorf("%w (cause: %v)", ErrDegraded, b.DegradeCause())
+	}
 	if err := b.inner.Apply(m); err != nil {
 		return err
 	}
 	if err := b.wal.append(payload); err != nil {
-		return err
+		b.pending = append(b.pending, payload)
+		b.markDegraded(err)
+		return fmt.Errorf("persist: store WAL: %w: %w", ErrIndeterminate, err)
 	}
 	b.sinceSnap += frameHeader + int64(len(payload))
 	if b.opts.CompactBytes > 0 && b.sinceSnap >= b.opts.CompactBytes {
 		if err := b.compactLocked(); err != nil {
-			return fmt.Errorf("persist: auto-compaction: %w", err)
+			// The mutation is applied AND journaled — the ack is good.
+			// Compaction retries on a later write; only count the miss.
+			b.compactFailures.Add(1)
 		}
 	}
 	return nil
 }
 
 var errClosed = fmt.Errorf("persist: backend is closed")
+
+// Probe checks whether the filesystem accepts durable writes again: it
+// writes, syncs, and removes a scratch file, then repairs the WAL and
+// every open session journal and flushes their pending payloads in
+// order. Only when everything is durable does the degradation lift.
+// Cheap and a no-op when healthy and nothing is pending.
+func (b *Backend) Probe() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return errClosed
+	}
+	b.probes.Add(1)
+	err := b.probeLocked()
+	b.mu.Unlock()
+	if err == nil {
+		for _, j := range b.openJournals() {
+			if ferr := j.flushPending(); ferr != nil {
+				err = ferr
+				break
+			}
+		}
+	}
+	if err != nil {
+		b.probeFailures.Add(1)
+		return err
+	}
+	b.clearDegraded()
+	return nil
+}
+
+// probeLocked runs the scratch-file probe and the store-WAL flush.
+func (b *Backend) probeLocked() error {
+	path := filepath.Join(b.dir, "probe.tmp")
+	f, err := b.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write([]byte("probe\n"))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if rerr := b.fs.Remove(path); err == nil {
+		err = rerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := b.wal.repair(); err != nil {
+		return err
+	}
+	for len(b.pending) > 0 {
+		payload := b.pending[0]
+		if err := b.wal.append(payload); err != nil {
+			return err
+		}
+		b.pending = b.pending[1:]
+		b.sinceSnap += frameHeader + int64(len(payload))
+	}
+	return b.wal.sync()
+}
 
 // Compact writes the store as a snapshot (a compacted mutation
 // stream), rotates the WAL past it, and deletes the segments and
@@ -338,7 +492,7 @@ func (b *Backend) Compact() error {
 func (b *Backend) compactLocked() error {
 	newSeq := b.wal.seq + 1
 	tmp := filepath.Join(b.storeDir, "snapshot.tmp")
-	f, err := os.Create(tmp)
+	f, err := b.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -363,23 +517,28 @@ func (b *Backend) compactLocked() error {
 		dumpErr = cerr
 	}
 	if dumpErr != nil {
-		os.Remove(tmp)
+		b.fs.Remove(tmp)
 		return dumpErr
 	}
-	if err := os.Rename(tmp, filepath.Join(b.storeDir, snapName(newSeq))); err != nil {
-		os.Remove(tmp)
+	if err := b.fs.Rename(tmp, filepath.Join(b.storeDir, snapName(newSeq))); err != nil {
+		b.fs.Remove(tmp)
 		return err
 	}
-	syncDir(b.storeDir)
+	// A failed dir sync after rename is exactly the crash window the
+	// snapshot exists to close: without it the rename may not survive
+	// power loss, so compaction must not report success.
+	if err := b.fs.SyncDir(b.storeDir); err != nil {
+		return err
+	}
 	oldSeq := b.wal.seq
 	if err := b.wal.rotateTo(newSeq); err != nil {
 		return err
 	}
 	for s := b.snapSeq; s <= oldSeq; s++ {
-		os.Remove(filepath.Join(b.storeDir, segName(s)))
+		b.fs.Remove(filepath.Join(b.storeDir, segName(s)))
 	}
 	if b.snapSeq > 0 {
-		os.Remove(filepath.Join(b.storeDir, snapName(b.snapSeq)))
+		b.fs.Remove(filepath.Join(b.storeDir, snapName(b.snapSeq)))
 	}
 	b.snapSeq = newSeq
 	b.sinceSnap = 0
@@ -388,7 +547,8 @@ func (b *Backend) compactLocked() error {
 }
 
 // Sync flushes the store WAL and every open session journal to stable
-// storage regardless of the sync policy — the graceful-drain hook.
+// storage regardless of the sync policy — the graceful-drain hook. A
+// failed flush degrades the backend so the probe path can repair it.
 func (b *Backend) Sync() error {
 	b.mu.Lock()
 	if b.closed {
@@ -401,6 +561,9 @@ func (b *Backend) Sync() error {
 		if serr := j.Sync(); err == nil {
 			err = serr
 		}
+	}
+	if err != nil {
+		b.markDegraded(err)
 	}
 	return err
 }
@@ -456,24 +619,33 @@ func (b *Backend) openJournals() []*SessionJournal {
 
 // Metrics snapshots the durability counters.
 func (b *Backend) Metrics() Metrics {
-	b.smu.Lock()
-	open := len(b.sessions)
-	b.smu.Unlock()
+	journals := b.openJournals()
+	pendingSessions := 0
+	for _, j := range journals {
+		pendingSessions += j.pendingLen()
+	}
 	b.mu.Lock()
 	snapSeq, rec := b.snapSeq, b.rec
+	pending := len(b.pending) + pendingSessions
 	b.mu.Unlock()
 	return Metrics{
-		StoreAppends:   b.storeCtr.appends.Load(),
-		StoreBytes:     b.storeCtr.bytes.Load(),
-		StoreSyncs:     b.storeCtr.syncs.Load(),
-		StoreRotations: b.storeCtr.rotations.Load(),
-		SessionAppends: b.sessionCtr.appends.Load(),
-		SessionBytes:   b.sessionCtr.bytes.Load(),
-		SessionSyncs:   b.sessionCtr.syncs.Load(),
-		OpenJournals:   open,
-		SnapshotSeq:    snapSeq,
-		Compactions:    b.compactions.Load(),
-		Recovery:       rec,
+		StoreAppends:    b.storeCtr.appends.Load(),
+		StoreBytes:      b.storeCtr.bytes.Load(),
+		StoreSyncs:      b.storeCtr.syncs.Load(),
+		StoreRotations:  b.storeCtr.rotations.Load(),
+		SessionAppends:  b.sessionCtr.appends.Load(),
+		SessionBytes:    b.sessionCtr.bytes.Load(),
+		SessionSyncs:    b.sessionCtr.syncs.Load(),
+		OpenJournals:    len(journals),
+		SnapshotSeq:     snapSeq,
+		Compactions:     b.compactions.Load(),
+		Degraded:        b.degraded.Load(),
+		DegradeEvents:   b.degradeEvents.Load(),
+		Probes:          b.probes.Load(),
+		ProbeFailures:   b.probeFailures.Load(),
+		PendingAppends:  pending,
+		CompactFailures: b.compactFailures.Load(),
+		Recovery:        rec,
 	}
 }
 

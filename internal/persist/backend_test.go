@@ -10,6 +10,7 @@ import (
 
 	"entangled/internal/db"
 	"entangled/internal/eq"
+	"entangled/internal/fault"
 	"entangled/internal/stream"
 )
 
@@ -114,7 +115,7 @@ func TestBackendRotationAndCompaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := probe(t, b)
-	segs, _, err := scanStoreDir(filepath.Join(dir, "store"))
+	segs, _, err := scanStoreDir(fault.OS, filepath.Join(dir, "store"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestBackendRotationAndCompaction(t *testing.T) {
 	if err := b.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	segs, snaps, err := scanStoreDir(filepath.Join(dir, "store"))
+	segs, snaps, err := scanStoreDir(fault.OS, filepath.Join(dir, "store"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestBackendMidLogCorruptionFailsOpen(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.Close()
-	segs, _, err := scanStoreDir(filepath.Join(dir, "store"))
+	segs, _, err := scanStoreDir(fault.OS, filepath.Join(dir, "store"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,257 @@
+package persist
+
+import (
+	"errors"
+	"reflect"
+	"syscall"
+	"testing"
+
+	"entangled/internal/db"
+	"entangled/internal/eq"
+	"entangled/internal/fault"
+	"entangled/internal/stream"
+)
+
+// faultOpts builds Options writing through an injected filesystem.
+func faultOpts(inj *fault.Injector, sync SyncPolicy) Options {
+	return Options{Sync: sync, FS: fault.NewFS(fault.OS, inj)}
+}
+
+// TestApplyWALFailureDegradesAndProbeRecovers is the core degraded-mode
+// contract on the store WAL: a fsync failure fails exactly that ack
+// (indeterminate — applied in memory, queued for the journal), every
+// later write is rejected up front (degraded — fate known), a probe
+// write flushes the pending payload and lifts the degradation, and a
+// reopen replays exactly one copy of every journaled mutation (the
+// rolled-back torn frame is not duplicated by the flush).
+func TestApplyWALFailureDegradesAndProbeRecovers(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(1,
+		fault.Rule{Op: fault.OpSync, Path: "wal-", After: 2, Count: 1,
+			Fault: fault.Fault{Err: syscall.EIO}})
+	b := openT(t, dir, faultOpts(inj, SyncAlways))
+	defer b.Close()
+
+	ms := seedMutations(6)
+	applied := 0 // frames that must replay on reopen
+	var indeterminate, rejected bool
+	for _, m := range ms {
+		err := b.Apply(m)
+		switch {
+		case err == nil:
+			applied++
+		case errors.Is(err, ErrIndeterminate):
+			if indeterminate {
+				t.Fatal("second indeterminate ack: only the failing append may be indeterminate")
+			}
+			indeterminate = true
+			applied++ // queued; the probe below makes it durable
+			if !b.Degraded() {
+				t.Fatal("backend not degraded after an indeterminate ack")
+			}
+		case errors.Is(err, ErrDegraded):
+			rejected = true // fate known: NOT applied, must not replay
+		default:
+			t.Fatalf("untyped Apply error: %v", err)
+		}
+	}
+	if !indeterminate || !rejected {
+		t.Fatalf("indeterminate=%v rejected=%v: the schedule should produce both", indeterminate, rejected)
+	}
+	if err := b.Probe(); err != nil {
+		t.Fatalf("probe with a healthy disk: %v", err)
+	}
+	if b.Degraded() {
+		t.Fatal("still degraded after a successful probe")
+	}
+	if m := b.Metrics(); m.PendingAppends != 0 || m.DegradeEvents != 1 {
+		t.Fatalf("metrics after probe: %+v", m)
+	}
+	// The write path is open again.
+	if err := b.Apply(db.MCreate("Extra", 0, "k")); err != nil {
+		t.Fatalf("apply after recovery: %v", err)
+	}
+	applied++
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openT(t, dir, Options{})
+	defer re.Close()
+	if got := re.RecoveryStats().WALFrames; got != applied {
+		t.Fatalf("replayed %d frames, want %d (lost or duplicated a frame around the fault)", got, applied)
+	}
+}
+
+// TestSessionJournalPendingPreservesOrder: an append that fails queues
+// its payload; every append behind it queues too (order preserved even
+// though the disk is healthy again by then), and the probe flush lands
+// them in admission order.
+func TestSessionJournalPendingPreservesOrder(t *testing.T) {
+	dir := t.TempDir()
+	// The journal's first write is its meta frame; fail the second (the
+	// first event append).
+	inj := fault.NewInjector(1,
+		fault.Rule{Op: fault.OpWrite, Path: "s.wal", After: 1, Count: 1,
+			Fault: fault.Fault{Err: syscall.EIO}})
+	b := openT(t, dir, faultOpts(inj, SyncAlways))
+	defer b.Close()
+
+	j, err := b.CreateSessionJournal("s", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []stream.Event{
+		{Kind: stream.JoinEvent, Query: eq.Query{ID: "a"}},
+		{Kind: stream.JoinEvent, Query: eq.Query{ID: "b"}},
+		{Kind: stream.LeaveEvent, ID: "a"},
+	}
+	for i, ev := range evs {
+		if err := j.Append(ev); !errors.Is(err, ErrIndeterminate) {
+			t.Fatalf("append %d: %v, want indeterminate (first failed, rest queued behind it)", i, err)
+		}
+	}
+	if !b.Degraded() {
+		t.Fatal("backend not degraded after a journal append failure")
+	}
+	if m := b.Metrics(); m.PendingAppends != len(evs) {
+		t.Fatalf("pending %d, want %d", m.PendingAppends, len(evs))
+	}
+	if err := b.Probe(); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openT(t, dir, Options{})
+	defer re.Close()
+	recovered, err := re.RecoverSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d sessions, want 1", len(recovered))
+	}
+	got := recovered[0].Events
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("recovered events out of order or lost:\ngot  %+v\nwant %+v", got, evs)
+	}
+}
+
+// TestCreateSessionJournalDirSyncFailure: the directory fsync that
+// makes a new journal's directory entry durable is part of the create —
+// its failure fails the create (no half-born journal) and degrades the
+// backend, and no ghost session resurrects on reopen.
+func TestCreateSessionJournalDirSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(1,
+		fault.Rule{Op: fault.OpSyncDir, Path: "sessions", Count: 1,
+			Fault: fault.Fault{Err: syscall.EIO}})
+	b := openT(t, dir, faultOpts(inj, SyncAlways))
+	defer b.Close()
+
+	if _, err := b.CreateSessionJournal("ghost", false); err == nil {
+		t.Fatal("create succeeded though the directory entry is not durable")
+	} else if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("create error %v does not surface the injected cause", err)
+	}
+	if !b.Degraded() {
+		t.Fatal("backend not degraded after a directory-sync failure")
+	}
+	// While degraded, creates are rejected up front.
+	if _, err := b.CreateSessionJournal("next", false); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("create while degraded: %v, want ErrDegraded", err)
+	}
+	if err := b.Probe(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openT(t, dir, Options{})
+	defer re.Close()
+	recovered, err := re.RecoverSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("ghost session resurrected: %v", recovered)
+	}
+}
+
+// TestProbeFailureKeepsDegraded: a probe that cannot reach stable
+// storage keeps the backend degraded (and counts the failure); the
+// next healthy probe lifts it.
+func TestProbeFailureKeepsDegraded(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(1,
+		fault.Rule{Op: fault.OpSync, Path: "wal-", After: 1, Count: 1,
+			Fault: fault.Fault{Err: syscall.EIO}},
+		fault.Rule{Op: fault.OpWrite, Path: "probe.tmp", Count: 1,
+			Fault: fault.Fault{Err: syscall.ENOSPC}})
+	b := openT(t, dir, faultOpts(inj, SyncAlways))
+	defer b.Close()
+
+	ms := seedMutations(2)
+	for _, m := range ms {
+		if err := b.Apply(m); err != nil {
+			break
+		}
+	}
+	if !b.Degraded() {
+		t.Fatal("schedule bug: backend should be degraded")
+	}
+	if err := b.Probe(); err == nil {
+		t.Fatal("probe succeeded though the scratch write failed")
+	}
+	if !b.Degraded() {
+		t.Fatal("failed probe lifted the degradation")
+	}
+	if err := b.Probe(); err != nil {
+		t.Fatalf("second probe: %v", err)
+	}
+	if b.Degraded() {
+		t.Fatal("still degraded after a successful probe")
+	}
+	m := b.Metrics()
+	if m.Probes != 2 || m.ProbeFailures != 1 {
+		t.Fatalf("probes=%d failures=%d, want 2/1", m.Probes, m.ProbeFailures)
+	}
+	if !inj.Exhausted() {
+		t.Fatal("fault schedule not fully consumed")
+	}
+}
+
+// TestSyncMarksDegraded: an explicit Sync failure (policy flush, drain
+// path) degrades the backend instead of silently losing the flush.
+func TestSyncMarksDegraded(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(1,
+		fault.Rule{Op: fault.OpSync, Path: "wal-", Count: 1,
+			Fault: fault.Fault{Err: syscall.EIO}})
+	b := openT(t, dir, faultOpts(inj, SyncNever))
+	defer b.Close()
+
+	for _, m := range seedMutations(2) {
+		if err := b.Apply(m); err != nil {
+			t.Fatalf("apply under SyncNever: %v", err)
+		}
+	}
+	if err := b.Sync(); err == nil {
+		t.Fatal("Sync swallowed the injected fsync failure")
+	}
+	if !b.Degraded() {
+		t.Fatal("backend not degraded after a failed Sync")
+	}
+	if err := b.Probe(); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatalf("sync after repair: %v", err)
+	}
+}

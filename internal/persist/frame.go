@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
+
+	"entangled/internal/fault"
 )
 
 // frameHeader is the fixed prefix of every frame: 4-byte little-endian
@@ -105,9 +108,9 @@ func ReplayFrames(r io.Reader, fn func(payload []byte) error) (frames int, valid
 
 // replayFile replays a log file from disk, annotating corruption with
 // the path. Missing files replay as empty logs.
-func replayFile(path string, fn func(payload []byte) error) (frames int, valid int64, err error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
+func replayFile(fsys fault.FS, path string, fn func(payload []byte) error) (frames int, valid int64, err error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if errors.Is(err, fs.ErrNotExist) {
 		return 0, 0, nil
 	}
 	if err != nil {

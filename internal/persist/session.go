@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/url"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -25,14 +24,20 @@ type sessionMeta struct {
 // server journals an event after applying it in memory and before
 // acking the client, so a replayed journal rebuilds exactly the acked
 // state. Safe for concurrent use.
+//
+// While the backend is degraded, appended events queue on a pending
+// list in admission order and the ack fails with ErrIndeterminate;
+// Probe flushes the queue before lifting the degradation, so the
+// on-disk journal order always matches the in-memory apply order.
 type SessionJournal struct {
 	b    *Backend
 	name string
 	path string
 
-	mu     sync.Mutex
-	lf     *logFile
-	closed bool
+	mu      sync.Mutex
+	lf      *logFile
+	pending [][]byte
+	closed  bool
 }
 
 // journalPath escapes the session name into a filename (names come
@@ -46,7 +51,8 @@ func (b *Backend) journalPath(name string) string {
 // guarantees live names are unique; a leftover journal here means the
 // old session was never recovered). The meta frame is synced
 // immediately regardless of policy, so the session's existence is
-// durable before its first event.
+// durable before its first event — including the directory entry: a
+// failed dir sync fails the create.
 func (b *Backend) CreateSessionJournal(name string, park bool) (*SessionJournal, error) {
 	b.mu.Lock()
 	closed := b.closed
@@ -54,24 +60,29 @@ func (b *Backend) CreateSessionJournal(name string, park bool) (*SessionJournal,
 	if closed {
 		return nil, errClosed
 	}
+	if b.degraded.Load() {
+		return nil, fmt.Errorf("persist: creating session journal %q: %w", name, ErrDegraded)
+	}
 	path := b.journalPath(name)
-	os.Remove(path)
-	lf, err := openLogFile(path, 0, b.opts.Sync, &b.sessionCtr)
+	b.fs.Remove(path)
+	lf, err := openLogFile(b.fs, path, 0, b.opts.Sync, &b.sessionCtr)
 	if err != nil {
 		return nil, err
 	}
 	meta, _ := json.Marshal(sessionMeta{Name: name, Park: park})
-	if err := lf.append(meta); err != nil {
+	err = lf.append(meta)
+	if err == nil {
+		err = lf.sync()
+	}
+	if err == nil {
+		err = b.fs.SyncDir(b.sessionsDir)
+	}
+	if err != nil {
 		lf.abort()
-		os.Remove(path)
+		b.fs.Remove(path)
+		b.markDegraded(err)
 		return nil, err
 	}
-	if err := lf.sync(); err != nil {
-		lf.abort()
-		os.Remove(path)
-		return nil, err
-	}
-	syncDir(b.sessionsDir)
 	j := &SessionJournal{b: b, name: name, path: path, lf: lf}
 	b.smu.Lock()
 	b.sessions[name] = j
@@ -83,6 +94,10 @@ func (b *Backend) CreateSessionJournal(name string, park bool) (*SessionJournal,
 func (j *SessionJournal) Name() string { return j.name }
 
 // Append journals one admitted event under the backend's sync policy.
+// The caller has already applied the event in memory, so a failed (or
+// degraded-deferred) append returns ErrIndeterminate: the event is
+// queued and becomes durable when a probe succeeds, but the ack must
+// fail because a crash before that would lose it.
 func (j *SessionJournal) Append(ev stream.Event) error {
 	payload, err := json.Marshal(ev)
 	if err != nil {
@@ -93,7 +108,47 @@ func (j *SessionJournal) Append(ev stream.Event) error {
 	if j.closed {
 		return fmt.Errorf("persist: session journal %q is closed", j.name)
 	}
-	return j.lf.append(payload)
+	if j.b.degraded.Load() || len(j.pending) > 0 {
+		// Queue in admission order behind whatever is already pending,
+		// so the flush preserves the journal's replay order.
+		j.pending = append(j.pending, payload)
+		return fmt.Errorf("persist: session journal %q: %w", j.name, ErrIndeterminate)
+	}
+	if err := j.lf.append(payload); err != nil {
+		j.pending = append(j.pending, payload)
+		j.b.markDegraded(err)
+		return fmt.Errorf("persist: session journal %q: %w: %w", j.name, ErrIndeterminate, err)
+	}
+	return nil
+}
+
+// flushPending repairs the log and writes queued payloads in order;
+// called from Backend.Probe after the scratch-file probe succeeds.
+func (j *SessionJournal) flushPending() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		// A closed journal's pending events were never acked; dropping
+		// them on drain loses nothing the client was promised.
+		return nil
+	}
+	if err := j.lf.repair(); err != nil {
+		return err
+	}
+	for len(j.pending) > 0 {
+		if err := j.lf.append(j.pending[0]); err != nil {
+			return err
+		}
+		j.pending = j.pending[1:]
+	}
+	return j.lf.sync()
+}
+
+// pendingLen reports queued-but-not-durable payloads (for metrics).
+func (j *SessionJournal) pendingLen() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.pending)
 }
 
 // Sync flushes the journal to stable storage.
@@ -103,7 +158,11 @@ func (j *SessionJournal) Sync() error {
 	if j.closed {
 		return nil
 	}
-	return j.lf.sync()
+	if err := j.lf.sync(); err != nil {
+		j.b.markDegraded(err)
+		return err
+	}
+	return nil
 }
 
 // Close syncs and closes the journal, keeping the file for recovery —
@@ -121,7 +180,8 @@ func (j *SessionJournal) Close() error {
 
 // Drop closes the journal and deletes its file — the path for sessions
 // removed on purpose (DELETE, idle eviction), which must not resurrect
-// on restart.
+// on restart. The directory sync after the unlink is part of the
+// contract: its error propagates, it is not best-effort.
 func (j *SessionJournal) Drop() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -130,8 +190,10 @@ func (j *SessionJournal) Drop() error {
 		j.unregister()
 		j.lf.abort()
 	}
-	err := os.Remove(j.path)
-	syncDir(j.b.sessionsDir)
+	err := j.b.fs.Remove(j.path)
+	if serr := j.b.fs.SyncDir(j.b.sessionsDir); err == nil {
+		err = serr
+	}
 	return err
 }
 
@@ -175,7 +237,7 @@ type RecoveredSession struct {
 // Each returned journal is registered open; callers must Close or Drop
 // every one (sessions they decline to rebuild included).
 func (b *Backend) RecoverSessions() ([]RecoveredSession, error) {
-	ents, err := os.ReadDir(b.sessionsDir)
+	ents, err := b.fs.ReadDir(b.sessionsDir)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +278,7 @@ func (b *Backend) recoverSession(name string) (*RecoveredSession, error) {
 	path := b.journalPath(name)
 	var meta *sessionMeta
 	var events []stream.Event
-	frames, valid, err := replayFile(path, func(payload []byte) error {
+	frames, valid, err := replayFile(b.fs, path, func(payload []byte) error {
 		if meta == nil {
 			meta = new(sessionMeta)
 			if err := json.Unmarshal(payload, meta); err != nil {
@@ -237,7 +299,7 @@ func (b *Backend) recoverSession(name string) (*RecoveredSession, error) {
 		}
 		// A journal is a single file, so its tail is always the last
 		// thing written: truncate and carry on.
-		if terr := os.Truncate(path, valid); terr != nil {
+		if terr := b.fs.Truncate(path, valid); terr != nil {
 			return nil, terr
 		}
 		b.mu.Lock()
@@ -245,10 +307,10 @@ func (b *Backend) recoverSession(name string) (*RecoveredSession, error) {
 		b.mu.Unlock()
 	}
 	if frames == 0 || meta == nil {
-		os.Remove(path)
+		b.fs.Remove(path)
 		return nil, nil
 	}
-	lf, err := openLogFile(path, valid, b.opts.Sync, &b.sessionCtr)
+	lf, err := openLogFile(b.fs, path, valid, b.opts.Sync, &b.sessionCtr)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"entangled/internal/fault"
 )
 
 // SyncPolicy says when appends reach stable storage. The zero value is
@@ -68,13 +70,22 @@ type walCounters struct {
 // logFile is one append-only framed log with a sync policy. Not
 // concurrency-safe: callers serialise appends (the Backend mutex for
 // the store WAL, the per-journal mutex for sessions).
+//
+// A failed write or sync marks the file broken: size stays at the end
+// of the last fully-durable frame and further appends are refused
+// until repair reopens the handle and truncates back to that point.
+// The failed payload is the caller's to retry (the pending queues in
+// Backend and SessionJournal), so a repaired log never holds a
+// duplicated or half-written frame.
 type logFile struct {
 	path     string
-	f        *os.File
+	fsys     fault.FS
+	f        fault.File
 	size     int64
 	policy   SyncPolicy
 	counters *walCounters
 	dirty    bool
+	broken   bool
 	lastSync time.Time
 	buf      []byte
 }
@@ -82,8 +93,8 @@ type logFile struct {
 // openLogFile opens (creating if needed) a log for appending at size.
 // The caller has already replayed and, if necessary, truncated the
 // file, so size is the verified end of the last valid frame.
-func openLogFile(path string, size int64, policy SyncPolicy, counters *walCounters) (*logFile, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func openLogFile(fsys fault.FS, path string, size int64, policy SyncPolicy, counters *walCounters) (*logFile, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -95,40 +106,83 @@ func openLogFile(path string, size int64, policy SyncPolicy, counters *walCounte
 		f.Close()
 		return nil, err
 	}
-	return &logFile{path: path, f: f, size: size, policy: policy, counters: counters, lastSync: time.Now()}, nil
+	return &logFile{path: path, fsys: fsys, f: f, size: size, policy: policy, counters: counters, lastSync: time.Now()}, nil
 }
 
-// append writes one framed payload and applies the sync policy.
+// append writes one framed payload and applies the sync policy. On any
+// failure the file is marked broken, size rolls back to the last good
+// end, and the caller must queue the payload and repair before the
+// next append — a torn or unsynced frame never counts as written.
 func (lf *logFile) append(payload []byte) error {
+	if lf.broken {
+		return fmt.Errorf("persist: %s is broken and needs repair", lf.path)
+	}
+	base := lf.size
 	lf.buf = appendFrame(lf.buf[:0], payload)
 	if _, err := lf.f.Write(lf.buf); err != nil {
+		lf.broken = true
 		return fmt.Errorf("persist: appending to %s: %w", lf.path, err)
 	}
 	lf.size += int64(len(lf.buf))
 	lf.dirty = true
 	lf.counters.appends.Add(1)
 	lf.counters.bytes.Add(int64(len(lf.buf)))
+	var serr error
 	switch {
 	case lf.policy.Interval == 0:
-		return lf.sync()
+		serr = lf.sync()
 	case lf.policy.Interval > 0 && time.Since(lf.lastSync) >= lf.policy.Interval:
-		return lf.sync()
+		serr = lf.sync()
 	}
-	return nil
+	if serr != nil {
+		// The bytes hit the file but never durably: roll the logical end
+		// back so repair truncates them and the retry re-appends cleanly.
+		lf.size = base
+	}
+	return serr
 }
 
 // sync flushes to stable storage if anything was written since the
-// last sync.
+// last sync. A failed fsync marks the file broken: after fsync fails,
+// retrying it on the same handle can falsely succeed (the kernel may
+// have dropped the dirty pages), so repair reopens the file instead.
 func (lf *logFile) sync() error {
 	if !lf.dirty {
 		return nil
 	}
 	if err := lf.f.Sync(); err != nil {
+		lf.broken = true
 		return fmt.Errorf("persist: syncing %s: %w", lf.path, err)
 	}
 	lf.dirty = false
 	lf.lastSync = time.Now()
 	lf.counters.syncs.Add(1)
+	return nil
+}
+
+// repair recovers a broken log: reopen by path (the old handle may be
+// poisoned or closed), truncate to the last good end, and seek there.
+// A no-op on healthy files.
+func (lf *logFile) repair() error {
+	if !lf.broken {
+		return nil
+	}
+	lf.f.Close()
+	f, err := lf.fsys.OpenFile(lf.path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(lf.size); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(lf.size, 0); err != nil {
+		f.Close()
+		return err
+	}
+	lf.f = f
+	lf.broken = false
+	lf.dirty = true // flush state unknown: force the next sync to fsync
 	return nil
 }
 
@@ -163,8 +217,8 @@ func parseSeq(name, prefix, ext string) (int, bool) {
 
 // scanStoreDir lists the store directory's segment and snapshot
 // sequence numbers, each ascending.
-func scanStoreDir(dir string) (segs, snaps []int, err error) {
-	ents, err := os.ReadDir(dir)
+func scanStoreDir(fsys fault.FS, dir string) (segs, snaps []int, err error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -186,6 +240,7 @@ func scanStoreDir(dir string) (segs, snaps []int, err error) {
 // through the Backend mutex.
 type wal struct {
 	dir         string
+	fsys        fault.FS
 	policy      SyncPolicy
 	rotateBytes int64
 	counters    *walCounters
@@ -194,18 +249,18 @@ type wal struct {
 }
 
 // openWAL starts a fresh segment numbered seq.
-func openWAL(dir string, seq int, policy SyncPolicy, rotateBytes int64, counters *walCounters) (*wal, error) {
-	lf, err := openLogFile(filepath.Join(dir, segName(seq)), 0, policy, counters)
+func openWAL(fsys fault.FS, dir string, seq int, policy SyncPolicy, rotateBytes int64, counters *walCounters) (*wal, error) {
+	lf, err := openLogFile(fsys, filepath.Join(dir, segName(seq)), 0, policy, counters)
 	if err != nil {
 		return nil, err
 	}
-	return &wal{dir: dir, policy: policy, rotateBytes: rotateBytes, counters: counters, cur: lf, seq: seq}, nil
+	return &wal{dir: dir, fsys: fsys, policy: policy, rotateBytes: rotateBytes, counters: counters, cur: lf, seq: seq}, nil
 }
 
 // append journals one payload, rotating first if the active segment is
 // full.
 func (w *wal) append(payload []byte) error {
-	if w.cur.size >= w.rotateBytes && w.cur.size > 0 {
+	if w.cur.size >= w.rotateBytes && w.cur.size > 0 && !w.cur.broken {
 		if err := w.rotateTo(w.seq + 1); err != nil {
 			return err
 		}
@@ -218,7 +273,7 @@ func (w *wal) rotateTo(seq int) error {
 	if err := w.cur.close(); err != nil {
 		return err
 	}
-	lf, err := openLogFile(filepath.Join(w.dir, segName(seq)), 0, w.policy, w.counters)
+	lf, err := openLogFile(w.fsys, filepath.Join(w.dir, segName(seq)), 0, w.policy, w.counters)
 	if err != nil {
 		return err
 	}
@@ -228,17 +283,7 @@ func (w *wal) rotateTo(seq int) error {
 	return nil
 }
 
-func (w *wal) sync() error  { return w.cur.sync() }
-func (w *wal) close() error { return w.cur.close() }
-func (w *wal) abort()       { w.cur.abort() }
-
-// syncDir fsyncs a directory so renames and creates inside it are
-// durable. Best-effort on platforms where directories reject Sync.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	d.Sync()
-	d.Close()
-}
+func (w *wal) sync() error   { return w.cur.sync() }
+func (w *wal) repair() error { return w.cur.repair() }
+func (w *wal) close() error  { return w.cur.close() }
+func (w *wal) abort()        { w.cur.abort() }

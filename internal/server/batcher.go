@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"entangled/internal/engine"
 )
@@ -36,17 +37,19 @@ type batcher struct {
 	e          *engine.Engine
 	queue      chan batchItem
 	maxBatch   int
+	timeout    time.Duration       // per-dispatch deadline; <=0 means none
 	onDispatch func(batchSize int) // observes every CoordinateMany dispatch
 	stop       chan struct{}       // closed by close(): reject new, drain queued
 	done       chan struct{}       // closed when the dispatcher exits
 	stopOnce   sync.Once
 }
 
-func newBatcher(e *engine.Engine, queueDepth, maxBatch int, onDispatch func(int)) *batcher {
+func newBatcher(e *engine.Engine, queueDepth, maxBatch int, timeout time.Duration, onDispatch func(int)) *batcher {
 	b := &batcher{
 		e:          e,
 		queue:      make(chan batchItem, queueDepth),
 		maxBatch:   maxBatch,
+		timeout:    timeout,
 		onDispatch: onDispatch,
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
@@ -135,7 +138,19 @@ serve:
 	for i, it := range items {
 		reqs[i] = it.req
 	}
-	for i, resp := range b.e.CoordinateMany(context.Background(), reqs) {
+	// The dispatch deadline is what keeps a stalled store (or injected
+	// fault) from wedging the single dispatcher goroutine forever: past
+	// it, the engine's context-wrapped store fails each remaining query
+	// with DeadlineExceeded and the batch returns. It bounds the work
+	// between store calls — one store call already in flight must still
+	// return on its own.
+	ctx := context.Background()
+	if b.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.timeout)
+		defer cancel()
+	}
+	for i, resp := range b.e.CoordinateMany(ctx, reqs) {
 		items[i].reply <- resp
 	}
 }

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"entangled/internal/db"
+	"entangled/internal/engine"
+	"entangled/internal/workload"
+)
+
+func testBatcher(t *testing.T, store db.Store, timeout time.Duration) *batcher {
+	t.Helper()
+	e := engine.New(store, engine.Options{Workers: 2})
+	b := newBatcher(e, 64, 8, timeout, nil)
+	t.Cleanup(b.close)
+	return b
+}
+
+func memStore(rows int) *db.Instance {
+	inst := db.NewInstance()
+	workload.UserTable(inst, rows)
+	return inst
+}
+
+// TestBatcherCanceledSubmitterDoesNotPoisonBatchmates: a submitter
+// whose context is already dead gets ctx.Err back, but its request —
+// admitted — still executes under the batcher's own dispatch context,
+// and requests from other clients keep being served. One client
+// hanging up must never fail a batchmate or wedge the dispatcher.
+func TestBatcherCanceledSubmitterDoesNotPoisonBatchmates(t *testing.T) {
+	b := testBatcher(t, memStore(40), 30*time.Second)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.submit(dead, engine.Request{ID: "gone", Queries: workload.ListQueries(4, 40)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled submitter got %v, want context.Canceled", err)
+	}
+	// The dispatcher is still healthy: live submitters get real results.
+	for i := 0; i < 3; i++ {
+		resp, err := b.submit(context.Background(), engine.Request{ID: "live", Queries: workload.ListQueries(4, 40)})
+		if err != nil || resp.Err != nil {
+			t.Fatalf("batchmate %d after a canceled submitter: submit=%v resp=%v", i, err, resp.Err)
+		}
+		if resp.Result == nil || resp.Result.Size() == 0 {
+			t.Fatalf("batchmate %d: empty result %+v", i, resp.Result)
+		}
+	}
+}
+
+// TestBatcherDispatchTimeout: a store slow enough to bust the dispatch
+// deadline fails the requests with a typed deadline error instead of
+// wedging the dispatcher goroutine — the next submit is still served.
+func TestBatcherDispatchTimeout(t *testing.T) {
+	// 2ms per store query versus a 1ms dispatch budget: the deadline
+	// expires during the first queries of the plan.
+	slow := workload.NewStore(1, 40, 2*time.Millisecond)
+	b := testBatcher(t, slow, time.Millisecond)
+	resp, err := b.submit(context.Background(), engine.Request{ID: "slow", Queries: workload.ListQueries(6, 40)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if !errors.Is(resp.Err, context.DeadlineExceeded) {
+		t.Fatalf("resp.Err = %v, want context.DeadlineExceeded", resp.Err)
+	}
+	// The dispatcher survived and keeps serving (and timing out) work.
+	resp, err = b.submit(context.Background(), engine.Request{ID: "again", Queries: workload.ListQueries(6, 40)})
+	if err != nil || !errors.Is(resp.Err, context.DeadlineExceeded) {
+		t.Fatalf("second submit: %v / %v", err, resp.Err)
+	}
+}
+
+// TestStatusForTimeoutAndDegradedCodes pins the error → wire-code
+// mapping for the fault-path sentinels (both protocols go through
+// statusFor, so this covers the wire path too).
+func TestStatusForTimeoutAndDegradedCodes(t *testing.T) {
+	status, code := statusFor(context.DeadlineExceeded)
+	if status != 504 || code != "timeout" {
+		t.Fatalf("deadline: %d %q, want 504 timeout", status, code)
+	}
+	status, code = statusFor(context.Canceled)
+	if status != 499 {
+		t.Fatalf("canceled: %d, want 499", status)
+	}
+}

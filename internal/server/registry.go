@@ -177,6 +177,7 @@ type registry struct {
 	newJournal  func(name string, parkUnsafe bool) (eventJournal, error) // nil: no durability
 	notify      func(name string, up stream.Update)                      // nil: no push listeners
 	onDrop      func(name string)                                        // nil: nothing to clean up
+	skipEvict   func() bool                                              // nil: never skip a janitor pass
 	mailboxSize int
 	idleTimeout time.Duration
 
@@ -326,6 +327,12 @@ func (r *registry) janitor() {
 		case <-r.janitorStop:
 			return
 		case now := <-t.C:
+			// Pause eviction when asked (the server sets this to the
+			// backend's degraded check): dropping a journal needs the
+			// filesystem, and a lost drop resurrects the session later.
+			if r.skipEvict != nil && r.skipEvict() {
+				continue
+			}
 			cutoff := now.Add(-r.idleTimeout).UnixNano()
 			r.mu.Lock()
 			var idle []*sessionHandle

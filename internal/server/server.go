@@ -46,6 +46,17 @@ type Options struct {
 	// lifecycle — the caller opens it (replaying the store WAL) and
 	// closes it after Close.
 	Persist *persist.Backend
+	// ProbeInterval is how often the server probes a degraded backend
+	// trying to lift degraded mode (flush pending journal payloads and
+	// resume accepting writes). Zero means 500ms; negative disables the
+	// probe loop (a caller then drives persist.Backend.Probe itself).
+	// Ignored without Persist.
+	ProbeInterval time.Duration
+	// DispatchTimeout bounds each batch dispatch: past it, every
+	// remaining store query in the batch fails with a deadline error
+	// instead of wedging the dispatcher goroutine on a stalled store.
+	// Zero means 30s; negative disables the deadline.
+	DispatchTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +71,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.IdleTimeout == 0 {
 		o.IdleTimeout = 5 * time.Minute
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.DispatchTimeout == 0 {
+		o.DispatchTimeout = 30 * time.Second
 	}
 	return o
 }
@@ -88,6 +105,9 @@ type Server struct {
 	recovery api.RecoveryStatus
 	closing  sync.Once
 	closed   chan struct{}
+	// probeDone is closed when the degraded-mode probe loop exits; nil
+	// when the server runs without one (no backend, or disabled).
+	probeDone chan struct{}
 
 	wireMu    sync.Mutex
 	wireLs    map[net.Listener]struct{}
@@ -112,7 +132,7 @@ func New(e *engine.Engine, opts Options) (*Server, error) {
 		wireLs:    make(map[net.Listener]struct{}),
 		wireConns: make(map[*wireConn]struct{}),
 	}
-	s.batch = newBatcher(e, opts.QueueDepth, opts.MaxBatch, func(int) {
+	s.batch = newBatcher(e, opts.QueueDepth, opts.MaxBatch, opts.DispatchTimeout, func(int) {
 		s.met.coordBatches.Add(1)
 	})
 	newSession := func(park bool) *stream.Session {
@@ -133,9 +153,20 @@ func New(e *engine.Engine, opts Options) (*Server, error) {
 	// undelivered backlog.
 	s.reg.notify = s.push.admitted
 	s.reg.onDrop = s.push.dropSession
+	if opts.Persist != nil {
+		// Eviction pauses while the backend is degraded: dropping a
+		// journal needs the filesystem, and a failed drop would resurrect
+		// the session as a ghost on the next restart. Idle sessions wait
+		// out the outage instead.
+		s.reg.skipEvict = opts.Persist.Degraded
+	}
 	if err := s.recoverSessions(newSession); err != nil {
 		s.Close()
 		return nil, err
+	}
+	if opts.Persist != nil && opts.ProbeInterval > 0 {
+		s.probeDone = make(chan struct{})
+		go s.probeLoop(opts.ProbeInterval)
 	}
 
 	s.mux.HandleFunc("POST /v1/coordinate", s.handleCoordinate)
@@ -193,6 +224,60 @@ func (s *Server) recoverSessions(newSession func(bool) *stream.Session) error {
 	return nil
 }
 
+// probeLoop periodically tries to lift degraded mode: while the
+// backend reports degraded, each tick issues a probe write; the first
+// one that reaches stable storage flushes the pending journal payloads
+// and re-opens the write path. Healthy ticks are free (one atomic
+// load).
+func (s *Server) probeLoop(interval time.Duration) {
+	defer close(s.probeDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			if s.opts.Persist.Degraded() {
+				// A failed probe keeps degraded mode; the next tick
+				// retries. The backend counts both outcomes.
+				_ = s.opts.Persist.Probe()
+			}
+		}
+	}
+}
+
+// writeGate rejects write-path work while the durable backend is
+// degraded: the request fails up front with a typed, retryable error —
+// its fate known — instead of mutating in-memory state the journal
+// cannot yet record. Read paths (status, health, metrics, recovery)
+// are never gated.
+func (s *Server) writeGate() error {
+	if s.opts.Persist != nil && s.opts.Persist.Degraded() {
+		return fmt.Errorf("%w (cause: %v)", persist.ErrDegraded, s.opts.Persist.DegradeCause())
+	}
+	return nil
+}
+
+// createSession gates and creates one named session; both protocols'
+// create paths come through here.
+func (s *Server) createSession(name string, parkUnsafe bool) (*sessionHandle, error) {
+	if err := s.writeGate(); err != nil {
+		return nil, err
+	}
+	return s.reg.create(name, parkUnsafe)
+}
+
+// deleteSession gates and removes one session. Deletion is a write:
+// it drops the journal from the data directory, and a drop the
+// degraded filesystem loses would resurrect the session on restart.
+func (s *Server) deleteSession(name string) error {
+	if err := s.writeGate(); err != nil {
+		return err
+	}
+	return s.reg.remove(name)
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -204,6 +289,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) Close() {
 	s.closing.Do(func() {
 		close(s.closed)
+		if s.probeDone != nil {
+			<-s.probeDone
+		}
 		// Stop accepting binary connections first so no new work arrives
 		// while the queues drain.
 		s.wireMu.Lock()
@@ -280,7 +368,18 @@ func statusFor(err error) (int, string) {
 		return http.StatusNotFound, api.CodeUnknownID
 	case errors.Is(err, coord.ErrUnsafeArrival):
 		return http.StatusConflict, coord.CodeUnsafeArrival
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	// Indeterminate before degraded: a journal-append failure wraps
+	// ErrIndeterminate (the event may yet survive), and the distinction
+	// is what tells a client whether a blind retry is safe.
+	case errors.Is(err, persist.ErrIndeterminate):
+		return http.StatusServiceUnavailable, api.CodeAckIndeterminate
+	case errors.Is(err, persist.ErrDegraded):
+		return http.StatusServiceUnavailable, api.CodeDegraded
+	case errors.Is(err, context.DeadlineExceeded):
+		// A server-side deadline (dispatch timeout, stalled store), not a
+		// vanished client: report it as a typed, retryable timeout.
+		return http.StatusGatewayTimeout, api.CodeTimeout
+	case errors.Is(err, context.Canceled):
 		return 499, api.CodeInternal // client gone; status is never seen
 	}
 	return http.StatusInternalServerError, api.CodeInternal
@@ -366,7 +465,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "decoding body: %v", err))
 		return
 	}
-	h, err := s.reg.create(req.ID, req.ParkUnsafe)
+	h, err := s.createSession(req.ID, req.ParkUnsafe)
 	if err != nil {
 		status, code := statusFor(err)
 		writeError(w, status, api.Errf(code, "%v", err))
@@ -396,8 +495,13 @@ func (s *Server) postEvent(w http.ResponseWriter, r *http.Request, ev stream.Eve
 
 // sessionEvent resolves the session and posts the event through its
 // mailbox, metering the trip. Shared by both protocols so their
-// outcomes (and error text) match.
+// outcomes (and error text) match. The degraded gate runs before the
+// event touches the session: a rejected event was never applied, so
+// its fate is known and the client can retry it freely.
 func (s *Server) sessionEvent(ctx context.Context, name string, ev stream.Event) (stream.Update, error) {
+	if err := s.writeGate(); err != nil {
+		return stream.Update{}, err
+	}
 	h, err := s.reg.get(name)
 	if err != nil {
 		return stream.Update{}, err
@@ -466,7 +570,7 @@ func (s *Server) sessionStatus(name string, trace bool) (api.SessionStatus, int,
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.reg.remove(r.PathValue("id")); err != nil {
+	if err := s.deleteSession(r.PathValue("id")); err != nil {
 		status, code := statusFor(err)
 		writeError(w, status, api.Errf(code, "%v", err))
 		return
@@ -488,6 +592,15 @@ func (s *Server) health() api.Health {
 		Sessions: s.reg.open(),
 		UptimeS:  time.Since(s.met.start).Seconds(),
 	}
+	if s.opts.Persist != nil && s.opts.Persist.Degraded() {
+		h.Status = "degraded"
+		h.Degraded = true
+		if cause := s.opts.Persist.DegradeCause(); cause != nil {
+			h.DegradedCause = cause.Error()
+		}
+	}
+	// Draining wins: a shutting-down server is past caring about its
+	// disk, and probes should steer traffic away either way.
 	if s.draining() {
 		h.Status = "draining"
 	}
@@ -532,16 +645,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Persist != nil {
 		pm := s.opts.Persist.Metrics()
 		m.Persist = &api.PersistMetrics{
-			StoreAppends:   pm.StoreAppends,
-			StoreBytes:     pm.StoreBytes,
-			StoreSyncs:     pm.StoreSyncs,
-			StoreRotations: pm.StoreRotations,
-			SessionAppends: pm.SessionAppends,
-			SessionBytes:   pm.SessionBytes,
-			SessionSyncs:   pm.SessionSyncs,
-			OpenJournals:   pm.OpenJournals,
-			SnapshotSeq:    pm.SnapshotSeq,
-			Compactions:    pm.Compactions,
+			StoreAppends:    pm.StoreAppends,
+			StoreBytes:      pm.StoreBytes,
+			StoreSyncs:      pm.StoreSyncs,
+			StoreRotations:  pm.StoreRotations,
+			SessionAppends:  pm.SessionAppends,
+			SessionBytes:    pm.SessionBytes,
+			SessionSyncs:    pm.SessionSyncs,
+			OpenJournals:    pm.OpenJournals,
+			SnapshotSeq:     pm.SnapshotSeq,
+			Compactions:     pm.Compactions,
+			Degraded:        pm.Degraded,
+			DegradeEvents:   pm.DegradeEvents,
+			Probes:          pm.Probes,
+			ProbeFailures:   pm.ProbeFailures,
+			PendingAppends:  pm.PendingAppends,
+			CompactFailures: pm.CompactFailures,
 		}
 	}
 	writeJSON(w, http.StatusOK, m)
@@ -549,9 +668,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleRecovery reports what this process replayed at startup; with
 // no durable backend it answers enabled=false, so clients can probe
-// for durability.
+// for durability. Degraded state is live (sampled per request), not a
+// startup snapshot.
 func (s *Server) handleRecovery(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.recovery)
+	rec := s.recovery
+	if s.opts.Persist != nil && s.opts.Persist.Degraded() {
+		rec.Degraded = true
+		if cause := s.opts.Persist.DegradeCause(); cause != nil {
+			rec.DegradedCause = cause.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, rec)
 }
 
 // String identifies the server in logs.

@@ -319,7 +319,7 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			return badBody(err)
 		}
 		return serve(func() {
-			sh, err := s.reg.create(req.ID, req.ParkUnsafe)
+			sh, err := s.createSession(req.ID, req.ParkUnsafe)
 			if err != nil {
 				wc.replyServiceErr(h.ID, err)
 				return
@@ -365,7 +365,7 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			return badBody(err)
 		}
 		return serve(func() {
-			if err := s.reg.remove(req.Session); err != nil {
+			if err := s.deleteSession(req.Session); err != nil {
 				wc.replyServiceErr(h.ID, err)
 				return
 			}

@@ -451,11 +451,19 @@ func PutHealth(e *Enc, h api.Health) {
 	e.String(h.Status)
 	e.Int(h.Sessions)
 	e.Float(h.UptimeS)
+	e.Bool(h.Degraded)
+	e.String(h.DegradedCause)
 }
 
 // GetHealth reads a health report.
 func GetHealth(d *Dec) api.Health {
-	return api.Health{Status: d.String(), Sessions: d.Int(), UptimeS: d.Float()}
+	return api.Health{
+		Status:        d.String(),
+		Sessions:      d.Int(),
+		UptimeS:       d.Float(),
+		Degraded:      d.Bool(),
+		DegradedCause: d.String(),
+	}
 }
 
 // PutResponses appends a coordinate batch's responses.
