@@ -16,6 +16,7 @@
 // Usage:
 //
 //	coordserve -listen :8080 [-listen-binary :9090] [-rows N] [-shards K] [-workers N] [-latency D]
+//	coordserve -listen :8080 -cluster-node a -cluster-peers a=:9101,b=:9102,c=:9103 [-cluster-vnodes N]
 //	coordserve [-requests N] [-queries N] [-rows N] [-workers N] [-batch N] [-shards K] [-latency D] [-compare] [-target URL] [-proto http|binary]
 //	coordserve -stream [-events N] [-pattern steady|bursty|churn] [-rate R] [-seed S] [-park] [-rows N] [-shards K] [-latency D] [-target URL] [-proto http|binary]
 //
@@ -37,6 +38,16 @@
 // arrivals for retry instead of rejecting them. SIGINT drains
 // gracefully: the event in flight finishes and the session state is
 // reported before exit.
+//
+// -cluster-peers turns N coordserve processes into one logical
+// service: every node is started with the same membership list
+// (name=binary-address pairs) and its own -cluster-node name, each
+// holds a full replica of the data (same -rows/-shards), and a
+// consistent-hash ring over the names places sessions and
+// single-owner batch requests. Requests landing on the wrong node
+// forward once over the binary protocol; cluster-aware clients use a
+// cluster://host:port base URL to route directly. The binary listener
+// defaults to the node's own membership address.
 //
 // With -target, the generator does not build a store: the remote
 // server owns the data, and -rows must match the server's so generated
@@ -89,6 +100,9 @@ func main() {
 	fsync := flag.String("fsync", "always", "serve mode: WAL sync policy: always, never, or a flush interval like 50ms")
 	probe := flag.Duration("probe", 0, "serve mode: degraded-mode probe interval (0 = 500ms default; negative disables)")
 	dispatchTimeout := flag.Duration("dispatch-timeout", 0, "serve mode: per-batch dispatch deadline (0 = 30s default; negative disables)")
+	clusterNode := flag.String("cluster-node", "", "serve mode: this node's name in the cluster membership (requires -cluster-peers)")
+	clusterPeers := flag.String("cluster-peers", "", "serve mode: full cluster membership as name=host:port binary-protocol entries, comma-separated; empty = standalone")
+	clusterVNodes := flag.Int("cluster-vnodes", 0, "serve mode: virtual ring points per member (0 = 64); must match on every node")
 	flag.Parse()
 	if *requests <= 0 || *queries < 2 || *batch <= 0 || *workers <= 0 || *shards <= 0 {
 		fmt.Fprintln(os.Stderr, "coordserve: -requests, -batch, -workers and -shards must be positive and -queries >= 2")
@@ -96,8 +110,9 @@ func main() {
 	}
 
 	if *listen != "" {
+		cc := clusterConfig{node: *clusterNode, peers: *clusterPeers, vnodes: *clusterVNodes}
 		if *dataDir != "" {
-			if err := serveDurable(*listen, *listenBinary, *dataDir, *fsync, *shards, *rows, *workers, *probe, *dispatchTimeout); err != nil {
+			if err := serveDurable(*listen, *listenBinary, *dataDir, *fsync, *shards, *rows, *workers, *probe, *dispatchTimeout, cc); err != nil {
 				fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
 				os.Exit(1)
 			}
@@ -105,7 +120,7 @@ func main() {
 		}
 		store := workload.NewStore(*shards, *rows, *latency)
 		fmt.Printf("serving a %d-row table across %d shard(s), %d workers\n", *rows, *shards, *workers)
-		if err := runServe(*listen, *listenBinary, store, *workers, nil, *probe, *dispatchTimeout); err != nil {
+		if err := runServe(*listen, *listenBinary, store, *workers, nil, *probe, *dispatchTimeout, cc); err != nil {
 			fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
 			os.Exit(1)
 		}

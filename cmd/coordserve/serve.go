@@ -11,6 +11,8 @@ import (
 	"syscall"
 	"time"
 
+	"entangled/internal/client"
+	"entangled/internal/cluster"
 	"entangled/internal/coord"
 	"entangled/internal/db"
 	"entangled/internal/engine"
@@ -18,6 +20,32 @@ import (
 	"entangled/internal/server"
 	"entangled/internal/workload"
 )
+
+// clusterConfig carries the cluster flags into the serve paths; a zero
+// value (no -cluster-peers) runs standalone.
+type clusterConfig struct {
+	node   string
+	peers  string
+	vnodes int
+}
+
+// router builds this node's cluster router: the static membership from
+// -cluster-peers, this node named by -cluster-node, and peer
+// connections dialed through the client package's persistent
+// jittered-backoff transport. Returns nil standalone.
+func (c clusterConfig) router(placement map[string]int) (*cluster.Router, error) {
+	if c.peers == "" {
+		return nil, nil
+	}
+	nodes, err := cluster.ParsePeers(c.peers)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cluster.Config{Self: c.node, Nodes: nodes, VNodes: c.vnodes}, cluster.Options{
+		Placement: placement,
+		Dial:      func(addr string) cluster.PeerConn { return client.DialPeer(addr) },
+	})
+}
 
 // serveDurable is the -data-dir serve path: open (or create) the
 // durable backend, replay its snapshot and WAL into the store, then
@@ -28,7 +56,7 @@ import (
 // recovered as-is and -rows is ignored (the data directory owns the
 // data). The backend is closed — final sync included — after the
 // server drains.
-func serveDurable(addr, binaryAddr, dataDir, fsync string, shards, rows, workers int, probe, dispatchTimeout time.Duration) error {
+func serveDurable(addr, binaryAddr, dataDir, fsync string, shards, rows, workers int, probe, dispatchTimeout time.Duration, cc clusterConfig) error {
 	policy, err := persist.ParseSyncPolicy(fsync)
 	if err != nil {
 		return err
@@ -50,7 +78,7 @@ func serveDurable(addr, binaryAddr, dataDir, fsync string, shards, rows, workers
 	} else {
 		fmt.Printf("recovering %s: %d shard(s), fsync=%s\n", dataDir, backend.Shards(), policy)
 	}
-	return runServe(addr, binaryAddr, backend, workers, backend, probe, dispatchTimeout)
+	return runServe(addr, binaryAddr, backend, workers, backend, probe, dispatchTimeout, cc)
 }
 
 // runServe boots the coordination service on addr over the given store
@@ -62,11 +90,36 @@ func serveDurable(addr, binaryAddr, dataDir, fsync string, shards, rows, workers
 // backend, the drain additionally syncs and closes every open WAL —
 // session journals first (registry close), then the store log — so an
 // interrupted server's data directory is complete on stable storage.
-func runServe(addr, binaryAddr string, store db.Store, workers int, backend *persist.Backend, probe, dispatchTimeout time.Duration) error {
+func runServe(addr, binaryAddr string, store db.Store, workers int, backend *persist.Backend, probe, dispatchTimeout time.Duration, cc clusterConfig) error {
+	// The placement the cluster partitions work by mirrors the store's
+	// own hash partitioning when it is sharded, and the canonical
+	// workload contract otherwise (every node holds a full replica, so
+	// placement only steers work, never data availability).
+	placement := workload.Placement()
+	if sh, ok := store.(*db.ShardedInstance); ok {
+		placement = sh.HashColumns()
+	}
+	cr, err := cc.router(placement)
+	if err != nil {
+		return err
+	}
+	if cr != nil {
+		defer cr.Close()
+		if binaryAddr == "" {
+			// Forwards and cluster clients ride the binary protocol, so a
+			// cluster node always listens on its membership address.
+			binaryAddr = cr.SelfAddr()
+		}
+	}
 	e := engine.New(store, engine.Options{Workers: workers, Coord: coord.Options{}})
-	srv, err := server.New(e, server.Options{Persist: backend, ProbeInterval: probe, DispatchTimeout: dispatchTimeout})
+	srv, err := server.New(e, server.Options{Persist: backend, ProbeInterval: probe, DispatchTimeout: dispatchTimeout, Cluster: cr})
 	if err != nil {
 		return fmt.Errorf("recovering sessions: %w", err)
+	}
+	if cr != nil {
+		st := cr.Status()
+		fmt.Printf("cluster: node %s of %d members (%s), forwarding over the binary protocol\n",
+			st.Self, len(st.Nodes), st.Version)
 	}
 	if backend != nil {
 		if backend.Fresh() {

@@ -52,8 +52,29 @@ const (
 	// CodeTimeout reports a server-side deadline cut the request short
 	// (a stalled store or disk). Coordination reads retry safely.
 	CodeTimeout = "timeout"
+	// CodeRouteMoved reports a cluster request that reached a node which
+	// does not own its target (the sender's ring was stale). Nothing was
+	// applied — the fate is known — and Error.Owner names the node that
+	// owns the target now; retry against it after refreshing the ring.
+	CodeRouteMoved = "route_moved"
+	// CodePeerUnavailable reports a forward that could not be sent
+	// because the owning peer had no live connection. Nothing was
+	// transmitted — the fate is known, exactly like CodeDegraded — so
+	// retrying once the peer returns is always safe.
+	CodePeerUnavailable = "peer_unavailable"
 	// CodeInternal reports an unclassified server-side failure.
 	CodeInternal = "internal"
+)
+
+// Cluster sentinels. They live here rather than in internal/cluster
+// because the code↔sentinel mapping below must see them and cluster
+// already imports api.
+var (
+	// ErrRouteMoved is the sentinel under CodeRouteMoved errors.
+	ErrRouteMoved = errors.New("cluster: route moved")
+	// ErrPeerUnavailable is the sentinel under CodePeerUnavailable
+	// errors.
+	ErrPeerUnavailable = errors.New("cluster: peer unavailable")
 )
 
 // Error is the wire shape of every error the service reports, nested
@@ -61,6 +82,10 @@ const (
 type Error struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Owner names the node that owns the request's target, set only on
+	// CodeRouteMoved errors so a stale client can re-route without
+	// re-fetching the whole ring.
+	Owner string `json:"owner,omitempty"`
 }
 
 // Error implements the error interface on the wire shape itself.
@@ -83,6 +108,10 @@ func CodeOf(err error) string {
 		return CodeDegraded
 	case errors.Is(err, context.DeadlineExceeded):
 		return CodeTimeout
+	case errors.Is(err, ErrRouteMoved):
+		return CodeRouteMoved
+	case errors.Is(err, ErrPeerUnavailable):
+		return CodePeerUnavailable
 	}
 	return CodeInternal
 }
@@ -105,29 +134,40 @@ func Sentinel(code string) error {
 		return persist.ErrIndeterminate
 	case CodeTimeout:
 		return context.DeadlineExceeded
+	case CodeRouteMoved:
+		return ErrRouteMoved
+	case CodePeerUnavailable:
+		return ErrPeerUnavailable
 	}
 	return nil
 }
+
+// Owned is implemented by errors that name the node owning the
+// request's target (route_moved); WireError copies it into
+// Error.Owner.
+type Owned interface{ OwnerNode() string }
 
 // WireError renders an error for transport. Nil maps to nil.
 func WireError(err error) *Error {
 	if err == nil {
 		return nil
 	}
-	return &Error{Code: CodeOf(err), Message: err.Error()}
+	e := &Error{Code: CodeOf(err), Message: err.Error()}
+	var o Owned
+	if errors.As(err, &o) {
+		e.Owner = o.OwnerNode()
+	}
+	return e
 }
 
-// Err reconstructs a typed error from the wire shape: the message is
-// preserved and the named sentinel is attached, so errors.Is sees
-// through the network hop. Nil maps to nil.
+// Err reconstructs a typed error from the wire shape: the message and
+// owner are preserved and the named sentinel is attached, so errors.Is
+// sees through the network hop. Nil maps to nil.
 func (e *Error) Err() error {
 	if e == nil {
 		return nil
 	}
-	if s := Sentinel(e.Code); s != nil {
-		return &codedError{msg: e.Message, code: e.Code, sentinel: s}
-	}
-	return &codedError{msg: e.Message, code: e.Code}
+	return &codedError{msg: e.Message, code: e.Code, owner: e.Owner, sentinel: Sentinel(e.Code)}
 }
 
 // codedError is a decoded wire error: the remote message, its stable
@@ -135,6 +175,7 @@ func (e *Error) Err() error {
 type codedError struct {
 	msg      string
 	code     string
+	owner    string
 	sentinel error
 }
 
@@ -146,6 +187,10 @@ func (e *codedError) Error() string {
 }
 
 func (e *codedError) Unwrap() error { return e.sentinel }
+
+// OwnerNode implements Owned so relayed route_moved errors keep their
+// owner across hops.
+func (e *codedError) OwnerNode() string { return e.owner }
 
 // Request is one coordination request inside a batch call.
 type Request struct {
@@ -277,6 +322,19 @@ type Health struct {
 	// batch coordination keep working.
 	Degraded      bool   `json:"degraded,omitempty"`
 	DegradedCause string `json:"degraded_cause,omitempty"`
+	// Cluster summarises this node's view of the cluster; nil when the
+	// server runs standalone.
+	Cluster *ClusterHealth `json:"cluster,omitempty"`
+}
+
+// ClusterHealth is the cluster slice of /healthz: enough to see at a
+// glance whether this node can reach its peers.
+type ClusterHealth struct {
+	Self  string `json:"self"`
+	Nodes int    `json:"nodes"`
+	// PeersDown names peers with no live forwarding connection right
+	// now; empty means every peer is reachable.
+	PeersDown []string `json:"peers_down,omitempty"`
 }
 
 // Histogram is a fixed-bucket latency histogram: Counts[i] holds
@@ -369,6 +427,75 @@ type Metrics struct {
 	Sessions   SessionMetrics    `json:"sessions"`
 	PlanCache  *PlanCacheMetrics `json:"plan_cache,omitempty"`
 	Persist    *PersistMetrics   `json:"persist,omitempty"`
+	Cluster    *ClusterMetrics   `json:"cluster,omitempty"`
+}
+
+// ClusterNode is one ring member as /v1/cluster reports it.
+type ClusterNode struct {
+	Name string `json:"name"`
+	// Addr is the node's binary wire address — the address peers forward
+	// over and cluster-aware clients dial.
+	Addr string `json:"addr"`
+	// Self marks the node serving this response.
+	Self bool `json:"self,omitempty"`
+	// Connected reports whether this node currently holds a live
+	// forwarding connection to the peer (always false for Self).
+	Connected bool `json:"connected,omitempty"`
+}
+
+// RelationPlacement names the column whose value places a relation's
+// rows — and the requests that pin it — on the ring, mirroring
+// db.ShardedInstance's per-relation hash column.
+type RelationPlacement struct {
+	Relation string `json:"relation"`
+	Column   int    `json:"column"`
+}
+
+// ClusterStatus is the body of GET /v1/cluster: everything a
+// cluster-aware client needs to rebuild this node's ring — membership,
+// virtual-node count and relation placements are deterministic, so two
+// nodes reporting the same Version hold byte-identical rings.
+type ClusterStatus struct {
+	Enabled bool   `json:"enabled"`
+	Self    string `json:"self,omitempty"`
+	// VirtualNodes is the per-node virtual point count the ring was
+	// built with.
+	VirtualNodes int `json:"virtual_nodes,omitempty"`
+	// Version fingerprints membership + virtual-node count; it changes
+	// iff the ring changes.
+	Version   string              `json:"version,omitempty"`
+	Nodes     []ClusterNode       `json:"nodes,omitempty"`
+	Relations []RelationPlacement `json:"relations,omitempty"`
+}
+
+// PeerMetrics is one peer's slice of ClusterMetrics.
+type PeerMetrics struct {
+	Name      string `json:"name"`
+	Connected bool   `json:"connected"`
+	// Forwards counts requests this node forwarded to the peer;
+	// Failures counts forwards that failed before a reply arrived.
+	Forwards int64 `json:"forwards"`
+	Failures int64 `json:"failures,omitempty"`
+}
+
+// ClusterMetrics is the cluster slice of /metrics.
+type ClusterMetrics struct {
+	Self  string `json:"self"`
+	Nodes int    `json:"nodes"`
+	// ForwardsSent/ForwardsReceived count session ops and batch slices
+	// crossing node boundaries in each direction; RouteMoved counts
+	// forwarded requests this node refused because it does not own the
+	// target.
+	ForwardsSent     int64 `json:"forwards_sent"`
+	ForwardsReceived int64 `json:"forwards_received"`
+	ForwardFailures  int64 `json:"forward_failures,omitempty"`
+	RouteMoved       int64 `json:"route_moved,omitempty"`
+	// ScatterBatches counts CoordinateMany calls that touched more than
+	// one node; FanoutCounts[i] counts batches that touched i+1 nodes
+	// (the last bucket absorbs larger fan-outs).
+	ScatterBatches int64         `json:"scatter_batches"`
+	FanoutCounts   []int64       `json:"fanout_counts,omitempty"`
+	Peers          []PeerMetrics `json:"peers,omitempty"`
 }
 
 // RecoveryStatus is the body of GET /v1/recovery: what this server

@@ -77,6 +77,10 @@ func newOf(v any) any {
 		return &Metrics{}
 	case RecoveryStatus:
 		return &RecoveryStatus{}
+	case ClusterStatus:
+		return &ClusterStatus{}
+	case Health:
+		return &Health{}
 	default:
 		panic("add the type to newOf")
 	}
@@ -166,6 +170,49 @@ func TestGoldenMetrics(t *testing.T) {
 			SessionAppends: 52, SessionBytes: 9_800, SessionSyncs: 52,
 			OpenJournals: 1, SnapshotSeq: 2, Compactions: 1,
 		},
+		Cluster: &ClusterMetrics{
+			Self: "n1", Nodes: 3,
+			ForwardsSent: 40, ForwardsReceived: 25, ForwardFailures: 1, RouteMoved: 2,
+			ScatterBatches: 6, FanoutCounts: []int64{90, 4, 6, 0},
+			Peers: []PeerMetrics{
+				{Name: "n2", Connected: true, Forwards: 30},
+				{Name: "n3", Connected: false, Forwards: 10, Failures: 1},
+			},
+		},
+	})
+}
+
+func TestGoldenClusterStatus(t *testing.T) {
+	golden(t, "cluster_status", ClusterStatus{
+		Enabled:      true,
+		Self:         "n1",
+		VirtualNodes: 64,
+		Version:      "ring-9f86d081",
+		Nodes: []ClusterNode{
+			{Name: "n1", Addr: "10.0.0.1:9101", Self: true},
+			{Name: "n2", Addr: "10.0.0.2:9101", Connected: true},
+			{Name: "n3", Addr: "10.0.0.3:9101"},
+		},
+		Relations: []RelationPlacement{{Relation: "T", Column: 1}},
+	})
+}
+
+func TestGoldenClusterHealth(t *testing.T) {
+	golden(t, "health_cluster", Health{
+		Status:   "ok",
+		Sessions: 4,
+		UptimeS:  99.5,
+		Cluster:  &ClusterHealth{Self: "n2", Nodes: 3, PeersDown: []string{"n3"}},
+	})
+}
+
+func TestGoldenRouteMovedEnvelope(t *testing.T) {
+	golden(t, "error_route_moved", ErrorEnvelope{
+		Error: &Error{
+			Code:    CodeRouteMoved,
+			Message: "cluster: route moved: session alpha is owned by n2",
+			Owner:   "n2",
+		},
 	})
 }
 
@@ -198,6 +245,8 @@ func TestErrorRoundTrip(t *testing.T) {
 		coord.ErrNotUnique,
 		stream.ErrDuplicateID,
 		stream.ErrUnknownID,
+		ErrRouteMoved,
+		ErrPeerUnavailable,
 	} {
 		we := WireError(err)
 		if we == nil || we.Code == CodeInternal {

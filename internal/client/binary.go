@@ -95,14 +95,16 @@ func (t *binaryTransport) dispatchPush(p wire.Push) {
 	}
 }
 
-// keepAlive holds a connection open while subscriptions are active, so
-// pushes arrive even when the client is otherwise idle. It exits when
-// the last subscription stops or the client closes.
-func (t *binaryTransport) keepAlive() {
+// keepAlive holds a connection open while want (called under the
+// transport lock) reports it is still needed: while subscriptions are
+// active on a client transport, and for the connection's whole
+// lifetime on a cluster peer conn (DialPeer). It exits when want goes
+// false or the transport closes.
+func (t *binaryTransport) keepAlive(want func() bool) {
 	backoff := 10 * time.Millisecond
 	for {
 		t.mu.Lock()
-		if t.closed || len(t.subs) == 0 {
+		if t.closed || !want() {
 			t.keeper = false
 			t.mu.Unlock()
 			return
@@ -138,7 +140,7 @@ func (t *binaryTransport) call(ctx context.Context, kind wire.Kind, enc func(*wi
 	if err != nil {
 		var re *wire.ReplyError
 		if errors.As(err, &re) {
-			return &Error{Status: re.Status, Code: re.Code, Message: re.Message}
+			return &Error{Status: re.Status, Code: re.Code, Message: re.Message, Owner: re.Owner}
 		}
 		return fmt.Errorf("client: %v call: %w", kind, err)
 	}
@@ -230,7 +232,7 @@ func (t *binaryTransport) subscribe(ctx context.Context, session string, fn func
 	t.subs[token] = &subscription{session: session, fn: fn}
 	if !t.keeper {
 		t.keeper = true
-		go t.keepAlive()
+		go t.keepAlive(func() bool { return len(t.subs) > 0 })
 	}
 	t.mu.Unlock()
 	stop := func() {

@@ -1,12 +1,17 @@
 // Package client is the typed Go client for the coordination service:
-// one API over two interchangeable transports. An "http://" or
+// one API over interchangeable transports. An "http://" or
 // "https://" base URL speaks the HTTP/JSON protocol; a "tcp://" (or
 // "binary://") base URL speaks the binary wire protocol
 // (internal/wire) over one persistent pipelined connection, which also
-// carries server-push notifications for parked arrivals. Both
-// transports decode to the same internal/api DTOs and produce the same
-// typed *Error values, so callers switch protocols by changing the URL
-// and nothing else.
+// carries server-push notifications for parked arrivals. A
+// "cluster://host:port" base URL treats the address as a seed node of
+// a coordserve cluster: the client fetches the membership from
+// /v1/cluster, rebuilds the consistent-hash ring locally, and routes
+// every call straight to the owning node over one pooled binary
+// connection per node — refreshing the ring and re-routing once when
+// a node answers route_moved. All transports decode to the same
+// internal/api DTOs and produce the same typed *Error values, so
+// callers switch protocols by changing the URL and nothing else.
 package client
 
 import (
@@ -35,6 +40,9 @@ type Error struct {
 	Status  int
 	Code    string
 	Message string
+	// Owner names the node owning the request's target on route_moved
+	// errors; the cluster transport re-routes with it.
+	Owner string
 }
 
 func (e *Error) Error() string {
@@ -106,8 +114,10 @@ func New(baseURL string, opts Options) (*Client, error) {
 		return &Client{t: &httpTransport{base: strings.TrimRight(u.String(), "/"), hc: hc}}, nil
 	case "tcp", "binary":
 		return &Client{t: newBinaryTransport(u.Host)}, nil
+	case "cluster":
+		return &Client{t: newClusterTransport(u.Host)}, nil
 	}
-	return nil, fmt.Errorf("client: unsupported scheme %q (want http, https, tcp, or binary)", u.Scheme)
+	return nil, fmt.Errorf("client: unsupported scheme %q (want http, https, tcp, binary, or cluster)", u.Scheme)
 }
 
 // Close releases the client's transport: the binary transport's
@@ -151,7 +161,7 @@ func inlineErr(e *api.Error) error {
 	if e == nil {
 		return nil
 	}
-	return &Error{Code: e.Code, Message: e.Message}
+	return &Error{Code: e.Code, Message: e.Message, Owner: e.Owner}
 }
 
 // Coordinate serves one coordination request: the remote analogue of
@@ -250,18 +260,22 @@ func (c *Client) Metrics(ctx context.Context) (*api.Metrics, error) {
 // IsRetryable reports whether an error may succeed on retry: a
 // backpressure rejection (queue or mailbox full, after a backoff), a
 // degraded-mode rejection (the server recovers once a probe write
-// succeeds), a server-side timeout, an indeterminate ack, or a
-// transport-level connection drop (the binary transport redials on the
-// next call; HTTP opens a fresh connection). A dropped connection,
-// timeout, or indeterminate ack means the request's fate is unknown —
-// retry only operations that are idempotent or whose duplication the
-// caller can detect (see FateKnown and Retry.DoFateKnown).
+// succeeds), a server-side timeout, an indeterminate ack, a cluster
+// routing miss (route_moved — retry against Error.Owner after
+// refreshing the ring; an unreachable peer recovers when it rejoins),
+// or a transport-level connection drop (the binary transport redials
+// on the next call; HTTP opens a fresh connection). A dropped
+// connection, timeout, or indeterminate ack means the request's fate
+// is unknown — retry only operations that are idempotent or whose
+// duplication the caller can detect (see FateKnown and
+// Retry.DoFateKnown).
 func IsRetryable(err error) bool {
 	var e *Error
 	if errors.As(err, &e) {
 		switch e.Code {
 		case api.CodeOverloaded, api.CodeMailboxFull,
-			api.CodeDegraded, api.CodeTimeout, api.CodeAckIndeterminate:
+			api.CodeDegraded, api.CodeTimeout, api.CodeAckIndeterminate,
+			api.CodeRouteMoved, api.CodePeerUnavailable:
 			return true
 		}
 		return false

@@ -1,0 +1,365 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"entangled/internal/api"
+	"entangled/internal/cluster"
+	"entangled/internal/eq"
+	"entangled/internal/wire"
+)
+
+// clusterTransport routes calls across a coordserve cluster: it
+// fetches the membership from the seed node's /v1/cluster, rebuilds
+// the consistent-hash ring locally (the ring is a pure function of
+// membership + virtual-node count, so client and servers agree
+// byte-for-byte), and holds one pooled binary transport per node.
+// Session ops go straight to the session's owner; batch requests are
+// partitioned by the same placement rule the servers use and
+// scatter-gathered client-side. A route_moved reply — the ring this
+// client holds is stale — triggers one refresh-and-reroute toward the
+// owner the server named; a misrouted call that a server can serve by
+// forwarding is simply served (one extra hop), so a stale client
+// degrades to forwarding, never to failure.
+type clusterTransport struct {
+	seed string
+
+	mu        sync.Mutex
+	ring      *cluster.Ring
+	placement map[string]int
+	addrs     map[string]string           // node name -> binary addr
+	conns     map[string]*binaryTransport // binary addr -> pooled transport
+	closed    bool
+}
+
+func newClusterTransport(seed string) *clusterTransport {
+	return &clusterTransport{seed: seed, conns: map[string]*binaryTransport{}}
+}
+
+// connFor returns (creating if needed) the pooled transport for one
+// node address.
+func (t *clusterTransport) connFor(addr string) (*binaryTransport, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errClientClosed
+	}
+	bt := t.conns[addr]
+	if bt == nil {
+		bt = newBinaryTransport(addr)
+		t.conns[addr] = bt
+	}
+	return bt, nil
+}
+
+// knownAddrs returns every address worth asking for the ring: the
+// membership we hold (sorted for determinism), then the seed.
+func (t *clusterTransport) knownAddrs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	addrs := make([]string, 0, len(t.addrs)+1)
+	for _, a := range t.addrs {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	if len(addrs) == 0 {
+		addrs = append(addrs, t.seed)
+	}
+	return addrs
+}
+
+// refresh re-fetches the cluster status and rebuilds the ring, trying
+// every known node until one answers.
+func (t *clusterTransport) refresh(ctx context.Context) error {
+	var lastErr error
+	for _, addr := range t.knownAddrs() {
+		bt, err := t.connFor(addr)
+		if err != nil {
+			return err
+		}
+		var cs api.ClusterStatus
+		err = bt.call(ctx, wire.KindCluster, nil, func(_ int, d *wire.Dec) { cs = wire.GetClusterStatus(d) })
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !cs.Enabled || len(cs.Nodes) == 0 {
+			return fmt.Errorf("client: %s is not part of a cluster", addr)
+		}
+		names := make([]string, len(cs.Nodes))
+		addrs := make(map[string]string, len(cs.Nodes))
+		for i, n := range cs.Nodes {
+			names[i] = n.Name
+			addrs[n.Name] = n.Addr
+		}
+		placement := make(map[string]int, len(cs.Relations))
+		for _, rp := range cs.Relations {
+			placement[rp.Relation] = rp.Column
+		}
+		t.mu.Lock()
+		t.ring = cluster.NewRing(names, cs.VirtualNodes)
+		t.addrs = addrs
+		t.placement = placement
+		t.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("client: fetching cluster membership: %w", lastErr)
+}
+
+// view returns the current ring state, fetching it on first use.
+func (t *clusterTransport) view(ctx context.Context) (*cluster.Ring, map[string]int, map[string]string, error) {
+	t.mu.Lock()
+	ring, placement, addrs := t.ring, t.placement, t.addrs
+	t.mu.Unlock()
+	if ring != nil {
+		return ring, placement, addrs, nil
+	}
+	if err := t.refresh(ctx); err != nil {
+		return nil, nil, nil, err
+	}
+	t.mu.Lock()
+	ring, placement, addrs = t.ring, t.placement, t.addrs
+	t.mu.Unlock()
+	return ring, placement, addrs, nil
+}
+
+// connForNode resolves a node name to its pooled transport.
+func (t *clusterTransport) connForNode(ctx context.Context, node string) (*binaryTransport, error) {
+	_, _, addrs, err := t.view(ctx)
+	if err != nil {
+		return nil, err
+	}
+	addr, ok := addrs[node]
+	if !ok {
+		return nil, fmt.Errorf("client: cluster has no node %q", node)
+	}
+	return t.connFor(addr)
+}
+
+// sessionCall routes one session-scoped call to the session's owner,
+// and on a route_moved reply (this client's ring was stale) refreshes
+// the ring and retries exactly once against the owner the server
+// named.
+func (t *clusterTransport) sessionCall(ctx context.Context, session string, fn func(tt *binaryTransport) error) error {
+	ring, _, _, err := t.view(ctx)
+	if err != nil {
+		return err
+	}
+	bt, err := t.connForNode(ctx, ring.Owner(session))
+	if err != nil {
+		return err
+	}
+	err = fn(bt)
+	var e *Error
+	if errors.As(err, &e) && e.Code == api.CodeRouteMoved {
+		if rerr := t.refresh(ctx); rerr != nil {
+			return err
+		}
+		owner := e.Owner
+		if owner == "" {
+			ring, _, _, verr := t.view(ctx)
+			if verr != nil {
+				return err
+			}
+			owner = ring.Owner(session)
+		}
+		bt2, cerr := t.connForNode(ctx, owner)
+		if cerr != nil {
+			return err
+		}
+		return fn(bt2)
+	}
+	return err
+}
+
+func (t *clusterTransport) coordinate(ctx context.Context, reqs []api.Request) ([]api.Response, error) {
+	ring, placement, addrs, err := t.view(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Partition by owner exactly as the servers do; a request with no
+	// single owner can be served (and, server-side, scatter-gathered)
+	// by any node, so spread those by request ID.
+	groups := map[string][]int{}
+	for i, rq := range reqs {
+		node, ok := cluster.OwnerOfQueries(ring, placement, rq.Queries)
+		if !ok {
+			node = ring.Owner(rq.ID)
+		}
+		groups[node] = append(groups[node], i)
+	}
+	out := make([]api.Response, len(reqs))
+	var wg sync.WaitGroup
+	for node, idxs := range groups {
+		sub := make([]api.Request, len(idxs))
+		for j, i := range idxs {
+			sub[j] = reqs[i]
+		}
+		wg.Add(1)
+		go func(node string, idxs []int, sub []api.Request) {
+			defer wg.Done()
+			fail := func(err error) {
+				we := &api.Error{Code: api.CodePeerUnavailable,
+					Message: fmt.Sprintf("cluster: node %s (%s) unreachable: %v", node, addrs[node], err)}
+				var e *Error
+				if errors.As(err, &e) {
+					we = &api.Error{Code: e.Code, Message: e.Message, Owner: e.Owner}
+				}
+				for _, i := range idxs {
+					out[i] = api.Response{ID: reqs[i].ID, Error: we}
+				}
+			}
+			bt, err := t.connFor(addrs[node])
+			if err != nil {
+				fail(err)
+				return
+			}
+			resps, err := bt.coordinate(ctx, sub)
+			if err != nil || len(resps) != len(sub) {
+				if err == nil {
+					err = fmt.Errorf("%d responses for %d requests", len(resps), len(sub))
+				}
+				fail(err)
+				return
+			}
+			for j, i := range idxs {
+				out[i] = resps[j]
+			}
+		}(node, idxs, sub)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+func (t *clusterTransport) createSession(ctx context.Context, id string, parkUnsafe bool) (string, error) {
+	if id == "" {
+		// The serving node generates a name it owns, so the new session
+		// starts life correctly placed; route to any live node.
+		ring, _, _, err := t.view(ctx)
+		if err != nil {
+			return "", err
+		}
+		var name string
+		nodes := ring.Nodes()
+		var lastErr error
+		for _, node := range nodes {
+			bt, err := t.connForNode(ctx, node)
+			if err != nil {
+				return "", err
+			}
+			name, err = bt.createSession(ctx, id, parkUnsafe)
+			if err == nil {
+				return name, nil
+			}
+			lastErr = err
+			var e *Error
+			if errors.As(err, &e) {
+				return "", err // service-level: another node would say the same
+			}
+		}
+		return "", lastErr
+	}
+	var name string
+	err := t.sessionCall(ctx, id, func(bt *binaryTransport) error {
+		var err error
+		name, err = bt.createSession(ctx, id, parkUnsafe)
+		return err
+	})
+	return name, err
+}
+
+func (t *clusterTransport) join(ctx context.Context, session string, q eq.Query) (api.Update, error) {
+	var up api.Update
+	err := t.sessionCall(ctx, session, func(bt *binaryTransport) error {
+		var err error
+		up, err = bt.join(ctx, session, q)
+		return err
+	})
+	return up, err
+}
+
+func (t *clusterTransport) leave(ctx context.Context, session, queryID string) (api.Update, error) {
+	var up api.Update
+	err := t.sessionCall(ctx, session, func(bt *binaryTransport) error {
+		var err error
+		up, err = bt.leave(ctx, session, queryID)
+		return err
+	})
+	return up, err
+}
+
+func (t *clusterTransport) status(ctx context.Context, session string, trace bool) (*api.SessionStatus, error) {
+	var st *api.SessionStatus
+	err := t.sessionCall(ctx, session, func(bt *binaryTransport) error {
+		var err error
+		st, err = bt.status(ctx, session, trace)
+		return err
+	})
+	return st, err
+}
+
+func (t *clusterTransport) deleteSession(ctx context.Context, session string) error {
+	return t.sessionCall(ctx, session, func(bt *binaryTransport) error {
+		return bt.deleteSession(ctx, session)
+	})
+}
+
+func (t *clusterTransport) health(ctx context.Context) (*api.Health, error) {
+	// Health is a per-node surface; report the first reachable node's.
+	var lastErr error
+	for _, addr := range t.knownAddrs() {
+		bt, err := t.connFor(addr)
+		if err != nil {
+			return nil, err
+		}
+		h, err := bt.health(ctx)
+		if err == nil {
+			return h, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (t *clusterTransport) recovery(context.Context) (*api.RecoveryStatus, error) {
+	return nil, fmt.Errorf("client: the recovery endpoint is served over HTTP only")
+}
+
+func (t *clusterTransport) metrics(context.Context) (*api.Metrics, error) {
+	return nil, fmt.Errorf("client: the metrics endpoint is served over HTTP only")
+}
+
+func (t *clusterTransport) subscribe(ctx context.Context, session string, fn func(Notification)) (func(), error) {
+	// Push flows only from the session's owner (subscribing elsewhere
+	// answers route_moved), so the subscription lives on the owner's
+	// pooled connection.
+	var stop func()
+	err := t.sessionCall(ctx, session, func(bt *binaryTransport) error {
+		var err error
+		stop, err = bt.subscribe(ctx, session, fn)
+		return err
+	})
+	return stop, err
+}
+
+func (t *clusterTransport) close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*binaryTransport, 0, len(t.conns))
+	for _, bt := range t.conns {
+		conns = append(conns, bt)
+	}
+	t.mu.Unlock()
+	for _, bt := range conns {
+		bt.close()
+	}
+	return nil
+}

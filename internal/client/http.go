@@ -49,7 +49,7 @@ func (t *httpTransport) do(ctx context.Context, method, path string, in, out any
 			return &Error{Status: resp.StatusCode, Code: api.CodeInternal,
 				Message: fmt.Sprintf("%s %s: HTTP %d with unreadable error body", method, path, resp.StatusCode)}
 		}
-		return &Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		return &Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message, Owner: env.Error.Owner}
 	}
 	if out == nil {
 		return nil

@@ -1,0 +1,68 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"entangled/internal/api"
+	"entangled/internal/wire"
+)
+
+// PeerConn is one persistent pipelined binary connection for
+// cluster-internal forwarding: the same transport a tcp:// Client
+// rides, with the subscription keeper's jittered-backoff redial
+// running for the connection's whole lifetime — when a peer restarts,
+// every node that forwards to it re-dials on a jittered schedule
+// instead of in lockstep. It satisfies cluster.PeerConn.
+type PeerConn struct {
+	t *binaryTransport
+}
+
+// DialPeer opens the peer connection. The dial itself happens lazily
+// (and is retried by the keeper), so DialPeer never fails — a peer
+// that is down at boot connects when it comes up.
+func DialPeer(addr string) *PeerConn {
+	t := newBinaryTransport(addr)
+	t.mu.Lock()
+	t.keeper = true
+	t.mu.Unlock()
+	go t.keepAlive(func() bool { return true })
+	return &PeerConn{t: t}
+}
+
+// Call issues one raw frame and returns the reply. Per the
+// cluster.PeerConn contract, an error wrapping api.ErrPeerUnavailable
+// means nothing was transmitted (no live connection at send time —
+// fate known); any other transport error means the connection died
+// with the call in flight.
+func (p *PeerConn) Call(ctx context.Context, kind wire.Kind, encode func(*wire.Enc)) (status int, body []byte, err error) {
+	cc, err := p.t.live()
+	if err != nil {
+		if errors.Is(err, errClientClosed) {
+			return 0, nil, err
+		}
+		return 0, nil, fmt.Errorf("%w: %v", api.ErrPeerUnavailable, err)
+	}
+	return cc.Call(ctx, kind, encode)
+}
+
+// Connected reports whether a live connection is currently held (it
+// does not dial).
+func (p *PeerConn) Connected() bool {
+	p.t.mu.Lock()
+	defer p.t.mu.Unlock()
+	cc := p.t.conn
+	if cc == nil {
+		return false
+	}
+	select {
+	case <-cc.Done():
+		return false
+	default:
+		return true
+	}
+}
+
+// Close tears the connection down and stops the keeper.
+func (p *PeerConn) Close() error { return p.t.close() }

@@ -13,9 +13,12 @@ import (
 // state behind on the server, so even a non-idempotent operation (a
 // session join or leave) can be retried without risking a duplicate.
 // True only for typed rejections issued before any work happened:
-// backpressure (queue or mailbox full), a draining server, and
-// degraded mode — the server gates those up front, before the event
-// touches a session. Everything else is fate-unknown: an indeterminate
+// backpressure (queue or mailbox full), a draining server, degraded
+// mode, and the cluster routing rejections — route_moved (the node
+// refused because it does not own the target) and peer_unavailable
+// (the forward was never transmitted; the degraded taxonomy's
+// nothing-was-sent case) — the server gates those up front, before the
+// event touches a session. Everything else is fate-unknown: an indeterminate
 // ack means the event was applied in memory but its durability is
 // unsettled, a timeout may have fired after the event landed, and a
 // dropped connection says nothing about what the server did with the
@@ -26,7 +29,8 @@ func FateKnown(err error) bool {
 		return false // transport-level: the request may have been served
 	}
 	switch e.Code {
-	case api.CodeOverloaded, api.CodeMailboxFull, api.CodeDraining, api.CodeDegraded:
+	case api.CodeOverloaded, api.CodeMailboxFull, api.CodeDraining, api.CodeDegraded,
+		api.CodeRouteMoved, api.CodePeerUnavailable:
 		return true
 	}
 	return false

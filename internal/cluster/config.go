@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one cluster member: a stable name (the ring hashes names,
+// so renaming a node moves its placements) and the binary wire address
+// peers forward over and cluster-aware clients dial.
+type Node struct {
+	Name string
+	Addr string
+}
+
+// Config is the static membership a node boots with. Every node in a
+// cluster must be started with the same Nodes and VNodes (Version
+// fingerprints both, so disagreement is detectable); Self names this
+// process's own entry.
+type Config struct {
+	// Self is this node's name; it must appear in Nodes.
+	Self string
+	// Nodes is the full membership, self included.
+	Nodes []Node
+	// VNodes is the number of virtual ring points per node; 0 means
+	// DefaultVNodes.
+	VNodes int
+}
+
+// DefaultVNodes is the virtual-point count used when Config.VNodes is
+// zero — enough that a 3-node ring balances within a few percent.
+const DefaultVNodes = 64
+
+// ParsePeers parses the -cluster-peers flag format: a comma-separated
+// list of name=host:port entries, e.g.
+//
+//	a=10.0.0.1:9101,b=10.0.0.2:9101,c=10.0.0.3:9101
+//
+// Order does not matter; the ring is built from the sorted names.
+func ParsePeers(s string) ([]Node, error) {
+	var nodes []Node
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(ent, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: peer entry %q is not name=addr", ent)
+		}
+		name, addr = strings.TrimSpace(name), strings.TrimSpace(addr)
+		if name == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: peer entry %q has an empty name or address", ent)
+		}
+		nodes = append(nodes, Node{Name: name, Addr: addr})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no peers in %q", s)
+	}
+	return nodes, nil
+}
+
+// normalize sorts the membership by name, applies defaults, and
+// validates: names unique and non-empty, addresses non-empty, Self
+// present.
+func (c Config) normalize() (Config, error) {
+	if c.VNodes == 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.VNodes < 1 {
+		return c, fmt.Errorf("cluster: virtual node count %d < 1", c.VNodes)
+	}
+	if len(c.Nodes) == 0 {
+		return c, fmt.Errorf("cluster: empty membership")
+	}
+	nodes := make([]Node, len(c.Nodes))
+	copy(nodes, c.Nodes)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	c.Nodes = nodes
+	seen := false
+	for i, n := range nodes {
+		if n.Name == "" || n.Addr == "" {
+			return c, fmt.Errorf("cluster: node %d has an empty name or address", i)
+		}
+		if i > 0 && nodes[i-1].Name == n.Name {
+			return c, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		if n.Name == c.Self {
+			seen = true
+		}
+	}
+	if !seen {
+		return c, fmt.Errorf("cluster: self %q is not in the membership", c.Self)
+	}
+	return c, nil
+}
+
+// Version fingerprints the membership (names + addresses, order
+// independent) and the virtual-node count: two nodes reporting the
+// same version hold byte-identical rings and address tables.
+func (c Config) Version() string {
+	if c.VNodes == 0 {
+		c.VNodes = DefaultVNodes
+	}
+	nodes := make([]Node, len(c.Nodes))
+	copy(nodes, c.Nodes)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	c.Nodes = nodes
+	h := uint32(2166136261)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint32(s[i])
+			h *= 16777619
+		}
+		h ^= 0
+		h *= 16777619
+	}
+	mix(fmt.Sprintf("v%d", c.VNodes))
+	for _, n := range c.Nodes {
+		mix(n.Name)
+		mix(n.Addr)
+	}
+	return fmt.Sprintf("ring-%08x", h)
+}

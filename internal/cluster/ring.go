@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"entangled/internal/eq"
+)
+
+// fnv32 is the FNV-1a hash db.ShardedInstance places tuples with —
+// cluster placement and in-process shard placement must agree on the
+// hash of a value, so both use this exact function.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// point is one virtual node position on the ring.
+type point struct {
+	hash uint32
+	node string
+}
+
+// Ring is a consistent-hash ring: each node contributes vnodes virtual
+// points (the hash of "name#i"), and a key is owned by the node whose
+// point follows the key's hash clockwise. The construction is a pure
+// function of the sorted member names and the virtual-point count, so
+// every process given the same membership builds the identical ring —
+// there is no ring-state protocol to run.
+//
+// A Ring is immutable after New and safe for concurrent use.
+type Ring struct {
+	points []point
+	nodes  []string // sorted member names
+	vnodes int
+}
+
+// NewRing builds the ring over the given member names (order
+// independent; vnodes < 1 means DefaultVNodes).
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = DefaultVNodes
+	}
+	sorted := make([]string, len(nodes))
+	copy(sorted, nodes)
+	sort.Strings(sorted)
+	r := &Ring{nodes: sorted, vnodes: vnodes, points: make([]point, 0, len(nodes)*vnodes)}
+	for _, n := range sorted {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: fnv32(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	// Ties broken by name so the ring is deterministic even on hash
+	// collisions between different nodes' points.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the sorted member names.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// VNodes returns the virtual-point count per node.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the member owning key: the node of the first virtual
+// point at or after fnv32(key), wrapping at the top of the ring.
+func (r *Ring) Owner(key string) string {
+	return r.ownerOf(fnv32(key))
+}
+
+// OwnerOfValue returns the member owning a relation value — the
+// cluster-level analogue of db's shardIndex.
+func (r *Ring) OwnerOfValue(v eq.Value) string {
+	return r.ownerOf(fnv32(string(v)))
+}
+
+func (r *Ring) ownerOf(h uint32) string {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// OwnerOfQueries returns the single member owning every body atom of
+// every query, mirroring db.ShardedInstance.Route exactly: each atom's
+// relation must have a placement column, that column's term must be a
+// constant, and every constant must hash to the same owner. Any other
+// shape returns ok=false — the request has no single owner and the
+// receiving node serves it locally against its full replica.
+func OwnerOfQueries(r *Ring, placement map[string]int, qs []eq.Query) (owner string, ok bool) {
+	for _, q := range qs {
+		for _, a := range q.Body {
+			col, known := placement[a.Rel]
+			if !known || col >= len(a.Args) {
+				return "", false
+			}
+			t := a.Args[col]
+			if t.IsVar() {
+				return "", false
+			}
+			o := r.OwnerOfValue(t.Const())
+			if owner == "" {
+				owner = o
+			} else if owner != o {
+				return "", false
+			}
+		}
+	}
+	if owner == "" {
+		return "", false // no body atoms: nothing to place by
+	}
+	return owner, true
+}

@@ -1,0 +1,365 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"entangled/internal/api"
+	"entangled/internal/eq"
+	"entangled/internal/persist"
+	"entangled/internal/wire"
+)
+
+// PeerConn is one persistent pipelined connection to a peer node. It
+// is implemented by client.DialPeer (which reuses the client's
+// jittered-backoff redial keeper); the indirection keeps this package
+// importable by internal/client. Call errors must wrap
+// api.ErrPeerUnavailable when nothing was transmitted (no live
+// connection at send time) and surface raw transport errors when the
+// connection died mid-call.
+type PeerConn interface {
+	Call(ctx context.Context, kind wire.Kind, encode func(*wire.Enc)) (status int, body []byte, err error)
+	Connected() bool
+	Close() error
+}
+
+// Options configures a Router beyond its membership.
+type Options struct {
+	// Placement maps relation name -> hash column, the
+	// db.ShardedInstance contract lifted to the ring. Requests whose
+	// bodies pin every placed relation's column to constants owned by
+	// one node route there; everything else serves locally. Nil means
+	// only sessions are placed.
+	Placement map[string]int
+	// Dial opens the persistent connection to one peer address;
+	// required when the membership has more than one node. Pass
+	// client.DialPeer (wrapped to the interface) outside tests.
+	Dial func(addr string) PeerConn
+}
+
+// fanoutBuckets bounds the scatter fan-out histogram: index i counts
+// batches that touched i+1 nodes, the last bucket absorbs the rest.
+const fanoutBuckets = 8
+
+// peerState is the Router's per-peer slot: the pooled connection and
+// its forward counters.
+type peerState struct {
+	name     string
+	conn     PeerConn
+	forwards atomic.Int64
+	failures atomic.Int64
+}
+
+// Router is one node's view of the cluster: the ring, one pooled
+// binary connection per peer, and the forwarding/scatter metrics. It
+// decides where work lives; the server decides what to do with that
+// answer (serve, forward, or refuse with route_moved).
+type Router struct {
+	cfg       Config
+	ring      *Ring
+	placement map[string]int
+	version   string
+	peers     map[string]*peerState // by name, self excluded
+	addrs     map[string]string
+
+	forwardsRecv atomic.Int64
+	routeMoved   atomic.Int64
+	scatter      atomic.Int64
+
+	mu     sync.Mutex
+	fanout [fanoutBuckets]int64
+}
+
+// New validates the membership and builds the node's router, dialing
+// one persistent connection per peer (the connection keeper redials
+// with jittered backoff, so peers may be down at boot).
+func New(cfg Config, opts Options) (*Router, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(cfg.Nodes))
+	addrs := make(map[string]string, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		names[i] = n.Name
+		addrs[n.Name] = n.Addr
+	}
+	r := &Router{
+		cfg:       cfg,
+		ring:      NewRing(names, cfg.VNodes),
+		placement: opts.Placement,
+		version:   cfg.Version(),
+		peers:     make(map[string]*peerState, len(cfg.Nodes)-1),
+		addrs:     addrs,
+	}
+	for _, n := range cfg.Nodes {
+		if n.Name == cfg.Self {
+			continue
+		}
+		if opts.Dial == nil {
+			return nil, fmt.Errorf("cluster: %d-node membership needs Options.Dial", len(cfg.Nodes))
+		}
+		r.peers[n.Name] = &peerState{name: n.Name, conn: opts.Dial(n.Addr)}
+	}
+	return r, nil
+}
+
+// Close tears down every peer connection.
+func (r *Router) Close() {
+	for _, p := range r.peers {
+		p.conn.Close()
+	}
+}
+
+// Self returns this node's name.
+func (r *Router) Self() string { return r.cfg.Self }
+
+// SelfAddr returns this node's own binary wire address from the
+// membership — the address peers forward to, and the natural default
+// for the node's binary listener.
+func (r *Router) SelfAddr() string { return r.addrs[r.cfg.Self] }
+
+// Ring returns the (immutable) placement ring.
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Version returns the membership fingerprint.
+func (r *Router) Version() string { return r.version }
+
+// Owner returns the node owning a session name.
+func (r *Router) Owner(session string) string { return r.ring.Owner(session) }
+
+// OwnsLocally reports whether this node owns the session.
+func (r *Router) OwnsLocally(session string) bool { return r.ring.Owner(session) == r.cfg.Self }
+
+// OwnerOfRequest returns the node owning a batch request, ok=false
+// when the request has no single owner (serve it locally).
+func (r *Router) OwnerOfRequest(qs []eq.Query) (string, bool) {
+	return OwnerOfQueries(r.ring, r.placement, qs)
+}
+
+// RouteMoved records and builds the typed error a node answers when a
+// request (forwarded, or sent by a stale direct client) targets
+// something it does not own: route_moved, carrying the owner.
+func (r *Router) RouteMoved(what, session string) error {
+	r.routeMoved.Add(1)
+	return &routeMovedError{what: what + " " + session, owner: r.ring.Owner(session)}
+}
+
+// routeMovedError wraps api.ErrRouteMoved and names the owning node so
+// api.WireError carries it to the client.
+type routeMovedError struct {
+	what  string
+	owner string
+}
+
+func (e *routeMovedError) Error() string {
+	return fmt.Sprintf("cluster: route moved: %s is owned by %s", e.what, e.owner)
+}
+
+func (e *routeMovedError) Unwrap() error { return api.ErrRouteMoved }
+
+// OwnerNode implements api.Owned.
+func (e *routeMovedError) OwnerNode() string { return e.owner }
+
+// ReceivedForward meters an inbound KindForward frame.
+func (r *Router) ReceivedForward() { r.forwardsRecv.Add(1) }
+
+// Forward sends one wrapped request to a peer and returns the reply
+// the inner request received there: the HTTP-equivalent status and the
+// raw kind-specific reply body on success, a *wire.ReplyError to relay
+// verbatim on a service-level failure, or a typed transport error —
+// api.ErrPeerUnavailable when nothing was transmitted (fate known,
+// retry freely), persist.ErrIndeterminate when the connection died
+// mid-call (the peer may have applied the event).
+func (r *Router) Forward(ctx context.Context, node string, kind wire.Kind, encode func(*wire.Enc)) (status int, body []byte, err error) {
+	p := r.peers[node]
+	if p == nil {
+		return 0, nil, fmt.Errorf("cluster: %q is not a peer of %s", node, r.cfg.Self)
+	}
+	p.forwards.Add(1)
+	fwd := func(e *wire.Enc) {
+		e.String(r.cfg.Self)
+		e.Int(1)
+		e.Byte(byte(kind))
+		var inner wire.Enc
+		encode(&inner)
+		e.Uvarint(uint64(len(inner.Bytes())))
+		e.Raw(inner.Bytes())
+	}
+	status, body, err = p.conn.Call(ctx, wire.KindForward, fwd)
+	var re *wire.ReplyError
+	switch {
+	case err == nil || errors.As(err, &re):
+		return status, body, err
+	case errors.Is(err, api.ErrPeerUnavailable):
+		p.failures.Add(1)
+		return 0, nil, err
+	case ctx.Err() != nil:
+		p.failures.Add(1)
+		return 0, nil, ctx.Err()
+	default:
+		p.failures.Add(1)
+		return 0, nil, fmt.Errorf("%w: forward of %s to %s died mid-call: %v", persist.ErrIndeterminate, kind, node, err)
+	}
+}
+
+// ServeBatch scatter-gathers one CoordinateMany batch: requests owned
+// here (or with no single owner) go through local, each peer's slice
+// is forwarded as one wrapped KindCoordinate sub-batch, and the
+// per-node responses merge back in request order. A dead peer fails
+// only its own slice — each affected request carries a typed inline
+// error, the rest of the batch is unharmed (the batch contract).
+func (r *Router) ServeBatch(ctx context.Context, reqs []api.Request, local func(context.Context, []api.Request) []api.Response) []api.Response {
+	owners := make([]string, len(reqs))
+	groups := make(map[string][]int)
+	for i, rq := range reqs {
+		node, ok := r.OwnerOfRequest(rq.Queries)
+		if !ok || node == r.cfg.Self {
+			node = r.cfg.Self
+		}
+		owners[i] = node
+		groups[node] = append(groups[node], i)
+	}
+	r.observeFanout(len(groups))
+
+	out := make([]api.Response, len(reqs))
+	var wg sync.WaitGroup
+	for node, idxs := range groups {
+		sub := make([]api.Request, len(idxs))
+		for j, i := range idxs {
+			sub[j] = reqs[i]
+		}
+		wg.Add(1)
+		go func(node string, idxs []int, sub []api.Request) {
+			defer wg.Done()
+			var resps []api.Response
+			if node == r.cfg.Self {
+				resps = local(ctx, sub)
+			} else {
+				_, body, err := r.Forward(ctx, node, wire.KindCoordinate, wire.CoordinateReq{Requests: sub}.Encode)
+				if err != nil {
+					we := replayWireError(err)
+					for _, i := range idxs {
+						out[i] = api.Response{ID: reqs[i].ID, Error: we}
+					}
+					return
+				}
+				d := wire.NewDec(body)
+				resps = wire.GetResponses(d)
+				if d.Err() != nil || len(resps) != len(sub) {
+					we := api.Errf(api.CodeInternal, "cluster: %s returned a malformed batch reply", node)
+					for _, i := range idxs {
+						out[i] = api.Response{ID: reqs[i].ID, Error: we}
+					}
+					return
+				}
+			}
+			for j, i := range idxs {
+				out[i] = resps[j]
+			}
+		}(node, idxs, sub)
+	}
+	wg.Wait()
+	return out
+}
+
+// replayWireError renders a forward failure as the inline error its
+// requests carry: a peer's service-level reply relays verbatim, a
+// transport failure maps through the typed taxonomy.
+func replayWireError(err error) *api.Error {
+	var re *wire.ReplyError
+	if errors.As(err, &re) {
+		return &api.Error{Code: re.Code, Message: re.Message, Owner: re.Owner}
+	}
+	return api.WireError(err)
+}
+
+// observeFanout meters how many nodes one batch touched.
+func (r *Router) observeFanout(nodes int) {
+	if nodes > 1 {
+		r.scatter.Add(1)
+	}
+	i := nodes - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= fanoutBuckets {
+		i = fanoutBuckets - 1
+	}
+	r.mu.Lock()
+	r.fanout[i]++
+	r.mu.Unlock()
+}
+
+// Status reports the node's cluster view for /v1/cluster.
+func (r *Router) Status() api.ClusterStatus {
+	cs := api.ClusterStatus{
+		Enabled:      true,
+		Self:         r.cfg.Self,
+		VirtualNodes: r.cfg.VNodes,
+		Version:      r.version,
+		Nodes:        make([]api.ClusterNode, len(r.cfg.Nodes)),
+	}
+	for i, n := range r.cfg.Nodes {
+		cn := api.ClusterNode{Name: n.Name, Addr: n.Addr, Self: n.Name == r.cfg.Self}
+		if p := r.peers[n.Name]; p != nil {
+			cn.Connected = p.conn.Connected()
+		}
+		cs.Nodes[i] = cn
+	}
+	rels := make([]string, 0, len(r.placement))
+	for name := range r.placement {
+		rels = append(rels, name)
+	}
+	sort.Strings(rels)
+	for _, name := range rels {
+		cs.Relations = append(cs.Relations, api.RelationPlacement{Relation: name, Column: r.placement[name]})
+	}
+	return cs
+}
+
+// Health reports the cluster slice of /healthz.
+func (r *Router) Health() *api.ClusterHealth {
+	ch := &api.ClusterHealth{Self: r.cfg.Self, Nodes: len(r.cfg.Nodes)}
+	for _, n := range r.cfg.Nodes {
+		if p := r.peers[n.Name]; p != nil && !p.conn.Connected() {
+			ch.PeersDown = append(ch.PeersDown, n.Name)
+		}
+	}
+	return ch
+}
+
+// Metrics reports the cluster slice of /metrics.
+func (r *Router) Metrics() *api.ClusterMetrics {
+	m := &api.ClusterMetrics{
+		Self:             r.cfg.Self,
+		Nodes:            len(r.cfg.Nodes),
+		ForwardsReceived: r.forwardsRecv.Load(),
+		RouteMoved:       r.routeMoved.Load(),
+		ScatterBatches:   r.scatter.Load(),
+		FanoutCounts:     make([]int64, fanoutBuckets),
+	}
+	r.mu.Lock()
+	copy(m.FanoutCounts, r.fanout[:])
+	r.mu.Unlock()
+	for _, n := range r.cfg.Nodes {
+		p := r.peers[n.Name]
+		if p == nil {
+			continue
+		}
+		pm := api.PeerMetrics{
+			Name:      n.Name,
+			Connected: p.conn.Connected(),
+			Forwards:  p.forwards.Load(),
+			Failures:  p.failures.Load(),
+		}
+		m.ForwardsSent += pm.Forwards
+		m.ForwardFailures += pm.Failures
+		m.Peers = append(m.Peers, pm)
+	}
+	return m
+}

@@ -74,6 +74,20 @@ func NewShardedInstance(k int) *ShardedInstance {
 // NumShards returns the shard count K.
 func (sh *ShardedInstance) NumShards() int { return len(sh.shards) }
 
+// HashColumns returns a copy of the relation -> hash-column map: the
+// per-relation column whose value places a tuple (and routes a
+// request). Cluster placement reuses it so nodes and in-process shards
+// partition by the same columns.
+func (sh *ShardedInstance) HashColumns() map[string]int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	m := make(map[string]int, len(sh.keys))
+	for name, col := range sh.keys {
+		m[name] = col
+	}
+	return m
+}
+
 // Shard returns the i-th underlying Instance. Callers must respect the
 // placement invariant when writing through it directly.
 func (sh *ShardedInstance) Shard(i int) *Instance { return sh.shards[i] }

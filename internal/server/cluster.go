@@ -1,0 +1,132 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"entangled/internal/api"
+	"entangled/internal/wire"
+)
+
+// remoteOwner reports the peer node owning a session name, ok=false
+// when this node serves it itself (standalone server, or the ring says
+// the session is ours).
+func (s *Server) remoteOwner(session string) (string, bool) {
+	c := s.opts.Cluster
+	if c == nil {
+		return "", false
+	}
+	owner := c.Owner(session)
+	if owner == c.Self() {
+		return "", false
+	}
+	return owner, true
+}
+
+// serveBatchRouted is the cluster-aware batch path: a standalone server
+// (or a forwarded sub-batch — forwards are terminal, a receiver never
+// re-scatters) serves everything locally; a cluster node scatter-gathers
+// the batch across owners with its own slice going through serveBatch.
+func (s *Server) serveBatchRouted(ctx context.Context, reqs []api.Request, forwarded bool) []api.Response {
+	c := s.opts.Cluster
+	if c == nil || forwarded {
+		return s.serveBatch(ctx, reqs)
+	}
+	return c.ServeBatch(ctx, reqs, s.serveBatch)
+}
+
+// clusterStatus reports the node's membership view; a standalone server
+// answers enabled=false so clients can probe for cluster mode.
+func (s *Server) clusterStatus() api.ClusterStatus {
+	if c := s.opts.Cluster; c != nil {
+		return c.Status()
+	}
+	return api.ClusterStatus{}
+}
+
+// handleCluster serves GET /v1/cluster.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.clusterStatus())
+}
+
+// serviceError renders a service-layer failure as its HTTP status and
+// wire error, carrying the owning node when the error names one
+// (route_moved), so both protocols' envelopes let a stale client
+// re-route without a second round trip.
+func serviceError(err error) (int, *api.Error) {
+	status, code := statusFor(err)
+	we := api.Errf(code, "%v", err)
+	var o api.Owned
+	if errors.As(err, &o) {
+		we.Owner = o.OwnerNode()
+	}
+	return status, we
+}
+
+// forwardHTTP forwards one session-scoped request to its owning node
+// and writes the reply as this node's own handler would have: a
+// service-level failure relays verbatim (status, code, message, owner),
+// a transport failure maps through the typed taxonomy, and a successful
+// reply's wire body decodes through dec into the JSON value written
+// with the reply's own status (so a parked join stays 202 across the
+// hop). A nil dec writes the bare status (delete's 204).
+func (s *Server) forwardHTTP(w http.ResponseWriter, ctx context.Context, node string, kind wire.Kind, enc func(*wire.Enc), dec func(d *wire.Dec) any) {
+	status, body, err := s.opts.Cluster.Forward(ctx, node, kind, enc)
+	if err != nil {
+		var re *wire.ReplyError
+		if errors.As(err, &re) {
+			writeError(w, re.Status, &api.Error{Code: re.Code, Message: re.Message, Owner: re.Owner})
+			return
+		}
+		st, we := serviceError(err)
+		writeError(w, st, we)
+		return
+	}
+	if dec == nil {
+		w.WriteHeader(status)
+		return
+	}
+	d := wire.NewDec(body)
+	v := dec(d)
+	if d.Finish() != nil {
+		writeError(w, http.StatusInternalServerError,
+			api.Errf(api.CodeInternal, "cluster: %s returned a malformed %v reply", node, kind))
+		return
+	}
+	writeJSON(w, status, v)
+}
+
+// forwardOrServe routes one session-scoped binary request. Owned here
+// (or standalone) it returns false: the caller serves locally. Owned
+// elsewhere, the request forwards to its owner and the reply body
+// relays byte-for-byte — unless the request was itself a forward
+// (terminal) or a subscribe (push flows only from the owner), which
+// answer the typed route_moved error instead. A true return means the
+// reply was sent.
+func (wc *wireConn) forwardOrServe(ctx context.Context, id uint64, session string, terminal bool, kind wire.Kind, enc func(*wire.Enc)) bool {
+	s := wc.srv
+	node, ok := s.remoteOwner(session)
+	if !ok {
+		return false
+	}
+	if terminal {
+		wc.replyServiceErr(id, s.opts.Cluster.RouteMoved("session", session))
+		return true
+	}
+	status, body, err := s.opts.Cluster.Forward(ctx, node, kind, enc)
+	if err != nil {
+		var re *wire.ReplyError
+		if errors.As(err, &re) {
+			wc.replyErr(id, re.Status, &api.Error{Code: re.Code, Message: re.Message, Owner: re.Owner})
+			return true
+		}
+		wc.replyServiceErr(id, err)
+		return true
+	}
+	wc.send(wire.Header{Kind: wire.KindReply, ID: id}, func(e *wire.Enc) {
+		wire.PutReplyOK(e, status)
+		e.Raw(body)
+	})
+	return true
+}

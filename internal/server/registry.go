@@ -178,6 +178,7 @@ type registry struct {
 	notify      func(name string, up stream.Update)                      // nil: no push listeners
 	onDrop      func(name string)                                        // nil: nothing to clean up
 	skipEvict   func() bool                                              // nil: never skip a janitor pass
+	nameOK      func(name string) bool                                   // nil: any generated name is fine
 	mailboxSize int
 	idleTimeout time.Duration
 
@@ -215,10 +216,13 @@ func (r *registry) create(name string, parkUnsafe bool) (*sessionHandle, error) 
 		return nil, errDraining
 	}
 	if name == "" {
+		// Generated names skip taken ones and, on a cluster node, names
+		// the ring places elsewhere (nameOK), so a new session always
+		// starts life on its owner.
 		for {
 			r.nextAuto++
 			name = fmt.Sprintf("s%d", r.nextAuto)
-			if _, taken := r.handles[name]; !taken {
+			if _, taken := r.handles[name]; !taken && (r.nameOK == nil || r.nameOK(name)) {
 				break
 			}
 		}

@@ -12,10 +12,12 @@ import (
 	"time"
 
 	"entangled/internal/api"
+	"entangled/internal/cluster"
 	"entangled/internal/coord"
 	"entangled/internal/engine"
 	"entangled/internal/persist"
 	"entangled/internal/stream"
+	"entangled/internal/wire"
 )
 
 // Options configures a Server.
@@ -57,6 +59,14 @@ type Options struct {
 	// instead of wedging the dispatcher goroutine on a stalled store.
 	// Zero means 30s; negative disables the deadline.
 	DispatchTimeout time.Duration
+	// Cluster, when non-nil, makes this node one member of a coordserve
+	// cluster: session-scoped requests it does not own forward to the
+	// owning peer (terminally — a forwarded request that still misses
+	// answers route_moved), batches scatter-gather across owners, and
+	// the cluster view appears on /v1/cluster, /healthz and /metrics.
+	// The server does not own the router's lifecycle — the caller builds
+	// it (dialing peers) and closes it after Close. Nil runs standalone.
+	Cluster *cluster.Router
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +102,7 @@ func (o Options) withDefaults() Options {
 //	POST   /v1/sessions/{id}/join  admit one arriving query
 //	POST   /v1/sessions/{id}/leave depart one query by ID
 //	DELETE /v1/sessions/{id}       close the session
+//	GET    /v1/cluster             membership, ring parameters, relation placements
 //	GET    /healthz                liveness and drain state
 //	GET    /metrics                counters, latency histograms, plan-cache and per-session stats
 type Server struct {
@@ -160,6 +171,13 @@ func New(e *engine.Engine, opts Options) (*Server, error) {
 		// out the outage instead.
 		s.reg.skipEvict = opts.Persist.Degraded
 	}
+	if opts.Cluster != nil {
+		// A cluster node generates only session names it owns, so an
+		// auto-named create lands correctly placed on whichever node
+		// served it (ownership partitions the generated namespace, so
+		// nodes cannot collide either).
+		s.reg.nameOK = opts.Cluster.OwnsLocally
+	}
 	if err := s.recoverSessions(newSession); err != nil {
 		s.Close()
 		return nil, err
@@ -176,6 +194,7 @@ func New(e *engine.Engine, opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/leave", s.handleSessionLeave)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /v1/recovery", s.handleRecovery)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -368,6 +387,14 @@ func statusFor(err error) (int, string) {
 		return http.StatusNotFound, api.CodeUnknownID
 	case errors.Is(err, coord.ErrUnsafeArrival):
 		return http.StatusConflict, coord.CodeUnsafeArrival
+	// The cluster routing rejections are both fate-known: route_moved
+	// was refused before the event touched anything (421 — the request
+	// was directed at a server unable to produce a response for it), and
+	// peer_unavailable means the forward was never transmitted (502).
+	case errors.Is(err, api.ErrRouteMoved):
+		return http.StatusMisdirectedRequest, api.CodeRouteMoved
+	case errors.Is(err, api.ErrPeerUnavailable):
+		return http.StatusBadGateway, api.CodePeerUnavailable
 	// Indeterminate before degraded: a journal-append failure wraps
 	// ErrIndeterminate (the event may yet survive), and the distinction
 	// is what tells a client whether a blind retry is safe.
@@ -401,7 +428,7 @@ func (s *Server) handleCoordinate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, we)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.CoordinateResponse{Responses: s.serveBatch(r.Context(), req.Requests)})
+	writeJSON(w, http.StatusOK, api.CoordinateResponse{Responses: s.serveBatchRouted(r.Context(), req.Requests, false)})
 }
 
 // checkBatch validates a coordinate batch's size; a non-nil return is
@@ -465,10 +492,18 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "decoding body: %v", err))
 		return
 	}
+	// A named create belongs to the name's owner; an auto-named one is
+	// served wherever it lands (the registry generates self-owned names).
+	if node, ok := s.remoteOwner(req.ID); ok && req.ID != "" {
+		s.forwardHTTP(w, r.Context(), node, wire.KindCreateSession,
+			wire.CreateSessionReq{ID: req.ID, ParkUnsafe: req.ParkUnsafe}.Encode,
+			func(d *wire.Dec) any { return api.CreateSessionResponse{ID: d.String()} })
+		return
+	}
 	h, err := s.createSession(req.ID, req.ParkUnsafe)
 	if err != nil {
-		status, code := statusFor(err)
-		writeError(w, status, api.Errf(code, "%v", err))
+		status, we := serviceError(err)
+		writeError(w, status, we)
 		return
 	}
 	writeJSON(w, http.StatusCreated, api.CreateSessionResponse{ID: h.name})
@@ -482,8 +517,8 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 func (s *Server) postEvent(w http.ResponseWriter, r *http.Request, ev stream.Event) {
 	up, err := s.sessionEvent(r.Context(), r.PathValue("id"), ev)
 	if err != nil {
-		status, code := statusFor(err)
-		writeError(w, status, api.Errf(code, "%v", err))
+		status, we := serviceError(err)
+		writeError(w, status, we)
 		return
 	}
 	status := http.StatusOK
@@ -519,6 +554,12 @@ func (s *Server) handleSessionJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "decoding body: %v", err))
 		return
 	}
+	if node, ok := s.remoteOwner(r.PathValue("id")); ok {
+		s.forwardHTTP(w, r.Context(), node, wire.KindJoin,
+			wire.JoinReq{Session: r.PathValue("id"), Query: req.Query}.Encode,
+			func(d *wire.Dec) any { return wire.GetUpdate(d) })
+		return
+	}
 	s.postEvent(w, r, stream.Event{Kind: stream.JoinEvent, Query: req.Query})
 }
 
@@ -528,10 +569,22 @@ func (s *Server) handleSessionLeave(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "decoding body: %v", err))
 		return
 	}
+	if node, ok := s.remoteOwner(r.PathValue("id")); ok {
+		s.forwardHTTP(w, r.Context(), node, wire.KindLeave,
+			wire.LeaveReq{Session: r.PathValue("id"), QueryID: req.ID}.Encode,
+			func(d *wire.Dec) any { return wire.GetUpdate(d) })
+		return
+	}
 	s.postEvent(w, r, stream.Event{Kind: stream.LeaveEvent, ID: req.ID})
 }
 
 func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	if node, ok := s.remoteOwner(r.PathValue("id")); ok {
+		s.forwardHTTP(w, r.Context(), node, wire.KindStatus,
+			wire.StatusReq{Session: r.PathValue("id"), Trace: r.URL.Query().Get("trace") == "1"}.Encode,
+			func(d *wire.Dec) any { return wire.GetSessionStatus(d) })
+		return
+	}
 	st, status, we := s.sessionStatus(r.PathValue("id"), r.URL.Query().Get("trace") == "1")
 	if we != nil {
 		writeError(w, status, we)
@@ -570,9 +623,14 @@ func (s *Server) sessionStatus(name string, trace bool) (api.SessionStatus, int,
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if node, ok := s.remoteOwner(r.PathValue("id")); ok {
+		s.forwardHTTP(w, r.Context(), node, wire.KindDeleteSession,
+			wire.SessionReq{Session: r.PathValue("id")}.Encode, nil)
+		return
+	}
 	if err := s.deleteSession(r.PathValue("id")); err != nil {
-		status, code := statusFor(err)
-		writeError(w, status, api.Errf(code, "%v", err))
+		status, we := serviceError(err)
+		writeError(w, status, we)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -598,6 +656,9 @@ func (s *Server) health() api.Health {
 		if cause := s.opts.Persist.DegradeCause(); cause != nil {
 			h.DegradedCause = cause.Error()
 		}
+	}
+	if c := s.opts.Cluster; c != nil {
+		h.Cluster = c.Health()
 	}
 	// Draining wins: a shutting-down server is past caring about its
 	// disk, and probes should steer traffic away either way.
@@ -641,6 +702,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if pc, ok := planStats(s.e.Store()); ok {
 		m.PlanCache = &pc
+	}
+	if c := s.opts.Cluster; c != nil {
+		m.Cluster = c.Metrics()
 	}
 	if s.opts.Persist != nil {
 		pm := s.opts.Persist.Metrics()

@@ -188,8 +188,8 @@ func (wc *wireConn) replyErr(id uint64, status int, we *api.Error) {
 // replyServiceErr maps a service-layer error exactly the way the HTTP
 // handlers do, so both protocols report identical errors.
 func (wc *wireConn) replyServiceErr(id uint64, err error) {
-	status, code := statusFor(err)
-	wc.replyErr(id, status, api.Errf(code, "%v", err))
+	status, we := serviceError(err)
+	wc.replyErr(id, status, we)
 }
 
 // ServeWire accepts binary-protocol connections on l until the
@@ -269,7 +269,7 @@ func (s *Server) serveWireConn(c net.Conn) {
 		if d.Err() != nil || h.ID == 0 {
 			return // not even a header; the stream is garbage
 		}
-		if !s.dispatch(ctx, wc, h, d) {
+		if !s.dispatch(ctx, wc, h, d, false) {
 			return
 		}
 	}
@@ -280,7 +280,10 @@ func (s *Server) serveWireConn(c net.Conn) {
 // pipelined requests overlap. A body that fails to decode answers
 // bad_request with the same message the HTTP handlers use; an unknown
 // kind kills the connection (protocol error, not a request error).
-func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *wire.Dec) bool {
+// forwarded marks a request unwrapped from a KindForward envelope:
+// forwards are terminal, so a forwarded request this node does not own
+// answers route_moved instead of forwarding again.
+func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *wire.Dec, forwarded bool) bool {
 	badBody := func(err error) bool {
 		wc.inflight.Add(1)
 		go func() {
@@ -309,7 +312,7 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 				wc.replyErr(h.ID, http.StatusBadRequest, we)
 				return
 			}
-			out := s.serveBatch(ctx, req.Requests)
+			out := s.serveBatchRouted(ctx, req.Requests, forwarded)
 			wc.replyOK(h.ID, http.StatusOK, func(e *wire.Enc) { wire.PutResponses(e, out) })
 		})
 
@@ -319,6 +322,12 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			return badBody(err)
 		}
 		return serve(func() {
+			// A named create belongs to the name's owner; auto-named
+			// creates are served here (the registry generates self-owned
+			// names).
+			if req.ID != "" && wc.forwardOrServe(ctx, h.ID, req.ID, forwarded, wire.KindCreateSession, req.Encode) {
+				return
+			}
 			sh, err := s.createSession(req.ID, req.ParkUnsafe)
 			if err != nil {
 				wc.replyServiceErr(h.ID, err)
@@ -333,6 +342,9 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			return badBody(err)
 		}
 		return serve(func() {
+			if wc.forwardOrServe(ctx, h.ID, req.Session, forwarded, wire.KindJoin, req.Encode) {
+				return
+			}
 			wc.replyUpdate(ctx, h.ID, req.Session, stream.Event{Kind: stream.JoinEvent, Query: req.Query})
 		})
 
@@ -342,6 +354,9 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			return badBody(err)
 		}
 		return serve(func() {
+			if wc.forwardOrServe(ctx, h.ID, req.Session, forwarded, wire.KindLeave, req.Encode) {
+				return
+			}
 			wc.replyUpdate(ctx, h.ID, req.Session, stream.Event{Kind: stream.LeaveEvent, ID: req.QueryID})
 		})
 
@@ -351,6 +366,9 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			return badBody(err)
 		}
 		return serve(func() {
+			if wc.forwardOrServe(ctx, h.ID, req.Session, forwarded, wire.KindStatus, req.Encode) {
+				return
+			}
 			st, status, we := s.sessionStatus(req.Session, req.Trace)
 			if we != nil {
 				wc.replyErr(h.ID, status, we)
@@ -365,6 +383,9 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			return badBody(err)
 		}
 		return serve(func() {
+			if wc.forwardOrServe(ctx, h.ID, req.Session, forwarded, wire.KindDeleteSession, req.Encode) {
+				return
+			}
 			if err := s.deleteSession(req.Session); err != nil {
 				wc.replyServiceErr(h.ID, err)
 				return
@@ -378,6 +399,13 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			return badBody(err)
 		}
 		return serve(func() {
+			// Push flows only from a session's owner (the owner's session
+			// loop feeds its hub), so a misplaced subscribe answers
+			// route_moved rather than silently never delivering.
+			if _, ok := s.remoteOwner(req.Session); ok {
+				wc.replyServiceErr(h.ID, s.opts.Cluster.RouteMoved("session", req.Session))
+				return
+			}
 			if _, err := s.reg.get(req.Session); err != nil {
 				wc.replyServiceErr(h.ID, err)
 				return
@@ -395,6 +423,34 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 		return serve(func() {
 			wc.replyOK(h.ID, http.StatusOK, func(e *wire.Enc) { wire.PutHealth(e, s.health()) })
 		})
+
+	case wire.KindCluster:
+		if err := d.Finish(); err != nil {
+			return badBody(err)
+		}
+		return serve(func() {
+			wc.replyOK(h.ID, http.StatusOK, func(e *wire.Enc) { wire.PutClusterStatus(e, s.clusterStatus()) })
+		})
+
+	case wire.KindForward:
+		if forwarded {
+			return false // a forward inside a forward breaks terminality
+		}
+		fwd := wire.DecodeForward(d)
+		if err := d.Finish(); err != nil {
+			return badBody(err)
+		}
+		if fwd.Hops != 1 {
+			return false // the terminal-forward invariant is checkable; enforce it
+		}
+		if s.opts.Cluster != nil {
+			s.opts.Cluster.ReceivedForward()
+		}
+		// Re-dispatch the wrapped request under the outer frame's id:
+		// the inner body decodes synchronously here (it aliases the
+		// connection's read buffer), and the reply the inner request
+		// produces IS the forward's reply.
+		return s.dispatch(ctx, wc, wire.Header{Kind: fwd.Kind, ID: h.ID}, wire.NewDec(fwd.Body), true)
 	}
 	return false
 }

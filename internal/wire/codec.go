@@ -64,6 +64,11 @@ func (e *Enc) Bool(v bool) {
 // Byte appends one raw byte.
 func (e *Enc) Byte(v byte) { e.b = append(e.b, v) }
 
+// Raw appends bytes verbatim, no length prefix — for splicing an
+// already-encoded payload (forward bodies, relayed replies) into a
+// frame.
+func (e *Enc) Raw(b []byte) { e.b = append(e.b, b...) }
+
 // String appends a length-prefixed string.
 func (e *Enc) String(s string) {
 	e.Uvarint(uint64(len(s)))

@@ -356,6 +356,7 @@ func PutError(e *Enc, we *api.Error) {
 	e.Bool(true)
 	e.String(we.Code)
 	e.String(we.Message)
+	e.String(we.Owner)
 }
 
 // GetError reads a wire error (nil when absent).
@@ -363,7 +364,7 @@ func GetError(d *Dec) *api.Error {
 	if !d.Bool() {
 		return nil
 	}
-	we := &api.Error{Code: d.String(), Message: d.String()}
+	we := &api.Error{Code: d.String(), Message: d.String(), Owner: d.String()}
 	if d.err != nil {
 		return nil
 	}
@@ -453,17 +454,91 @@ func PutHealth(e *Enc, h api.Health) {
 	e.Float(h.UptimeS)
 	e.Bool(h.Degraded)
 	e.String(h.DegradedCause)
+	if h.Cluster == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.String(h.Cluster.Self)
+	e.Int(h.Cluster.Nodes)
+	down := omitEmpty(h.Cluster.PeersDown)
+	n := putSlice(e, down)
+	for i := 0; i < n; i++ {
+		e.String(down[i])
+	}
 }
 
 // GetHealth reads a health report.
 func GetHealth(d *Dec) api.Health {
-	return api.Health{
+	h := api.Health{
 		Status:        d.String(),
 		Sessions:      d.Int(),
 		UptimeS:       d.Float(),
 		Degraded:      d.Bool(),
 		DegradedCause: d.String(),
 	}
+	if !d.Bool() {
+		return h
+	}
+	ch := &api.ClusterHealth{Self: d.String(), Nodes: d.Int()}
+	if n := getSlice(d, 1); n > 0 {
+		ch.PeersDown = make([]string, n)
+		for i := range ch.PeersDown {
+			ch.PeersDown[i] = d.String()
+		}
+	}
+	h.Cluster = ch
+	return h
+}
+
+// PutClusterStatus appends a cluster-status report.
+func PutClusterStatus(e *Enc, cs api.ClusterStatus) {
+	e.Bool(cs.Enabled)
+	e.String(cs.Self)
+	e.Int(cs.VirtualNodes)
+	e.String(cs.Version)
+	nodes := omitEmpty(cs.Nodes)
+	n := putSlice(e, nodes)
+	for i := 0; i < n; i++ {
+		e.String(nodes[i].Name)
+		e.String(nodes[i].Addr)
+		e.Bool(nodes[i].Self)
+		e.Bool(nodes[i].Connected)
+	}
+	rels := omitEmpty(cs.Relations)
+	n = putSlice(e, rels)
+	for i := 0; i < n; i++ {
+		e.String(rels[i].Relation)
+		e.Int(rels[i].Column)
+	}
+}
+
+// GetClusterStatus reads a cluster-status report.
+func GetClusterStatus(d *Dec) api.ClusterStatus {
+	cs := api.ClusterStatus{
+		Enabled:      d.Bool(),
+		Self:         d.String(),
+		VirtualNodes: d.Int(),
+		Version:      d.String(),
+	}
+	if n := getSlice(d, 4); n > 0 {
+		cs.Nodes = make([]api.ClusterNode, n)
+		for i := range cs.Nodes {
+			cs.Nodes[i] = api.ClusterNode{
+				Name:      d.String(),
+				Addr:      d.String(),
+				Self:      d.Bool(),
+				Connected: d.Bool(),
+			}
+		}
+	}
+	if n := getSlice(d, 2); n > 0 {
+		cs.Relations = make([]api.RelationPlacement, n)
+		for i := range cs.Relations {
+			cs.Relations[i] = api.RelationPlacement{Relation: d.String(), Column: d.Int()}
+		}
+	}
+	return cs
 }
 
 // PutResponses appends a coordinate batch's responses.

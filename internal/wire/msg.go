@@ -32,6 +32,15 @@ const (
 	KindSubscribe Kind = 7
 	// KindHealth is GET /healthz.
 	KindHealth Kind = 8
+	// KindForward wraps another request for node-to-node forwarding
+	// inside a cluster: origin metadata, then the inner kind and its
+	// body verbatim. Forwarded frames are terminal — a receiver that
+	// does not own the target answers route_moved instead of forwarding
+	// again, so a request crosses at most one node boundary.
+	KindForward Kind = 9
+	// KindCluster is GET /v1/cluster: the node's membership view, ring
+	// parameters and relation placements.
+	KindCluster Kind = 10
 
 	// KindReply answers the request with the same id.
 	KindReply Kind = 0x80
@@ -58,6 +67,10 @@ func (k Kind) String() string {
 		return "subscribe"
 	case KindHealth:
 		return "health"
+	case KindForward:
+		return "forward"
+	case KindCluster:
+		return "cluster"
 	case KindReply:
 		return "reply"
 	case KindPush:
@@ -179,6 +192,44 @@ func (m SessionReq) Encode(e *Enc) { e.String(m.Session) }
 // DecodeSessionReq reads a session-name-only body.
 func DecodeSessionReq(d *Dec) SessionReq { return SessionReq{Session: d.String()} }
 
+// Forward is the body of a KindForward request: the origin node's name
+// (diagnostics and metrics), a hop count (always 1 on the wire today —
+// forwards are terminal — carried explicitly so the invariant is
+// checkable), and the wrapped request verbatim. The reply to a forward
+// is the reply the inner request would have received, so the origin
+// relays the reply body byte-for-byte.
+type Forward struct {
+	Origin string
+	Hops   int
+	Kind   Kind
+	Body   []byte
+}
+
+// Encode appends the forward envelope.
+func (m Forward) Encode(e *Enc) {
+	e.String(m.Origin)
+	e.Int(m.Hops)
+	e.Byte(byte(m.Kind))
+	e.Uvarint(uint64(len(m.Body)))
+	e.Raw(m.Body)
+}
+
+// DecodeForward reads a forward envelope.
+func DecodeForward(d *Dec) Forward {
+	f := Forward{Origin: d.String(), Hops: d.Int(), Kind: Kind(d.Byte())}
+	n := d.Uvarint()
+	if d.err != nil {
+		return f
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail(fmt.Sprintf("forward body length %d exceeds remaining %d bytes", n, d.Remaining()))
+		return f
+	}
+	f.Body = d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return f
+}
+
 // --- replies (server to client) ---
 
 // ReplyError is a service-level failure carried in a reply frame: the
@@ -189,6 +240,8 @@ type ReplyError struct {
 	Status  int
 	Code    string
 	Message string
+	// Owner mirrors api.Error.Owner: the owning node on route_moved.
+	Owner string
 }
 
 // Error implements the error interface.
@@ -202,6 +255,7 @@ func PutReplyErr(e *Enc, status int, we *api.Error) {
 	e.Int(status)
 	e.String(we.Code)
 	e.String(we.Message)
+	e.String(we.Owner)
 }
 
 // PutReplyOK appends the success prefix of a reply body; the
@@ -223,7 +277,7 @@ func GetReply(d *Dec) (status int, err error) {
 	if ok {
 		return status, nil
 	}
-	re := &ReplyError{Status: status, Code: d.String(), Message: d.String()}
+	re := &ReplyError{Status: status, Code: d.String(), Message: d.String(), Owner: d.String()}
 	if d.err != nil {
 		return 0, d.err
 	}

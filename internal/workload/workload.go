@@ -61,6 +61,12 @@ func NewStore(shards, rows int, latency time.Duration) db.Store {
 	return inst
 }
 
+// Placement is the cluster work-placement contract for the canonical
+// workload: T partitioned on its val column — the column
+// UserTableSharded hashes and every generated body pins — so a
+// coordserve cluster routes each single-value request to one owner.
+func Placement() map[string]int { return map[string]int{"T": 1} }
+
 // user returns the constant naming query i's user.
 func user(i int) eq.Value { return eq.Value("U" + strconv.Itoa(i)) }
 

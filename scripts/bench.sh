@@ -3,7 +3,7 @@
 # machine-readable trajectory point.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR7.json
+#   scripts/bench.sh                 # writes BENCH_PR9.json
 #   OUT=out.json scripts/bench.sh    # custom output path
 #   BASELINE=old.json scripts/bench.sh
 #                                    # embed an earlier run for before/after
@@ -13,12 +13,14 @@
 # `go test -bench` text (benchstat-compatible: save two runs' "raw"
 # fields to files and feed them to benchstat for significance testing).
 # BenchmarkStream* rows carry dbq/op — database queries per arrival —
-# in their extra metrics; the raw text preserves them.
+# and BenchmarkCluster* rows carry xnode/arrival and xnode/batch —
+# cross-node messages per session arrival / per scattered batch — in
+# their extra metrics; the raw text preserves them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_PR7.json}"
-PATTERN="${PATTERN:-BenchmarkFigure4List|BenchmarkAblationIndexes|BenchmarkParallelCoordinateMany|BenchmarkSolveCompiled|BenchmarkStream|BenchmarkServer|BenchmarkWAL|BenchmarkWire}"
+OUT="${OUT:-BENCH_PR9.json}"
+PATTERN="${PATTERN:-BenchmarkFigure4List|BenchmarkAblationIndexes|BenchmarkParallelCoordinateMany|BenchmarkSolveCompiled|BenchmarkStream|BenchmarkServer|BenchmarkWAL|BenchmarkWire|BenchmarkCluster}"
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
 BASELINE="${BASELINE:-}"
