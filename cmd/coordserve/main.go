@@ -103,6 +103,7 @@ func main() {
 	clusterNode := flag.String("cluster-node", "", "serve mode: this node's name in the cluster membership (requires -cluster-peers)")
 	clusterPeers := flag.String("cluster-peers", "", "serve mode: full cluster membership as name=host:port binary-protocol entries, comma-separated; empty = standalone")
 	clusterVNodes := flag.Int("cluster-vnodes", 0, "serve mode: virtual ring points per member (0 = 64); must match on every node")
+	tenants := flag.String("tenants", "", "serve mode: per-tenant admission policy JSON file; empty = no admission control")
 	flag.Parse()
 	if *requests <= 0 || *queries < 2 || *batch <= 0 || *workers <= 0 || *shards <= 0 {
 		fmt.Fprintln(os.Stderr, "coordserve: -requests, -batch, -workers and -shards must be positive and -queries >= 2")
@@ -111,8 +112,13 @@ func main() {
 
 	if *listen != "" {
 		cc := clusterConfig{node: *clusterNode, peers: *clusterPeers, vnodes: *clusterVNodes}
+		adm, err := admissionController(*tenants)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
+			os.Exit(2)
+		}
 		if *dataDir != "" {
-			if err := serveDurable(*listen, *listenBinary, *dataDir, *fsync, *shards, *rows, *workers, *probe, *dispatchTimeout, cc); err != nil {
+			if err := serveDurable(*listen, *listenBinary, *dataDir, *fsync, *shards, *rows, *workers, *probe, *dispatchTimeout, cc, adm); err != nil {
 				fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
 				os.Exit(1)
 			}
@@ -120,7 +126,7 @@ func main() {
 		}
 		store := workload.NewStore(*shards, *rows, *latency)
 		fmt.Printf("serving a %d-row table across %d shard(s), %d workers\n", *rows, *shards, *workers)
-		if err := runServe(*listen, *listenBinary, store, *workers, nil, *probe, *dispatchTimeout, cc); err != nil {
+		if err := runServe(*listen, *listenBinary, store, *workers, nil, *probe, *dispatchTimeout, cc, adm); err != nil {
 			fmt.Fprintf(os.Stderr, "coordserve: %v\n", err)
 			os.Exit(1)
 		}

@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"entangled/internal/admission"
 	"entangled/internal/client"
 	"entangled/internal/cluster"
 	"entangled/internal/coord"
@@ -47,6 +48,20 @@ func (c clusterConfig) router(placement map[string]int) (*cluster.Router, error)
 	})
 }
 
+// admissionController loads the -tenants policy file into a
+// controller; an empty path means no admission control (the server
+// runs exactly as it did without the subsystem).
+func admissionController(path string) (*admission.Controller, error) {
+	if path == "" {
+		return nil, nil
+	}
+	cfg, err := admission.LoadConfig(path)
+	if err != nil {
+		return nil, err
+	}
+	return admission.NewController(cfg), nil
+}
+
 // serveDurable is the -data-dir serve path: open (or create) the
 // durable backend, replay its snapshot and WAL into the store, then
 // serve over it so every accepted mutation and admitted session event
@@ -56,7 +71,7 @@ func (c clusterConfig) router(placement map[string]int) (*cluster.Router, error)
 // recovered as-is and -rows is ignored (the data directory owns the
 // data). The backend is closed — final sync included — after the
 // server drains.
-func serveDurable(addr, binaryAddr, dataDir, fsync string, shards, rows, workers int, probe, dispatchTimeout time.Duration, cc clusterConfig) error {
+func serveDurable(addr, binaryAddr, dataDir, fsync string, shards, rows, workers int, probe, dispatchTimeout time.Duration, cc clusterConfig, adm *admission.Controller) error {
 	policy, err := persist.ParseSyncPolicy(fsync)
 	if err != nil {
 		return err
@@ -78,7 +93,7 @@ func serveDurable(addr, binaryAddr, dataDir, fsync string, shards, rows, workers
 	} else {
 		fmt.Printf("recovering %s: %d shard(s), fsync=%s\n", dataDir, backend.Shards(), policy)
 	}
-	return runServe(addr, binaryAddr, backend, workers, backend, probe, dispatchTimeout, cc)
+	return runServe(addr, binaryAddr, backend, workers, backend, probe, dispatchTimeout, cc, adm)
 }
 
 // runServe boots the coordination service on addr over the given store
@@ -90,7 +105,7 @@ func serveDurable(addr, binaryAddr, dataDir, fsync string, shards, rows, workers
 // backend, the drain additionally syncs and closes every open WAL —
 // session journals first (registry close), then the store log — so an
 // interrupted server's data directory is complete on stable storage.
-func runServe(addr, binaryAddr string, store db.Store, workers int, backend *persist.Backend, probe, dispatchTimeout time.Duration, cc clusterConfig) error {
+func runServe(addr, binaryAddr string, store db.Store, workers int, backend *persist.Backend, probe, dispatchTimeout time.Duration, cc clusterConfig, adm *admission.Controller) error {
 	// The placement the cluster partitions work by mirrors the store's
 	// own hash partitioning when it is sharded, and the canonical
 	// workload contract otherwise (every node holds a full replica, so
@@ -112,9 +127,12 @@ func runServe(addr, binaryAddr string, store db.Store, workers int, backend *per
 		}
 	}
 	e := engine.New(store, engine.Options{Workers: workers, Coord: coord.Options{}})
-	srv, err := server.New(e, server.Options{Persist: backend, ProbeInterval: probe, DispatchTimeout: dispatchTimeout, Cluster: cr})
+	srv, err := server.New(e, server.Options{Persist: backend, ProbeInterval: probe, DispatchTimeout: dispatchTimeout, Cluster: cr, Admission: adm})
 	if err != nil {
 		return fmt.Errorf("recovering sessions: %w", err)
+	}
+	if adm != nil {
+		fmt.Printf("admission: per-tenant quotas active (GET /v1/tenants for the ledger)\n")
 	}
 	if cr != nil {
 		st := cr.Status()

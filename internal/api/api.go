@@ -4,12 +4,19 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"entangled/internal/admission"
 	"entangled/internal/coord"
 	"entangled/internal/eq"
 	"entangled/internal/persist"
 	"entangled/internal/stream"
 )
+
+// TenantHeader is the HTTP request header carrying the tenant identity
+// (the binary protocol carries it in a wire.KindTenant envelope).
+// Absent or empty means the default tenant.
+const TenantHeader = "X-Tenant"
 
 // Codes the service layer adds on top of the coord taxonomy
 // (coord.Code*). Like those, they are part of the public wire contract.
@@ -62,6 +69,11 @@ const (
 	// transmitted — the fate is known, exactly like CodeDegraded — so
 	// retrying once the peer returns is always safe.
 	CodePeerUnavailable = "peer_unavailable"
+	// CodeThrottled rejects a request whose tenant is over an admission
+	// budget (rate, in-flight, or rolling DBQueries). Nothing was
+	// applied — the fate is known — and Error.RetryAfterMS hints when
+	// capacity returns, so retrying after the hint is always safe.
+	CodeThrottled = "throttled"
 	// CodeInternal reports an unclassified server-side failure.
 	CodeInternal = "internal"
 )
@@ -86,6 +98,11 @@ type Error struct {
 	// CodeRouteMoved errors so a stale client can re-route without
 	// re-fetching the whole ring.
 	Owner string `json:"owner,omitempty"`
+	// RetryAfterMS is the server's hint, in milliseconds, of when
+	// capacity returns; set only on CodeThrottled errors whose budget
+	// refills on a clock. HTTP responses mirror it (coarsened to
+	// seconds) in the standard Retry-After header.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // Error implements the error interface on the wire shape itself.
@@ -112,6 +129,8 @@ func CodeOf(err error) string {
 		return CodeRouteMoved
 	case errors.Is(err, ErrPeerUnavailable):
 		return CodePeerUnavailable
+	case errors.Is(err, admission.ErrThrottled):
+		return CodeThrottled
 	}
 	return CodeInternal
 }
@@ -138,6 +157,8 @@ func Sentinel(code string) error {
 		return ErrRouteMoved
 	case CodePeerUnavailable:
 		return ErrPeerUnavailable
+	case CodeThrottled:
+		return admission.ErrThrottled
 	}
 	return nil
 }
@@ -146,6 +167,30 @@ func Sentinel(code string) error {
 // request's target (route_moved); WireError copies it into
 // Error.Owner.
 type Owned interface{ OwnerNode() string }
+
+// RetryHinter is implemented by errors that know when capacity returns
+// (admission throttles); WireError copies the hint into
+// Error.RetryAfterMS.
+type RetryHinter interface{ RetryAfterHint() time.Duration }
+
+// RetryHintMS extracts a retry-after hint from an error chain as whole
+// milliseconds, rounding sub-millisecond hints up so a positive hint
+// never truncates to "no hint". Zero means no hint.
+func RetryHintMS(err error) int64 {
+	var h RetryHinter
+	if !errors.As(err, &h) {
+		return 0
+	}
+	d := h.RetryAfterHint()
+	if d <= 0 {
+		return 0
+	}
+	ms := int64((d + time.Millisecond - 1) / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
 
 // WireError renders an error for transport. Nil maps to nil.
 func WireError(err error) *Error {
@@ -157,6 +202,7 @@ func WireError(err error) *Error {
 	if errors.As(err, &o) {
 		e.Owner = o.OwnerNode()
 	}
+	e.RetryAfterMS = RetryHintMS(err)
 	return e
 }
 
@@ -167,16 +213,17 @@ func (e *Error) Err() error {
 	if e == nil {
 		return nil
 	}
-	return &codedError{msg: e.Message, code: e.Code, owner: e.Owner, sentinel: Sentinel(e.Code)}
+	return &codedError{msg: e.Message, code: e.Code, owner: e.Owner, retryAfterMS: e.RetryAfterMS, sentinel: Sentinel(e.Code)}
 }
 
 // codedError is a decoded wire error: the remote message, its stable
 // code, and the sentinel the code names (when any) for errors.Is.
 type codedError struct {
-	msg      string
-	code     string
-	owner    string
-	sentinel error
+	msg          string
+	code         string
+	owner        string
+	retryAfterMS int64
+	sentinel     error
 }
 
 func (e *codedError) Error() string {
@@ -191,6 +238,12 @@ func (e *codedError) Unwrap() error { return e.sentinel }
 // OwnerNode implements Owned so relayed route_moved errors keep their
 // owner across hops.
 func (e *codedError) OwnerNode() string { return e.owner }
+
+// RetryAfterHint implements RetryHinter so relayed throttled errors
+// keep their hint across hops.
+func (e *codedError) RetryAfterHint() time.Duration {
+	return time.Duration(e.retryAfterMS) * time.Millisecond
+}
 
 // Request is one coordination request inside a batch call.
 type Request struct {
@@ -428,6 +481,65 @@ type Metrics struct {
 	PlanCache  *PlanCacheMetrics `json:"plan_cache,omitempty"`
 	Persist    *PersistMetrics   `json:"persist,omitempty"`
 	Cluster    *ClusterMetrics   `json:"cluster,omitempty"`
+	Admission  *AdmissionMetrics `json:"admission,omitempty"`
+}
+
+// TenantCounters is one tenant's admission and scheduling counters
+// inside /metrics.
+type TenantCounters struct {
+	Tenant   string `json:"tenant"`
+	Admitted int64  `json:"admitted"`
+	// Throttled is total rejections; the Throttled* fields break it
+	// down by budget dimension.
+	Throttled         int64 `json:"throttled"`
+	ThrottledRate     int64 `json:"throttled_rate,omitempty"`
+	ThrottledInFlight int64 `json:"throttled_in_flight,omitempty"`
+	ThrottledBudget   int64 `json:"throttled_budget,omitempty"`
+	InFlight          int   `json:"in_flight"`
+	// QueueDepth is the tenant's current backlog in the fair batcher.
+	QueueDepth int `json:"queue_depth"`
+	// DBQueriesSpent is the tenant's lifetime exact database-query
+	// spend (Result.DBQueries metering).
+	DBQueriesSpent int64 `json:"db_queries_spent"`
+	// Dispatched counts this tenant's requests dispatched by the fair
+	// batcher; ShareCounts[i] counts the dispatches in which the
+	// tenant's share of the batch fell in the i-th decile ((0–10%],
+	// (10–20%], …), the fairness histogram.
+	Dispatched  int64   `json:"dispatched,omitempty"`
+	ShareCounts []int64 `json:"share_counts,omitempty"`
+}
+
+// AdmissionMetrics is the per-tenant admission block of /metrics,
+// present only when the server runs with an admission policy.
+type AdmissionMetrics struct {
+	Admitted  int64            `json:"admitted"`
+	Throttled int64            `json:"throttled"`
+	Tenants   []TenantCounters `json:"tenants,omitempty"`
+}
+
+// TenantStatus is one tenant's entry in GET /v1/tenants: its effective
+// policy plus live accounting.
+type TenantStatus struct {
+	Tenant string           `json:"tenant"`
+	Policy admission.Policy `json:"policy"`
+	// InFlight is currently admitted, not yet finished work;
+	// QueueDepth is the tenant's backlog in the fair batcher.
+	InFlight   int   `json:"in_flight"`
+	QueueDepth int   `json:"queue_depth"`
+	Admitted   int64 `json:"admitted"`
+	Throttled  int64 `json:"throttled"`
+	// DBQueriesSpent is lifetime exact spend; DBBalance is the rolling
+	// budget balance as of the last accounting touch (negative while a
+	// post-paid overdraft refills).
+	DBQueriesSpent int64   `json:"db_queries_spent"`
+	DBBalance      float64 `json:"db_balance,omitempty"`
+}
+
+// TenantsStatus is the body of GET /v1/tenants. Enabled is false (and
+// Tenants empty) when the server runs without an admission policy.
+type TenantsStatus struct {
+	Enabled bool           `json:"enabled"`
+	Tenants []TenantStatus `json:"tenants,omitempty"`
 }
 
 // ClusterNode is one ring member as /v1/cluster reports it.

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"entangled/internal/admission"
 	"entangled/internal/coord"
 	"entangled/internal/eq"
 	"entangled/internal/stream"
@@ -81,6 +82,8 @@ func newOf(v any) any {
 		return &ClusterStatus{}
 	case Health:
 		return &Health{}
+	case TenantsStatus:
+		return &TenantsStatus{}
 	default:
 		panic("add the type to newOf")
 	}
@@ -179,6 +182,16 @@ func TestGoldenMetrics(t *testing.T) {
 				{Name: "n3", Connected: false, Forwards: 10, Failures: 1},
 			},
 		},
+		Admission: &AdmissionMetrics{
+			Admitted: 120, Throttled: 8,
+			Tenants: []TenantCounters{
+				{Tenant: "default", Admitted: 40, InFlight: 1, DBQueriesSpent: 200, Dispatched: 40,
+					ShareCounts: []int64{0, 2, 6, 10, 8, 6, 4, 2, 1, 1}},
+				{Tenant: "hot", Admitted: 80, Throttled: 8, ThrottledRate: 6, ThrottledBudget: 2,
+					InFlight: 2, QueueDepth: 3, DBQueriesSpent: 512, Dispatched: 80,
+					ShareCounts: []int64{0, 0, 0, 0, 0, 10, 20, 30, 15, 5}},
+			},
+		},
 	})
 }
 
@@ -233,6 +246,44 @@ func TestGoldenRecoveryStatus(t *testing.T) {
 	})
 }
 
+func TestGoldenThrottledEnvelope(t *testing.T) {
+	golden(t, "error_throttled", ErrorEnvelope{
+		Error: &Error{
+			Code:         CodeThrottled,
+			Message:      `admission: tenant "hot" throttled (rate)`,
+			RetryAfterMS: 100,
+		},
+	})
+}
+
+func TestGoldenTenantsStatus(t *testing.T) {
+	golden(t, "tenants_status", TenantsStatus{
+		Enabled: true,
+		Tenants: []TenantStatus{
+			{
+				Tenant:         "default",
+				Policy:         admission.Policy{Weight: 1},
+				InFlight:       1,
+				Admitted:       40,
+				DBQueriesSpent: 200,
+			},
+			{
+				Tenant: "hot",
+				Policy: admission.Policy{
+					Rate: 50, Burst: 50, MaxInFlight: 8,
+					DBQueriesPerSec: 200, DBQueriesBurst: 200, Weight: 1,
+				},
+				InFlight:       2,
+				QueueDepth:     3,
+				Admitted:       80,
+				Throttled:      8,
+				DBQueriesSpent: 512,
+				DBBalance:      -44.5,
+			},
+		},
+	})
+}
+
 // TestErrorRoundTrip checks the typed-error contract: the sentinel
 // survives WireError -> Err across every coded error, and unknown
 // codes degrade to plain messages.
@@ -247,6 +298,7 @@ func TestErrorRoundTrip(t *testing.T) {
 		stream.ErrUnknownID,
 		ErrRouteMoved,
 		ErrPeerUnavailable,
+		admission.ErrThrottled,
 	} {
 		we := WireError(err)
 		if we == nil || we.Code == CodeInternal {

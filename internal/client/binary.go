@@ -25,6 +25,9 @@ var errClientClosed = errors.New("client: closed")
 // the reconnected client.
 type binaryTransport struct {
 	addr string
+	// tenant, when non-empty, wraps every call in a wire.KindTenant
+	// envelope (the binary analogue of the HTTP X-Tenant header).
+	tenant string
 
 	mu      sync.Mutex
 	conn    *wire.ClientConn
@@ -39,8 +42,8 @@ type subscription struct {
 	fn      func(Notification)
 }
 
-func newBinaryTransport(addr string) *binaryTransport {
-	return &binaryTransport{addr: addr, subs: map[int]*subscription{}}
+func newBinaryTransport(addr, tenant string) *binaryTransport {
+	return &binaryTransport{addr: addr, tenant: tenant, subs: map[int]*subscription{}}
 }
 
 // live returns the current connection, dialing a fresh one (and
@@ -136,11 +139,23 @@ func (t *binaryTransport) call(ctx context.Context, kind wire.Kind, enc func(*wi
 	if err != nil {
 		return err
 	}
+	if t.tenant != "" {
+		inner, innerKind := enc, kind
+		kind = wire.KindTenant
+		enc = func(e *wire.Enc) {
+			e.String(t.tenant)
+			e.Byte(byte(innerKind))
+			if inner != nil {
+				inner(e)
+			}
+		}
+	}
 	status, body, err := cc.Call(ctx, kind, enc)
 	if err != nil {
 		var re *wire.ReplyError
 		if errors.As(err, &re) {
-			return &Error{Status: re.Status, Code: re.Code, Message: re.Message, Owner: re.Owner}
+			return &Error{Status: re.Status, Code: re.Code, Message: re.Message, Owner: re.Owner,
+				RetryAfter: time.Duration(re.RetryAfterMS) * time.Millisecond}
 		}
 		return fmt.Errorf("client: %v call: %w", kind, err)
 	}
@@ -219,6 +234,10 @@ func (t *binaryTransport) recovery(context.Context) (*api.RecoveryStatus, error)
 
 func (t *binaryTransport) metrics(context.Context) (*api.Metrics, error) {
 	return nil, fmt.Errorf("client: the metrics endpoint is served over HTTP only")
+}
+
+func (t *binaryTransport) tenants(context.Context) (*api.TenantsStatus, error) {
+	return nil, fmt.Errorf("client: the tenants endpoint is served over HTTP only")
 }
 
 func (t *binaryTransport) subscribe(ctx context.Context, session string, fn func(Notification)) (func(), error) {

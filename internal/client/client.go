@@ -24,6 +24,7 @@ import (
 	"net/url"
 	"strings"
 	"syscall"
+	"time"
 
 	"entangled/internal/api"
 	"entangled/internal/coord"
@@ -43,6 +44,11 @@ type Error struct {
 	// Owner names the node owning the request's target on route_moved
 	// errors; the cluster transport re-routes with it.
 	Owner string
+	// RetryAfter is the server's capacity hint on throttled errors
+	// (from the wire field, or the HTTP Retry-After header); Retry
+	// sleeps this long instead of its computed backoff. Zero means no
+	// hint.
+	RetryAfter time.Duration
 }
 
 func (e *Error) Error() string {
@@ -76,6 +82,7 @@ type transport interface {
 	health(ctx context.Context) (*api.Health, error)
 	recovery(ctx context.Context) (*api.RecoveryStatus, error)
 	metrics(ctx context.Context) (*api.Metrics, error)
+	tenants(ctx context.Context) (*api.TenantsStatus, error)
 	subscribe(ctx context.Context, session string, fn func(Notification)) (func(), error)
 	close() error
 }
@@ -85,6 +92,11 @@ type Options struct {
 	// HTTPClient overrides the HTTP transport's client; nil means
 	// http.DefaultClient. Ignored by the binary transport.
 	HTTPClient *http.Client
+	// Tenant is the admission identity sent with every request: the
+	// X-Tenant header over HTTP, a wire.KindTenant envelope over the
+	// binary protocol (and each of the cluster transport's pooled
+	// connections). Empty means the server's default tenant.
+	Tenant string
 }
 
 // Client is a typed Go client for the coordination service
@@ -111,11 +123,11 @@ func New(baseURL string, opts Options) (*Client, error) {
 		if hc == nil {
 			hc = http.DefaultClient
 		}
-		return &Client{t: &httpTransport{base: strings.TrimRight(u.String(), "/"), hc: hc}}, nil
+		return &Client{t: &httpTransport{base: strings.TrimRight(u.String(), "/"), hc: hc, tenant: opts.Tenant}}, nil
 	case "tcp", "binary":
-		return &Client{t: newBinaryTransport(u.Host)}, nil
+		return &Client{t: newBinaryTransport(u.Host, opts.Tenant)}, nil
 	case "cluster":
-		return &Client{t: newClusterTransport(u.Host)}, nil
+		return &Client{t: newClusterTransport(u.Host, opts.Tenant)}, nil
 	}
 	return nil, fmt.Errorf("client: unsupported scheme %q (want http, https, tcp, binary, or cluster)", u.Scheme)
 }
@@ -161,7 +173,7 @@ func inlineErr(e *api.Error) error {
 	if e == nil {
 		return nil
 	}
-	return &Error{Code: e.Code, Message: e.Message, Owner: e.Owner}
+	return &Error{Code: e.Code, Message: e.Message, Owner: e.Owner, RetryAfter: time.Duration(e.RetryAfterMS) * time.Millisecond}
 }
 
 // Coordinate serves one coordination request: the remote analogue of
@@ -257,8 +269,16 @@ func (c *Client) Metrics(ctx context.Context) (*api.Metrics, error) {
 	return c.t.metrics(ctx)
 }
 
+// Tenants reads /v1/tenants: every tenant's effective admission policy
+// and live accounting (enabled=false when the server runs without
+// admission). HTTP only.
+func (c *Client) Tenants(ctx context.Context) (*api.TenantsStatus, error) {
+	return c.t.tenants(ctx)
+}
+
 // IsRetryable reports whether an error may succeed on retry: a
-// backpressure rejection (queue or mailbox full, after a backoff), a
+// backpressure rejection (queue or mailbox full, after a backoff), an
+// admission throttle (throttled — retry after Error.RetryAfter), a
 // degraded-mode rejection (the server recovers once a probe write
 // succeeds), a server-side timeout, an indeterminate ack, a cluster
 // routing miss (route_moved — retry against Error.Owner after
@@ -273,7 +293,7 @@ func IsRetryable(err error) bool {
 	var e *Error
 	if errors.As(err, &e) {
 		switch e.Code {
-		case api.CodeOverloaded, api.CodeMailboxFull,
+		case api.CodeOverloaded, api.CodeMailboxFull, api.CodeThrottled,
 			api.CodeDegraded, api.CodeTimeout, api.CodeAckIndeterminate,
 			api.CodeRouteMoved, api.CodePeerUnavailable:
 			return true

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"entangled/internal/api"
 	"entangled/internal/cluster"
@@ -27,6 +28,9 @@ import (
 // degrades to forwarding, never to failure.
 type clusterTransport struct {
 	seed string
+	// tenant propagates to every pooled per-node transport, so each
+	// edge node sees the same identity.
+	tenant string
 
 	mu        sync.Mutex
 	ring      *cluster.Ring
@@ -36,8 +40,8 @@ type clusterTransport struct {
 	closed    bool
 }
 
-func newClusterTransport(seed string) *clusterTransport {
-	return &clusterTransport{seed: seed, conns: map[string]*binaryTransport{}}
+func newClusterTransport(seed, tenant string) *clusterTransport {
+	return &clusterTransport{seed: seed, tenant: tenant, conns: map[string]*binaryTransport{}}
 }
 
 // connFor returns (creating if needed) the pooled transport for one
@@ -50,7 +54,7 @@ func (t *clusterTransport) connFor(addr string) (*binaryTransport, error) {
 	}
 	bt := t.conns[addr]
 	if bt == nil {
-		bt = newBinaryTransport(addr)
+		bt = newBinaryTransport(addr, t.tenant)
 		t.conns[addr] = bt
 	}
 	return bt, nil
@@ -207,7 +211,8 @@ func (t *clusterTransport) coordinate(ctx context.Context, reqs []api.Request) (
 					Message: fmt.Sprintf("cluster: node %s (%s) unreachable: %v", node, addrs[node], err)}
 				var e *Error
 				if errors.As(err, &e) {
-					we = &api.Error{Code: e.Code, Message: e.Message, Owner: e.Owner}
+					we = &api.Error{Code: e.Code, Message: e.Message, Owner: e.Owner,
+						RetryAfterMS: int64(e.RetryAfter / time.Millisecond)}
 				}
 				for _, i := range idxs {
 					out[i] = api.Response{ID: reqs[i].ID, Error: we}
@@ -331,6 +336,10 @@ func (t *clusterTransport) recovery(context.Context) (*api.RecoveryStatus, error
 
 func (t *clusterTransport) metrics(context.Context) (*api.Metrics, error) {
 	return nil, fmt.Errorf("client: the metrics endpoint is served over HTTP only")
+}
+
+func (t *clusterTransport) tenants(context.Context) (*api.TenantsStatus, error) {
+	return nil, fmt.Errorf("client: the tenants endpoint is served over HTTP only")
 }
 
 func (t *clusterTransport) subscribe(ctx context.Context, session string, fn func(Notification)) (func(), error) {

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"time"
 
 	"entangled/internal/api"
 	"entangled/internal/eq"
@@ -15,8 +17,9 @@ import (
 
 // httpTransport speaks the HTTP/JSON protocol.
 type httpTransport struct {
-	base string
-	hc   *http.Client
+	base   string
+	hc     *http.Client
+	tenant string
 }
 
 // do runs one round trip: encode in (when non-nil), decode a 2xx body
@@ -38,6 +41,9 @@ func (t *httpTransport) do(ctx context.Context, method, path string, in, out any
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if t.tenant != "" {
+		req.Header.Set(api.TenantHeader, t.tenant)
+	}
 	resp, err := t.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
@@ -49,7 +55,17 @@ func (t *httpTransport) do(ctx context.Context, method, path string, in, out any
 			return &Error{Status: resp.StatusCode, Code: api.CodeInternal,
 				Message: fmt.Sprintf("%s %s: HTTP %d with unreadable error body", method, path, resp.StatusCode)}
 		}
-		return &Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message, Owner: env.Error.Owner}
+		retryAfter := time.Duration(env.Error.RetryAfterMS) * time.Millisecond
+		if retryAfter == 0 {
+			// Fall back to the standard header (whole seconds), which
+			// the server also sets — a proxy may have stripped or
+			// rewritten the body.
+			if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+				retryAfter = time.Duration(s) * time.Second
+			}
+		}
+		return &Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message,
+			Owner: env.Error.Owner, RetryAfter: retryAfter}
 	}
 	if out == nil {
 		return nil
@@ -130,6 +146,14 @@ func (t *httpTransport) metrics(ctx context.Context) (*api.Metrics, error) {
 		return nil, err
 	}
 	return &m, nil
+}
+
+func (t *httpTransport) tenants(ctx context.Context) (*api.TenantsStatus, error) {
+	var ts api.TenantsStatus
+	if err := t.do(ctx, http.MethodGet, "/v1/tenants", nil, &ts); err != nil {
+		return nil, err
+	}
+	return &ts, nil
 }
 
 func (t *httpTransport) subscribe(context.Context, string, func(Notification)) (func(), error) {

@@ -23,7 +23,9 @@ type PeerConn struct {
 // (and is retried by the keeper), so DialPeer never fails — a peer
 // that is down at boot connects when it comes up.
 func DialPeer(addr string) *PeerConn {
-	t := newBinaryTransport(addr)
+	// Peers forward pre-admitted work; the connection carries no tenant
+	// envelope of its own.
+	t := newBinaryTransport(addr, "")
 	t.mu.Lock()
 	t.keeper = true
 	t.mu.Unlock()

@@ -13,7 +13,8 @@ import (
 // state behind on the server, so even a non-idempotent operation (a
 // session join or leave) can be retried without risking a duplicate.
 // True only for typed rejections issued before any work happened:
-// backpressure (queue or mailbox full), a draining server, degraded
+// backpressure (queue or mailbox full), an admission throttle, a
+// draining server, degraded
 // mode, and the cluster routing rejections — route_moved (the node
 // refused because it does not own the target) and peer_unavailable
 // (the forward was never transmitted; the degraded taxonomy's
@@ -30,7 +31,7 @@ func FateKnown(err error) bool {
 	}
 	switch e.Code {
 	case api.CodeOverloaded, api.CodeMailboxFull, api.CodeDraining, api.CodeDegraded,
-		api.CodeRouteMoved, api.CodePeerUnavailable:
+		api.CodeRouteMoved, api.CodePeerUnavailable, api.CodeThrottled:
 		return true
 	}
 	return false
@@ -110,6 +111,15 @@ func (r Retry) run(ctx context.Context, fn func(context.Context) error, retryabl
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			d := backoff(base, cap, attempt-1, rng)
+			// A server retry-after hint overrides the blind exponential
+			// schedule: the server knows when capacity returns (a token
+			// bucket refilling), so sleeping less just burns an attempt
+			// and sleeping much more wastes latency. Jittered upward by
+			// up to 50% so synchronized throttled clients don't stampede
+			// the instant the bucket refills; the budget still applies.
+			if h := retryAfterOf(err); h > 0 {
+				d = jitterUp(h, rng)
+			}
 			if r.Budget > 0 && slept+d > r.Budget {
 				return err
 			}
@@ -144,6 +154,29 @@ func backoff(base, cap time.Duration, n int, rng *rand.Rand) time.Duration {
 		return time.Duration(half + rng.Int63n(half))
 	}
 	return time.Duration(half + rand.Int63n(half))
+}
+
+// retryAfterOf extracts the server's capacity hint from a typed error,
+// zero when absent.
+func retryAfterOf(err error) time.Duration {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.RetryAfter
+	}
+	return 0
+}
+
+// jitterUp draws uniformly from [d, 3d/2): never earlier than the
+// server's hint, spread enough to break client synchronization.
+func jitterUp(d time.Duration, rng *rand.Rand) time.Duration {
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	if rng != nil {
+		return d + time.Duration(rng.Int63n(half))
+	}
+	return d + time.Duration(rand.Int63n(half))
 }
 
 // pause sleeps d, abandoning the wait when ctx ends; reports whether

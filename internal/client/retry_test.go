@@ -14,7 +14,7 @@ func typedErr(code string) error { return &Error{Status: 503, Code: code, Messag
 
 func TestIsRetryableCodes(t *testing.T) {
 	for _, code := range []string{
-		api.CodeOverloaded, api.CodeMailboxFull,
+		api.CodeOverloaded, api.CodeMailboxFull, api.CodeThrottled,
 		api.CodeDegraded, api.CodeTimeout, api.CodeAckIndeterminate,
 	} {
 		if !IsRetryable(typedErr(code)) {
@@ -37,6 +37,7 @@ func TestIsRetryableCodes(t *testing.T) {
 func TestFateKnown(t *testing.T) {
 	for _, code := range []string{
 		api.CodeOverloaded, api.CodeMailboxFull, api.CodeDraining, api.CodeDegraded,
+		api.CodeThrottled,
 	} {
 		if !FateKnown(typedErr(code)) {
 			t.Errorf("FateKnown(%s) = false, want true", code)
@@ -182,6 +183,54 @@ func TestRetryCtxCancelStops(t *testing.T) {
 	}
 	if err == nil {
 		t.Fatal("want an error after cancel")
+	}
+}
+
+// TestRetryHonorsRetryAfterHint: a throttled error carrying the
+// server's capacity hint overrides the exponential schedule — every
+// pause lands in the jittered [hint, 1.5·hint) window instead of the
+// 10ms-base doubling, and DoFateKnown retries it (throttles are
+// fate-known rejections).
+func TestRetryHonorsRetryAfterHint(t *testing.T) {
+	const hint = 200 * time.Millisecond
+	var pauses []time.Duration
+	r := Retry{Attempts: 4, Seed: 9, sleep: fakeSleep(&pauses)}
+	calls := 0
+	err := r.DoFateKnown(context.Background(), func(context.Context) error {
+		calls++
+		return &Error{Status: 429, Code: api.CodeThrottled, Message: "over budget", RetryAfter: hint}
+	})
+	if calls != 4 || len(pauses) != 3 {
+		t.Fatalf("calls = %d pauses = %v, want 4 calls / 3 pauses", calls, pauses)
+	}
+	if err == nil {
+		t.Fatal("want the throttle error after attempts run out")
+	}
+	for i, d := range pauses {
+		if d < hint || d >= hint+hint/2 {
+			t.Fatalf("pause %d = %v outside the hinted [%v, %v) window", i, d, hint, hint+hint/2)
+		}
+	}
+}
+
+// TestRetryBudgetCapsHintedSleeps: the overall budget still binds when
+// the server's hint sets the pause — a hint larger than the remaining
+// budget stops the loop instead of oversleeping it.
+func TestRetryBudgetCapsHintedSleeps(t *testing.T) {
+	var pauses []time.Duration
+	// Hinted pauses draw from [250ms, 375ms): the first always fits a
+	// 400ms budget, the first plus a second (≥500ms total) never does.
+	r := Retry{Attempts: 10, Budget: 400 * time.Millisecond, Seed: 3, sleep: fakeSleep(&pauses)}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return &Error{Status: 429, Code: api.CodeThrottled, RetryAfter: 250 * time.Millisecond}
+	})
+	if calls != 2 || len(pauses) != 1 {
+		t.Fatalf("calls = %d pauses = %v, want 2 calls / 1 pause", calls, pauses)
+	}
+	if err == nil {
+		t.Fatal("want the throttle error when the budget stops the loop")
 	}
 }
 

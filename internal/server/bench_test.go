@@ -6,9 +6,11 @@ import (
 	"net"
 	"net/http/httptest"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
+	"entangled/internal/admission"
 	"entangled/internal/client"
 	"entangled/internal/engine"
 	"entangled/internal/eq"
@@ -216,6 +218,74 @@ func BenchmarkWireSession(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkAdmissionFairDispatch measures the tenant-aware serving
+// path under contention: a weight-4 and a weight-1 tenant each drive a
+// 32-request batch per iteration through one binary-protocol server
+// with admission enabled, so every request pays for identity
+// propagation, the admission decision, DBQueries settlement, and the
+// deficit-round-robin scheduler. Compare req/s against
+// BenchmarkWireBatch (no admission) for the subsystem's total
+// overhead.
+func BenchmarkAdmissionFairDispatch(b *testing.B) {
+	const rows, reqs, queries = 256, 32, 8
+	store := workload.NewStore(1, rows, 0)
+	e := engine.New(store, engine.Options{})
+	ctl := admission.NewController(admission.Config{Tenants: map[string]admission.Policy{
+		"vip": {Weight: 4},
+		"std": {Weight: 1},
+	}})
+	srv, err := server.New(e, server.Options{Admission: ctl})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.ServeWire(ln)
+	b.Cleanup(func() { srv.Close() })
+	clients := make([]*client.Client, 0, 2)
+	for _, tenant := range []string{"vip", "std"} {
+		c, err := client.New("tcp://"+ln.Addr().String(), client.Options{Tenant: tenant})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		clients = append(clients, c)
+	}
+	batch := batchOf(reqs, queries, rows)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, len(clients))
+		for j, c := range clients {
+			wg.Add(1)
+			go func(j int, c *client.Client) {
+				defer wg.Done()
+				resps, err := c.CoordinateBatch(ctx, batch)
+				if err != nil {
+					errs[j] = err
+					return
+				}
+				for _, r := range resps {
+					if r.Err != nil {
+						errs[j] = r.Err
+						return
+					}
+				}
+			}(j, c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N*reqs*len(clients))/b.Elapsed().Seconds(), "req/s")
 }
 
 // BenchmarkWirePush measures the push path end to end: each iteration

@@ -28,12 +28,53 @@ func (s *Server) remoteOwner(session string) (string, bool) {
 // (or a forwarded sub-batch — forwards are terminal, a receiver never
 // re-scatters) serves everything locally; a cluster node scatter-gathers
 // the batch across owners with its own slice going through serveBatch.
+//
+// Admission gates here, at the edge: the node that received the batch
+// from a client decides each request against the tenant's policy,
+// scatter-gathers only the admitted subset (forwarded sub-batches are
+// pre-admitted and never re-gated), and settles the exact DBQueries
+// charge when the gathered responses come back — so a tenant's spend
+// accrues on the nodes it talks to, not wherever the ring placed its
+// data.
 func (s *Server) serveBatchRouted(ctx context.Context, reqs []api.Request, forwarded bool) []api.Response {
 	c := s.opts.Cluster
-	if c == nil || forwarded {
-		return s.serveBatch(ctx, reqs)
+	serve := func(reqs []api.Request) []api.Response {
+		if c == nil || forwarded {
+			return s.serveBatch(ctx, reqs)
+		}
+		return c.ServeBatch(ctx, reqs, s.serveBatch)
 	}
-	return c.ServeBatch(ctx, reqs, s.serveBatch)
+	if s.adm == nil || forwarded {
+		return serve(reqs)
+	}
+	ten := s.tenantOf(ctx)
+	out := make([]api.Response, len(reqs))
+	admitted := make([]api.Request, 0, len(reqs))
+	idx := make([]int, 0, len(reqs))
+	for i, rq := range reqs {
+		if err := s.adm.Decide(ten); err != nil {
+			// Inline, like the other per-request rejections: one throttled
+			// tenant in a mixed batch must not fail its batchmates.
+			s.met.coordRequests.Add(1)
+			s.met.coordRejected.Add(1)
+			out[i] = api.Response{ID: rq.ID, Error: api.WireError(err)}
+			continue
+		}
+		admitted = append(admitted, rq)
+		idx = append(idx, i)
+	}
+	if len(admitted) > 0 {
+		resps := serve(admitted)
+		for j, i := range idx {
+			out[i] = resps[j]
+			var dbq int64
+			if resps[j].Result != nil {
+				dbq = resps[j].Result.DBQueries
+			}
+			s.adm.Done(ten, dbq)
+		}
+	}
+	return out
 }
 
 // clusterStatus reports the node's membership view; a standalone server
@@ -61,6 +102,8 @@ func serviceError(err error) (int, *api.Error) {
 	if errors.As(err, &o) {
 		we.Owner = o.OwnerNode()
 	}
+	// A throttle's retry-after hint crosses the wire the same way.
+	we.RetryAfterMS = api.RetryHintMS(err)
 	return status, we
 }
 
@@ -76,7 +119,7 @@ func (s *Server) forwardHTTP(w http.ResponseWriter, ctx context.Context, node st
 	if err != nil {
 		var re *wire.ReplyError
 		if errors.As(err, &re) {
-			writeError(w, re.Status, &api.Error{Code: re.Code, Message: re.Message, Owner: re.Owner})
+			writeError(w, re.Status, &api.Error{Code: re.Code, Message: re.Message, Owner: re.Owner, RetryAfterMS: re.RetryAfterMS})
 			return
 		}
 		st, we := serviceError(err)
@@ -98,31 +141,52 @@ func (s *Server) forwardHTTP(w http.ResponseWriter, ctx context.Context, node st
 }
 
 // forwardOrServe routes one session-scoped binary request. Owned here
-// (or standalone) it returns false: the caller serves locally. Owned
-// elsewhere, the request forwards to its owner and the reply body
-// relays byte-for-byte — unless the request was itself a forward
-// (terminal) or a subscribe (push flows only from the owner), which
-// answer the typed route_moved error instead. A true return means the
-// reply was sent.
-func (wc *wireConn) forwardOrServe(ctx context.Context, id uint64, session string, terminal bool, kind wire.Kind, enc func(*wire.Enc)) bool {
+// (or standalone) it returns false: the caller serves locally (and
+// still owns done). Owned elsewhere, the request forwards to its owner
+// and the reply body relays byte-for-byte — unless the request was
+// itself a forward (terminal) or a subscribe (push flows only from the
+// owner), which answer the typed route_moved error instead. A true
+// return means the reply was sent and done (when non-nil) was settled:
+// a join/leave relay that came back 2xx charges the exact DBQueries
+// the owner's update reports — edge accounting, the same rule the
+// HTTP forwarders follow — and every other outcome settles zero.
+func (wc *wireConn) forwardOrServe(ctx context.Context, id uint64, session string, terminal bool, kind wire.Kind, enc func(*wire.Enc), done func(int64)) bool {
 	s := wc.srv
 	node, ok := s.remoteOwner(session)
 	if !ok {
 		return false
 	}
+	settle := func(dbq int64) {
+		if done != nil {
+			done(dbq)
+		}
+	}
 	if terminal {
+		settle(0)
 		wc.replyServiceErr(id, s.opts.Cluster.RouteMoved("session", session))
 		return true
 	}
 	status, body, err := s.opts.Cluster.Forward(ctx, node, kind, enc)
 	if err != nil {
+		settle(0)
 		var re *wire.ReplyError
 		if errors.As(err, &re) {
-			wc.replyErr(id, re.Status, &api.Error{Code: re.Code, Message: re.Message, Owner: re.Owner})
+			wc.replyErr(id, re.Status, &api.Error{Code: re.Code, Message: re.Message, Owner: re.Owner, RetryAfterMS: re.RetryAfterMS})
 			return true
 		}
 		wc.replyServiceErr(id, err)
 		return true
+	}
+	if done != nil {
+		var dbq int64
+		if status < 300 && (kind == wire.KindJoin || kind == wire.KindLeave) {
+			d := wire.NewDec(body)
+			up := wire.GetUpdate(d)
+			if d.Finish() == nil {
+				dbq = up.Stats.DBQueries
+			}
+		}
+		done(dbq)
 	}
 	wc.send(wire.Header{Kind: wire.KindReply, ID: id}, func(e *wire.Enc) {
 		wire.PutReplyOK(e, status)

@@ -8,9 +8,11 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"entangled/internal/admission"
 	"entangled/internal/api"
 	"entangled/internal/cluster"
 	"entangled/internal/coord"
@@ -59,6 +61,17 @@ type Options struct {
 	// instead of wedging the dispatcher goroutine on a stalled store.
 	// Zero means 30s; negative disables the deadline.
 	DispatchTimeout time.Duration
+	// Admission, when non-nil, turns on tenant-aware admission: every
+	// request is attributed to the tenant named by the HTTP X-Tenant
+	// header or the binary tenant envelope (Default when absent), gated
+	// against the tenant's policy (token-bucket rate, in-flight cap,
+	// rolling DBQueries budget), queued through the weighted-fair
+	// batcher, and metered by exact Result.DBQueries spend. Rejections
+	// are the typed, fate-known "throttled" error carrying a
+	// retry-after hint. Nil (the default) disables admission entirely —
+	// no gating, no tenant queues, no per-tenant metrics — so an
+	// unconfigured server behaves exactly as before the layer existed.
+	Admission *admission.Controller
 	// Cluster, when non-nil, makes this node one member of a coordserve
 	// cluster: session-scoped requests it does not own forward to the
 	// owning peer (terminally — a forwarded request that still misses
@@ -109,6 +122,7 @@ type Server struct {
 	e        *engine.Engine
 	opts     Options
 	mux      *http.ServeMux
+	adm      *admission.Controller // nil: admission off
 	batch    *batcher
 	reg      *registry
 	met      *metrics
@@ -143,9 +157,19 @@ func New(e *engine.Engine, opts Options) (*Server, error) {
 		wireLs:    make(map[net.Listener]struct{}),
 		wireConns: make(map[*wireConn]struct{}),
 	}
+	s.adm = opts.Admission
+	// The batcher's fairness hooks exist only when admission is on: an
+	// unconfigured server runs one anonymous queue with weight 1, which
+	// is exactly the single FIFO it always had.
+	var weight func(admission.Tenant) int
+	var onShare func(admission.Tenant, int, int)
+	if s.adm != nil {
+		weight = s.adm.Weight
+		onShare = s.met.observeShare
+	}
 	s.batch = newBatcher(e, opts.QueueDepth, opts.MaxBatch, opts.DispatchTimeout, func(int) {
 		s.met.coordBatches.Add(1)
-	})
+	}, weight, onShare)
 	newSession := func(park bool) *stream.Session {
 		so := opts.Session
 		so.ParkUnsafe = park
@@ -195,6 +219,7 @@ func New(e *engine.Engine, opts Options) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /v1/recovery", s.handleRecovery)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -297,8 +322,57 @@ func (s *Server) deleteSession(name string) error {
 	return s.reg.remove(name)
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. The X-Tenant header, when
+// present, attaches the caller's tenant identity to the request
+// context — the HTTP analogue of the binary protocol's tenant
+// envelope; handlers read it back with admission.FromContext.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if ten := r.Header.Get(api.TenantHeader); ten != "" {
+		r = r.WithContext(admission.WithTenant(r.Context(), admission.Tenant(ten)))
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// tenantOf resolves the request's tenant for queue routing and
+// accounting: the context's identity when admission is on (absent
+// means Default), the single anonymous tenant otherwise.
+func (s *Server) tenantOf(ctx context.Context) admission.Tenant {
+	if s.adm == nil {
+		return ""
+	}
+	if t := admission.FromContext(ctx); t != "" {
+		return t
+	}
+	return admission.Default
+}
+
+// admitEvent gates one session-mutating request (create, join) against
+// the tenant's policy. The returned release must be called exactly once
+// with the work's DBQueries spend — it frees the in-flight slot and
+// lands the charge. A nil release with nil error means admission is
+// off.
+func (s *Server) admitEvent(ctx context.Context) (func(dbq int64), error) {
+	if s.adm == nil {
+		return nil, nil
+	}
+	ten := s.tenantOf(ctx)
+	if err := s.adm.Decide(ten); err != nil {
+		return nil, err
+	}
+	return func(dbq int64) { s.adm.Done(ten, dbq) }, nil
+}
+
+// meterEvent returns a charge-only hook for ungated work: a leave is
+// never throttled (shedding load must not block releasing it), but the
+// store work it triggers still lands on the tenant's budget. Nil when
+// admission is off.
+func (s *Server) meterEvent(ctx context.Context) func(dbq int64) {
+	if s.adm == nil {
+		return nil
+	}
+	ten := s.tenantOf(ctx)
+	return func(dbq int64) { s.adm.ChargeDB(ten, dbq) }
+}
 
 // Close drains the server: the batch queue stops admitting and serves
 // what it holds, every session's mailbox drains and its goroutine
@@ -360,8 +434,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError writes the error envelope.
+// writeError writes the error envelope. A retry-after hint also goes
+// out as the standard Retry-After header (whole seconds, rounded up),
+// so plain HTTP clients that never parse the envelope still see it.
 func writeError(w http.ResponseWriter, status int, e *api.Error) {
+	if e != nil && e.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt((e.RetryAfterMS+999)/1000, 10))
+	}
 	writeJSON(w, status, api.ErrorEnvelope{Error: e})
 }
 
@@ -373,6 +452,10 @@ func statusFor(err error) (int, string) {
 		return http.StatusServiceUnavailable, api.CodeDraining
 	case errors.Is(err, errOverloaded):
 		return http.StatusTooManyRequests, api.CodeOverloaded
+	// A throttle is fate-known by construction: admission decides
+	// before the request touches the batcher, a session, or the store.
+	case errors.Is(err, admission.ErrThrottled):
+		return http.StatusTooManyRequests, api.CodeThrottled
 	case errors.Is(err, errMailboxFull):
 		return http.StatusTooManyRequests, api.CodeMailboxFull
 	case errors.Is(err, errSessionExists):
@@ -449,6 +532,7 @@ func (s *Server) checkBatch(n int) *api.Error {
 // requests produce identical api.Response values — results and error
 // text alike.
 func (s *Server) serveBatch(ctx context.Context, reqs []api.Request) []api.Response {
+	ten := s.tenantOf(ctx)
 	out := make([]api.Response, len(reqs))
 	var wg sync.WaitGroup
 	for i, cr := range reqs {
@@ -456,7 +540,7 @@ func (s *Server) serveBatch(ctx context.Context, reqs []api.Request) []api.Respo
 		go func(i int, cr api.Request) {
 			defer wg.Done()
 			start := time.Now()
-			resp, err := s.batch.submit(ctx, engine.Request{ID: cr.ID, Queries: cr.Queries})
+			resp, err := s.batch.submit(ctx, ten, engine.Request{ID: cr.ID, Queries: cr.Queries})
 			s.met.coordLatency.observe(time.Since(start))
 			if err == nil {
 				err = resp.Err
@@ -492,6 +576,18 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "decoding body: %v", err))
 		return
 	}
+	// Admission decides at the edge — before any forward — so a
+	// throttled create never crosses the cluster, and the charge lands
+	// on the node that talked to the client.
+	done, aerr := s.admitEvent(r.Context())
+	if aerr != nil {
+		status, we := serviceError(aerr)
+		writeError(w, status, we)
+		return
+	}
+	if done != nil {
+		defer done(0) // creates do no store work
+	}
 	// A named create belongs to the name's owner; an auto-named one is
 	// served wherever it lands (the registry generates self-owned names).
 	if node, ok := s.remoteOwner(req.ID); ok && req.ID != "" {
@@ -513,13 +609,21 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 // the event through its mailbox, meter, and map the outcome. A parked
 // arrival is 202 Accepted with the update (the query is queued for
 // retry, not live); admission rejections and failures are typed error
-// envelopes.
-func (s *Server) postEvent(w http.ResponseWriter, r *http.Request, ev stream.Event) {
+// envelopes. done, when non-nil, settles the tenant's admission
+// accounting exactly once: the event's exact DBQueries on success,
+// zero on failure.
+func (s *Server) postEvent(w http.ResponseWriter, r *http.Request, ev stream.Event, done func(int64)) {
 	up, err := s.sessionEvent(r.Context(), r.PathValue("id"), ev)
 	if err != nil {
+		if done != nil {
+			done(0)
+		}
 		status, we := serviceError(err)
 		writeError(w, status, we)
 		return
+	}
+	if done != nil {
+		done(up.Stats.DBQueries)
 	}
 	status := http.StatusOK
 	if up.Parked {
@@ -554,13 +658,31 @@ func (s *Server) handleSessionJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "decoding body: %v", err))
 		return
 	}
-	if node, ok := s.remoteOwner(r.PathValue("id")); ok {
-		s.forwardHTTP(w, r.Context(), node, wire.KindJoin,
-			wire.JoinReq{Session: r.PathValue("id"), Query: req.Query}.Encode,
-			func(d *wire.Dec) any { return wire.GetUpdate(d) })
+	done, aerr := s.admitEvent(r.Context())
+	if aerr != nil {
+		status, we := serviceError(aerr)
+		writeError(w, status, we)
 		return
 	}
-	s.postEvent(w, r, stream.Event{Kind: stream.JoinEvent, Query: req.Query})
+	if node, ok := s.remoteOwner(r.PathValue("id")); ok {
+		// Forwarded joins are pre-admitted (the envelope carries no
+		// tenant); the edge charges the exact spend the owner reports.
+		s.forwardHTTP(w, r.Context(), node, wire.KindJoin,
+			wire.JoinReq{Session: r.PathValue("id"), Query: req.Query}.Encode,
+			func(d *wire.Dec) any {
+				up := wire.GetUpdate(d)
+				if done != nil {
+					done(up.Stats.DBQueries)
+					done = nil
+				}
+				return up
+			})
+		if done != nil {
+			done(0) // the forward failed before a decodable update came back
+		}
+		return
+	}
+	s.postEvent(w, r, stream.Event{Kind: stream.JoinEvent, Query: req.Query}, done)
 }
 
 func (s *Server) handleSessionLeave(w http.ResponseWriter, r *http.Request) {
@@ -569,13 +691,23 @@ func (s *Server) handleSessionLeave(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, api.Errf(api.CodeBadRequest, "decoding body: %v", err))
 		return
 	}
+	// Leaves are metered, never gated: a tenant over budget must still
+	// be able to release load, but the store work the departure
+	// triggers lands on its budget all the same.
+	charge := s.meterEvent(r.Context())
 	if node, ok := s.remoteOwner(r.PathValue("id")); ok {
 		s.forwardHTTP(w, r.Context(), node, wire.KindLeave,
 			wire.LeaveReq{Session: r.PathValue("id"), QueryID: req.ID}.Encode,
-			func(d *wire.Dec) any { return wire.GetUpdate(d) })
+			func(d *wire.Dec) any {
+				up := wire.GetUpdate(d)
+				if charge != nil {
+					charge(up.Stats.DBQueries)
+				}
+				return up
+			})
 		return
 	}
-	s.postEvent(w, r, stream.Event{Kind: stream.LeaveEvent, ID: req.ID})
+	s.postEvent(w, r, stream.Event{Kind: stream.LeaveEvent, ID: req.ID}, charge)
 }
 
 func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
@@ -706,6 +838,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if c := s.opts.Cluster; c != nil {
 		m.Cluster = c.Metrics()
 	}
+	if s.adm != nil {
+		m.Admission = s.admissionMetrics()
+	}
 	if s.opts.Persist != nil {
 		pm := s.opts.Persist.Metrics()
 		m.Persist = &api.PersistMetrics{
@@ -728,6 +863,58 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, m)
+}
+
+// admissionMetrics assembles the per-tenant admission block: the
+// controller's accounting joined with the batcher's live queue depths
+// and the fair-dispatch share histograms.
+func (s *Server) admissionMetrics() *api.AdmissionMetrics {
+	am := &api.AdmissionMetrics{}
+	shares := s.met.shareSnapshot()
+	for _, sn := range s.adm.Snapshot() {
+		tc := api.TenantCounters{
+			Tenant:            string(sn.Tenant),
+			Admitted:          sn.Admitted,
+			Throttled:         sn.Throttled(),
+			ThrottledRate:     sn.ThrottledRate,
+			ThrottledInFlight: sn.ThrottledInFlight,
+			ThrottledBudget:   sn.ThrottledBudget,
+			InFlight:          sn.InFlight,
+			QueueDepth:        s.batch.queueDepth(sn.Tenant),
+			DBQueriesSpent:    sn.DBQueriesSpent,
+		}
+		if sh, ok := shares[sn.Tenant]; ok {
+			tc.Dispatched = sh.dispatched
+			tc.ShareCounts = append([]int64(nil), sh.deciles[:]...)
+		}
+		am.Admitted += sn.Admitted
+		am.Throttled += tc.Throttled
+		am.Tenants = append(am.Tenants, tc)
+	}
+	return am
+}
+
+// handleTenants serves GET /v1/tenants: each tenant's effective
+// policy and live accounting. Without admission it answers
+// enabled=false, so clients can probe for the feature.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	ts := api.TenantsStatus{}
+	if s.adm != nil {
+		ts.Enabled = true
+		for _, sn := range s.adm.Snapshot() {
+			ts.Tenants = append(ts.Tenants, api.TenantStatus{
+				Tenant:         string(sn.Tenant),
+				Policy:         sn.Policy,
+				InFlight:       sn.InFlight,
+				QueueDepth:     s.batch.queueDepth(sn.Tenant),
+				Admitted:       sn.Admitted,
+				Throttled:      sn.Throttled(),
+				DBQueriesSpent: sn.DBQueriesSpent,
+				DBBalance:      sn.DBBalance,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, ts)
 }
 
 // handleRecovery reports what this process replayed at startup; with

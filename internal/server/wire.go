@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sync"
 
+	"entangled/internal/admission"
 	"entangled/internal/api"
 	"entangled/internal/stream"
 	"entangled/internal/wire"
@@ -322,10 +323,23 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			return badBody(err)
 		}
 		return serve(func() {
+			// Admission decides at the edge, before any forward; a
+			// forwarded create is pre-admitted by the node that gated it.
+			var done func(int64)
+			if !forwarded {
+				var aerr error
+				if done, aerr = s.admitEvent(ctx); aerr != nil {
+					wc.replyServiceErr(h.ID, aerr)
+					return
+				}
+			}
+			if done != nil {
+				defer done(0) // creates do no store work
+			}
 			// A named create belongs to the name's owner; auto-named
 			// creates are served here (the registry generates self-owned
 			// names).
-			if req.ID != "" && wc.forwardOrServe(ctx, h.ID, req.ID, forwarded, wire.KindCreateSession, req.Encode) {
+			if req.ID != "" && wc.forwardOrServe(ctx, h.ID, req.ID, forwarded, wire.KindCreateSession, req.Encode, nil) {
 				return
 			}
 			sh, err := s.createSession(req.ID, req.ParkUnsafe)
@@ -342,10 +356,18 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			return badBody(err)
 		}
 		return serve(func() {
-			if wc.forwardOrServe(ctx, h.ID, req.Session, forwarded, wire.KindJoin, req.Encode) {
+			var done func(int64)
+			if !forwarded {
+				var aerr error
+				if done, aerr = s.admitEvent(ctx); aerr != nil {
+					wc.replyServiceErr(h.ID, aerr)
+					return
+				}
+			}
+			if wc.forwardOrServe(ctx, h.ID, req.Session, forwarded, wire.KindJoin, req.Encode, done) {
 				return
 			}
-			wc.replyUpdate(ctx, h.ID, req.Session, stream.Event{Kind: stream.JoinEvent, Query: req.Query})
+			wc.replyUpdate(ctx, h.ID, req.Session, stream.Event{Kind: stream.JoinEvent, Query: req.Query}, done)
 		})
 
 	case wire.KindLeave:
@@ -354,10 +376,16 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			return badBody(err)
 		}
 		return serve(func() {
-			if wc.forwardOrServe(ctx, h.ID, req.Session, forwarded, wire.KindLeave, req.Encode) {
+			// Metered, never gated: shedding load must not block
+			// releasing it.
+			var charge func(int64)
+			if !forwarded {
+				charge = s.meterEvent(ctx)
+			}
+			if wc.forwardOrServe(ctx, h.ID, req.Session, forwarded, wire.KindLeave, req.Encode, charge) {
 				return
 			}
-			wc.replyUpdate(ctx, h.ID, req.Session, stream.Event{Kind: stream.LeaveEvent, ID: req.QueryID})
+			wc.replyUpdate(ctx, h.ID, req.Session, stream.Event{Kind: stream.LeaveEvent, ID: req.QueryID}, charge)
 		})
 
 	case wire.KindStatus:
@@ -366,7 +394,7 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			return badBody(err)
 		}
 		return serve(func() {
-			if wc.forwardOrServe(ctx, h.ID, req.Session, forwarded, wire.KindStatus, req.Encode) {
+			if wc.forwardOrServe(ctx, h.ID, req.Session, forwarded, wire.KindStatus, req.Encode, nil) {
 				return
 			}
 			st, status, we := s.sessionStatus(req.Session, req.Trace)
@@ -383,7 +411,7 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			return badBody(err)
 		}
 		return serve(func() {
-			if wc.forwardOrServe(ctx, h.ID, req.Session, forwarded, wire.KindDeleteSession, req.Encode) {
+			if wc.forwardOrServe(ctx, h.ID, req.Session, forwarded, wire.KindDeleteSession, req.Encode, nil) {
 				return
 			}
 			if err := s.deleteSession(req.Session); err != nil {
@@ -432,6 +460,29 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 			wc.replyOK(h.ID, http.StatusOK, func(e *wire.Enc) { wire.PutClusterStatus(e, s.clusterStatus()) })
 		})
 
+	case wire.KindTenant:
+		if forwarded {
+			// Forwards never carry tenant envelopes: admission was decided
+			// (and is accounted) at the edge node, so a tenant frame inside
+			// a forward is a protocol violation.
+			return false
+		}
+		te := wire.DecodeTenantReq(d)
+		if err := d.Finish(); err != nil {
+			return badBody(err)
+		}
+		if te.Kind == wire.KindTenant || te.Kind == wire.KindForward {
+			// The envelope must be outermost and must not smuggle a
+			// forward past the edge gate.
+			return false
+		}
+		// Re-dispatch the wrapped request under the outer frame's id with
+		// the tenant identity on the context — the exact analogue of the
+		// HTTP X-Tenant middleware. The inner body decodes synchronously
+		// here (it aliases the connection's read buffer).
+		return s.dispatch(admission.WithTenant(ctx, admission.Tenant(te.Tenant)), wc,
+			wire.Header{Kind: te.Kind, ID: h.ID}, wire.NewDec(te.Body), false)
+
 	case wire.KindForward:
 		if forwarded {
 			return false // a forward inside a forward breaks terminality
@@ -457,11 +508,20 @@ func (s *Server) dispatch(ctx context.Context, wc *wireConn, h wire.Header, d *w
 
 // replyUpdate serves the shared join/leave path and renders the
 // outcome with the HTTP status semantics (202 for a parked arrival).
-func (wc *wireConn) replyUpdate(ctx context.Context, id uint64, session string, ev stream.Event) {
+// done, when non-nil, settles the tenant's admission accounting
+// exactly once: the event's exact DBQueries on success, zero on
+// failure.
+func (wc *wireConn) replyUpdate(ctx context.Context, id uint64, session string, ev stream.Event, done func(int64)) {
 	up, err := wc.srv.sessionEvent(ctx, session, ev)
 	if err != nil {
+		if done != nil {
+			done(0)
+		}
 		wc.replyServiceErr(id, err)
 		return
+	}
+	if done != nil {
+		done(up.Stats.DBQueries)
 	}
 	status := http.StatusOK
 	if up.Parked {

@@ -357,6 +357,7 @@ func PutError(e *Enc, we *api.Error) {
 	e.String(we.Code)
 	e.String(we.Message)
 	e.String(we.Owner)
+	e.Int64(we.RetryAfterMS)
 }
 
 // GetError reads a wire error (nil when absent).
@@ -364,7 +365,7 @@ func GetError(d *Dec) *api.Error {
 	if !d.Bool() {
 		return nil
 	}
-	we := &api.Error{Code: d.String(), Message: d.String(), Owner: d.String()}
+	we := &api.Error{Code: d.String(), Message: d.String(), Owner: d.String(), RetryAfterMS: d.Int64()}
 	if d.err != nil {
 		return nil
 	}

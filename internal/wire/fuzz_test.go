@@ -88,6 +88,8 @@ func decodeEverything(t *testing.T, payload []byte) {
 	run(func(d *Dec) { DecodeLeaveReq(d) })
 	run(func(d *Dec) { DecodeStatusReq(d) })
 	run(func(d *Dec) { DecodeSessionReq(d) })
+	run(func(d *Dec) { DecodeForward(d) })
+	run(func(d *Dec) { DecodeTenantReq(d) })
 	run(func(d *Dec) { DecodePush(d) })
 	run(func(d *Dec) {
 		status, err := GetReply(d)

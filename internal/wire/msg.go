@@ -41,6 +41,14 @@ const (
 	// KindCluster is GET /v1/cluster: the node's membership view, ring
 	// parameters and relation placements.
 	KindCluster Kind = 10
+	// KindTenant wraps another client request with a tenant identity
+	// for admission accounting: the tenant name, then the inner kind
+	// and its body verbatim to the end of the frame (the binary
+	// analogue of the HTTP X-Tenant header). The envelope must be
+	// outermost: tenant-in-tenant and tenant-in-forward are protocol
+	// errors, and forwards never carry one — admission is decided and
+	// accounted at the edge node.
+	KindTenant Kind = 11
 
 	// KindReply answers the request with the same id.
 	KindReply Kind = 0x80
@@ -71,6 +79,8 @@ func (k Kind) String() string {
 		return "forward"
 	case KindCluster:
 		return "cluster"
+	case KindTenant:
+		return "tenant"
 	case KindReply:
 		return "reply"
 	case KindPush:
@@ -230,6 +240,33 @@ func DecodeForward(d *Dec) Forward {
 	return f
 }
 
+// TenantReq is the body of a KindTenant envelope: the tenant identity,
+// then the wrapped request verbatim — no length prefix, the inner body
+// runs to the end of the frame. Decoding aliases the input buffer.
+type TenantReq struct {
+	Tenant string
+	Kind   Kind
+	Body   []byte
+}
+
+// Encode appends the tenant envelope.
+func (m TenantReq) Encode(e *Enc) {
+	e.String(m.Tenant)
+	e.Byte(byte(m.Kind))
+	e.Raw(m.Body)
+}
+
+// DecodeTenantReq reads a tenant envelope.
+func DecodeTenantReq(d *Dec) TenantReq {
+	t := TenantReq{Tenant: d.String(), Kind: Kind(d.Byte())}
+	if d.err != nil {
+		return t
+	}
+	t.Body = d.b[d.off:]
+	d.off = len(d.b)
+	return t
+}
+
 // --- replies (server to client) ---
 
 // ReplyError is a service-level failure carried in a reply frame: the
@@ -242,6 +279,9 @@ type ReplyError struct {
 	Message string
 	// Owner mirrors api.Error.Owner: the owning node on route_moved.
 	Owner string
+	// RetryAfterMS mirrors api.Error.RetryAfterMS: the capacity hint
+	// on throttled.
+	RetryAfterMS int64
 }
 
 // Error implements the error interface.
@@ -256,6 +296,7 @@ func PutReplyErr(e *Enc, status int, we *api.Error) {
 	e.String(we.Code)
 	e.String(we.Message)
 	e.String(we.Owner)
+	e.Int64(we.RetryAfterMS)
 }
 
 // PutReplyOK appends the success prefix of a reply body; the
@@ -277,7 +318,7 @@ func GetReply(d *Dec) (status int, err error) {
 	if ok {
 		return status, nil
 	}
-	re := &ReplyError{Status: status, Code: d.String(), Message: d.String(), Owner: d.String()}
+	re := &ReplyError{Status: status, Code: d.String(), Message: d.String(), Owner: d.String(), RetryAfterMS: d.Int64()}
 	if d.err != nil {
 		return 0, d.err
 	}

@@ -208,6 +208,62 @@ func TestGoldenErrorReplyFrame(t *testing.T) {
 	}
 }
 
+// TestGoldenTenantRequestFrame pins the admission envelope: the tenant
+// name, then the wrapped request verbatim. The inner frame here is the
+// same coordinate request as coordinate_request.bin.
+func TestGoldenTenantRequestFrame(t *testing.T) {
+	inner := CoordinateReq{Requests: []api.Request{{ID: "r1", Queries: []eq.Query{sampleQuery()}}}}
+	var ie Enc
+	inner.Encode(&ie)
+	env := TenantReq{Tenant: "acme", Kind: KindCoordinate, Body: ie.Bytes()}
+	payload := goldenFrame(t, "tenant_request", func(e *Enc) {
+		PutHeader(e, Header{Kind: KindTenant, ID: 4})
+		env.Encode(e)
+	})
+	d := NewDec(payload)
+	if h := GetHeader(d); h.Kind != KindTenant || h.ID != 4 {
+		t.Fatalf("header %+v", h)
+	}
+	back := DecodeTenantReq(d)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tenant != "acme" || back.Kind != KindCoordinate || !bytes.Equal(back.Body, ie.Bytes()) {
+		t.Fatalf("decoded %+v != %+v", back, env)
+	}
+	// The aliased body decodes as the inner request.
+	id := NewDec(back.Body)
+	if got := DecodeCoordinateReq(id); id.Finish() != nil || !reflect.DeepEqual(got, inner) {
+		t.Fatalf("inner decode %+v != %+v", got, inner)
+	}
+}
+
+// TestGoldenThrottledReplyFrame pins the throttled error reply with its
+// retry-after hint, the binary twin of the HTTP 429 envelope.
+func TestGoldenThrottledReplyFrame(t *testing.T) {
+	payload := goldenFrame(t, "throttled_reply", func(e *Enc) {
+		PutHeader(e, Header{Kind: KindReply, ID: 5})
+		PutReplyErr(e, 429, &api.Error{
+			Code:         "throttled",
+			Message:      `admission: tenant "hot" throttled (rate)`,
+			RetryAfterMS: 100,
+		})
+	})
+	d := NewDec(payload)
+	GetHeader(d)
+	status, err := GetReply(d)
+	if status != 429 {
+		t.Fatalf("status %d", status)
+	}
+	re, ok := err.(*ReplyError)
+	if !ok || re.Code != "throttled" || re.RetryAfterMS != 100 {
+		t.Fatalf("decoded %+v", err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestGoldenPushFrame(t *testing.T) {
 	p := Push{Session: "alpha", QueryID: "u9", Seq: 12}
 	payload := goldenFrame(t, "push", func(e *Enc) {

@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+// TenantLoad is one synthetic tenant in a deterministic multi-tenant
+// traffic mix: how much of a round's traffic the tenant sends and how
+// hard each of its requests is.
+type TenantLoad struct {
+	// Name is the tenant identity ("t0".."t{n-1}"), t0 hottest.
+	Name string
+	// Requests is the tenant's request count per traffic round,
+	// Zipf-ranked by tenant index: a handful of hot tenants send most
+	// of the traffic, the tail sends one request each — the shape that
+	// makes fairness regressions visible.
+	Requests int
+	// Queries is the query count of each of the tenant's requests (its
+	// body hardness), an independent Zipf draw so traffic volume and
+	// per-request cost are not correlated.
+	Queries int
+}
+
+// Tenants returns a deterministic n-tenant traffic mix with
+// Zipf-skewed per-tenant rates and body hardness — the fuel for
+// fairness tests and benchmarks, built the way SkewedMutations builds
+// data skew. Equal (n, seed) return identical mixes.
+func Tenants(n int, seed int64) []TenantLoad {
+	if n <= 0 {
+		n = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Hardness spans 1..8 queries with a Zipf bias toward cheap bodies.
+	zipf := rand.NewZipf(rng, 1.2, 1, 7)
+	rates := ZipfRowCounts(n, 64, 1.2)
+	out := make([]TenantLoad, n)
+	for i := range out {
+		out[i] = TenantLoad{
+			Name:     "t" + strconv.Itoa(i),
+			Requests: rates[i],
+			Queries:  1 + int(zipf.Uint64()),
+		}
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTenantsDeterministicAndSkewed(t *testing.T) {
+	a, b := Tenants(8, 42), Tenants(8, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal (n, seed) generated different mixes")
+	}
+	if reflect.DeepEqual(a, Tenants(8, 43)) {
+		t.Fatal("different seeds generated identical hardness draws")
+	}
+	names := map[string]bool{}
+	for i, tl := range a {
+		if names[tl.Name] {
+			t.Fatalf("duplicate tenant name %q", tl.Name)
+		}
+		names[tl.Name] = true
+		if tl.Requests < 1 || tl.Queries < 1 || tl.Queries > 8 {
+			t.Fatalf("tenant %d out of shape: %+v", i, tl)
+		}
+		if i > 0 && tl.Requests > a[i-1].Requests {
+			t.Fatalf("rates not Zipf-ranked: %d sends %d after %d", i, tl.Requests, a[i-1].Requests)
+		}
+	}
+	// The mix is genuinely skewed: the hottest tenant sends many times
+	// the coldest tenant's traffic.
+	if a[0].Requests < 4*a[len(a)-1].Requests {
+		t.Fatalf("head %d vs tail %d: not skewed", a[0].Requests, a[len(a)-1].Requests)
+	}
+}

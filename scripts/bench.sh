@@ -3,7 +3,7 @@
 # machine-readable trajectory point.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR9.json
+#   scripts/bench.sh                 # writes BENCH_PR10.json
 #   OUT=out.json scripts/bench.sh    # custom output path
 #   BASELINE=old.json scripts/bench.sh
 #                                    # embed an earlier run for before/after
@@ -19,8 +19,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_PR9.json}"
-PATTERN="${PATTERN:-BenchmarkFigure4List|BenchmarkAblationIndexes|BenchmarkParallelCoordinateMany|BenchmarkSolveCompiled|BenchmarkStream|BenchmarkServer|BenchmarkWAL|BenchmarkWire|BenchmarkCluster}"
+OUT="${OUT:-BENCH_PR10.json}"
+PATTERN="${PATTERN:-BenchmarkFigure4List|BenchmarkAblationIndexes|BenchmarkParallelCoordinateMany|BenchmarkSolveCompiled|BenchmarkStream|BenchmarkServer|BenchmarkWAL|BenchmarkWire|BenchmarkCluster|BenchmarkAdmission}"
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
 BASELINE="${BASELINE:-}"
